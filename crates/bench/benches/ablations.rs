@@ -1,0 +1,89 @@
+//! Criterion bench: ablations of the design choices called out in DESIGN.md.
+//!
+//! * threshold sweep — how the cache-miss threshold trades compute cycles for
+//!   stall cycles (the per-threshold bars of Figures 5/6),
+//! * locality window — cost of the CME-style analysis as the evaluation
+//!   window grows,
+//! * register-pressure check — scheduling cost with and without the MaxLive
+//!   check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvp_bench::{run_loop, RunConfig, SchedulerKind};
+use mvp_cache::LocalityAnalysis;
+use mvp_core::{ModuloScheduler, RmcaScheduler, SchedulerOptions};
+use mvp_machine::presets;
+use mvp_workloads::suite::{suite, SuiteParams};
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let workloads = suite(&SuiteParams::small());
+    let machine = presets::four_cluster();
+    let mut group = c.benchmark_group("ablation_threshold");
+    group.sample_size(10);
+    for threshold in [1.0f64, 0.25, 0.0] {
+        group.bench_with_input(
+            BenchmarkId::new("rmca_suite", format!("{threshold:.2}")),
+            &threshold,
+            |b, &th| {
+                let cfg = RunConfig::new(SchedulerKind::Rmca).with_threshold(th);
+                b.iter(|| {
+                    for w in &workloads {
+                        for l in &w.loops {
+                            run_loop(l, &machine, &cfg).expect("schedulable");
+                        }
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_locality_window(c: &mut Criterion) {
+    let workloads = suite(&SuiteParams::default());
+    let l = &workloads[0].loops[0]; // tomcatv: 10 memory references
+    let geometry = presets::four_cluster().cluster(0).cache;
+    let refs: Vec<_> = l.memory_ops().collect();
+    let mut group = c.benchmark_group("ablation_locality_window");
+    group.sample_size(20);
+    for window in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("miss_count", window), &window, |b, &w| {
+            let analysis = LocalityAnalysis::with_window(l, w);
+            b.iter(|| analysis.miss_count(geometry, &refs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_register_pressure_check(c: &mut Criterion) {
+    let workloads = suite(&SuiteParams::small());
+    let machine = presets::four_cluster();
+    let mut group = c.benchmark_group("ablation_register_pressure");
+    group.sample_size(10);
+    for enforce in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("rmca_suite", enforce),
+            &enforce,
+            |b, &e| {
+                let sched = RmcaScheduler::with_options(
+                    SchedulerOptions::new().with_register_pressure(e),
+                );
+                b.iter(|| {
+                    for w in &workloads {
+                        for l in &w.loops {
+                            sched.schedule(l, &machine).expect("schedulable");
+                        }
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_threshold_sweep,
+    bench_locality_window,
+    bench_register_pressure_check
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: the Figure-3 motivating example, end to end
+//! (schedule + simulate) for both schedulers. The measured ratio between the
+//! baseline and RMCA total cycle counts is the paper's headline 1.5x.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvp_bench::{run_loop, RunConfig, SchedulerKind};
+use mvp_machine::presets;
+use mvp_workloads::motivating::{motivating_loop, MotivatingParams};
+
+fn bench_fig3(c: &mut Criterion) {
+    let params = MotivatingParams::default();
+    let (l, _) = motivating_loop(&params);
+    let machine = presets::motivating_example_machine();
+
+    let mut group = c.benchmark_group("fig3_motivating");
+    group.sample_size(20);
+    for scheduler in SchedulerKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("schedule_and_simulate", scheduler.name()),
+            &scheduler,
+            |b, &s| {
+                let cfg = RunConfig::new(s);
+                b.iter(|| run_loop(&l, &machine, &cfg).expect("schedulable"));
+            },
+        );
+    }
+    group.finish();
+
+    // Report the reproduced figure once per bench run.
+    let out = mvp_bench::fig3::run(&params);
+    println!("{}", mvp_bench::fig3::render(&out));
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: the Figure-6 sweep (realistic buses), reduced to the
+//! quick grid so a bench run stays short. The printed table is the
+//! reproduced figure for the quick grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvp_workloads::suite::SuiteParams;
+
+fn bench_fig6(c: &mut Criterion) {
+    let params = SuiteParams::small();
+    let mut group = c.benchmark_group("fig6_limited");
+    group.sample_size(10);
+    for clusters in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("quick_sweep", clusters),
+            &clusters,
+            |b, &n| {
+                b.iter(|| mvp_bench::fig6::run_quick(n, &params).expect("schedulable"));
+            },
+        );
+    }
+    group.finish();
+
+    for clusters in [2usize, 4] {
+        let out = mvp_bench::fig6::run_quick(clusters, &params).expect("schedulable");
+        println!("{}", mvp_bench::fig6::render(&out));
+    }
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: compilation-time cost of the schedulers themselves.
+//!
+//! The paper argues that the CME-guided cluster selection adds only a small
+//! fraction to compilation time; this bench measures the scheduling time of
+//! the Baseline and RMCA schedulers over the whole workload suite on the
+//! 2- and 4-cluster machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvp_core::{BaselineScheduler, ModuloScheduler, RmcaScheduler};
+use mvp_machine::presets;
+use mvp_workloads::suite::{suite, SuiteParams};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let workloads = suite(&SuiteParams::small());
+    let mut group = c.benchmark_group("scheduler_throughput");
+    group.sample_size(10);
+    for clusters in [2usize, 4] {
+        let machine = presets::by_cluster_count(clusters);
+        group.bench_with_input(
+            BenchmarkId::new("baseline", clusters),
+            &machine,
+            |b, machine| {
+                let sched = BaselineScheduler::new();
+                b.iter(|| {
+                    for w in &workloads {
+                        for l in &w.loops {
+                            sched.schedule(l, machine).expect("schedulable");
+                        }
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rmca", clusters),
+            &machine,
+            |b, machine| {
+                let sched = RmcaScheduler::new();
+                b.iter(|| {
+                    for w in &workloads {
+                        for l in &w.loops {
+                            sched.schedule(l, machine).expect("schedulable");
+                        }
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Reproduces the motivating example of Section 3 (Figure 3).
+//!
+//! Usage: `fig3 [--iterations N]`
+
+use mvp_workloads::motivating::MotivatingParams;
+
+fn main() {
+    let mut params = MotivatingParams::default();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--iterations") {
+        if let Some(n) = args.get(pos + 1).and_then(|v| v.parse().ok()) {
+            params.iterations = n;
+        }
+    }
+    let output = mvp_bench::fig3::run(&params);
+    print!("{}", mvp_bench::fig3::render(&output));
+}

@@ -1,0 +1,35 @@
+//! Reproduces Figure 5 (unbounded buses).
+//!
+//! Usage: `fig5 [--clusters 2|4] [--quick]`
+//!
+//! Without `--clusters` both the 2- and 4-cluster panels are produced.
+
+use mvp_workloads::suite::SuiteParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let clusters: Vec<usize> = match args
+        .iter()
+        .position(|a| a == "--clusters")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse().ok())
+    {
+        Some(c) => vec![c],
+        None => vec![2, 4],
+    };
+    let params = if quick {
+        SuiteParams::small()
+    } else {
+        SuiteParams::default()
+    };
+    for c in clusters {
+        let output = if quick {
+            mvp_bench::fig5::run_quick(c, &params)
+        } else {
+            mvp_bench::fig5::run(c, &params)
+        }
+        .expect("the bundled workloads are schedulable on every configuration");
+        println!("{}", mvp_bench::fig5::render(&output));
+    }
+}

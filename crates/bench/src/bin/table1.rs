@@ -1,0 +1,5 @@
+//! Prints Table 1 of the paper (machine configurations and latencies).
+
+fn main() {
+    print!("{}", mvp_bench::table1::render());
+}

@@ -1,0 +1,214 @@
+//! Figure 5: normalised cycles with an *unbounded* number of buses.
+//!
+//! The paper sweeps the latency of the register buses (LRB ∈ {1, 2, 4}) and
+//! of the memory buses (LMB ∈ {1, 2, 4}) with an unlimited number of both,
+//! for the 2- and 4-cluster configurations, the Baseline and RMCA schedulers
+//! and cache-miss thresholds {1.00, 0.75, 0.25, 0.00}. Every bar is the
+//! total cycle count over the benchmark suite, normalised to the Unified
+//! configuration, and split into compute and stall cycles.
+
+use crate::report::{norm, Table};
+use crate::runner::{run_suite, RunConfig, SchedulerKind, SuiteResult};
+use mvp_core::ScheduleError;
+use mvp_machine::{presets, BusConfig};
+use mvp_workloads::suite::{suite, SuiteParams};
+use serde::{Deserialize, Serialize};
+
+/// The threshold values of the paper's figures, in presentation order.
+pub const THRESHOLDS: [f64; 4] = [1.0, 0.75, 0.25, 0.0];
+
+/// One bar of the figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Number of clusters (2 or 4).
+    pub clusters: usize,
+    /// Latency of the register buses.
+    pub lrb: u32,
+    /// Latency of the memory buses.
+    pub lmb: u32,
+    /// Scheduler used.
+    pub scheduler: SchedulerKind,
+    /// Cache-miss threshold.
+    pub threshold: f64,
+    /// Compute cycles normalised to the Unified reference total.
+    pub normalized_compute: f64,
+    /// Stall cycles normalised to the Unified reference total.
+    pub normalized_stall: f64,
+    /// Total cycles normalised to the Unified reference total.
+    pub normalized_total: f64,
+}
+
+/// The whole figure: reference bars plus the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutput {
+    /// Number of clusters of the clustered configuration.
+    pub clusters: usize,
+    /// Unified-configuration bars (one per threshold), normalised to the
+    /// threshold-1.0 Unified total.
+    pub unified: Vec<SweepPoint>,
+    /// Clustered-configuration bars.
+    pub points: Vec<SweepPoint>,
+}
+
+fn point(
+    clusters: usize,
+    lrb: u32,
+    lmb: u32,
+    scheduler: SchedulerKind,
+    threshold: f64,
+    result: &SuiteResult,
+    reference: &SuiteResult,
+) -> SweepPoint {
+    SweepPoint {
+        clusters,
+        lrb,
+        lmb,
+        scheduler,
+        threshold,
+        normalized_compute: result.normalized_compute(reference),
+        normalized_stall: result.normalized_stall(reference),
+        normalized_total: result.normalized_to(reference),
+    }
+}
+
+/// Runs the Figure-5 sweep for the given cluster count (2 or 4).
+///
+/// # Errors
+///
+/// Propagates the first scheduling error (none is expected for the bundled
+/// workloads and machines).
+pub fn run(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, ScheduleError> {
+    run_with(clusters, params, &[1, 2, 4], &[1, 2, 4], &THRESHOLDS)
+}
+
+/// Runs a reduced sweep (used by the Criterion benches and quick runs).
+///
+/// # Errors
+///
+/// Propagates the first scheduling error.
+pub fn run_quick(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, ScheduleError> {
+    run_with(clusters, params, &[1], &[1, 4], &[1.0, 0.0])
+}
+
+fn run_with(
+    clusters: usize,
+    params: &SuiteParams,
+    lrbs: &[u32],
+    lmbs: &[u32],
+    thresholds: &[f64],
+) -> Result<SweepOutput, ScheduleError> {
+    let workloads = suite(params);
+    let unified_machine = presets::unified();
+    let reference = run_suite(
+        &workloads,
+        &unified_machine,
+        &RunConfig::new(SchedulerKind::Baseline),
+    )?;
+
+    let mut unified = Vec::new();
+    for &threshold in thresholds {
+        let r = run_suite(
+            &workloads,
+            &unified_machine,
+            &RunConfig::new(SchedulerKind::Baseline).with_threshold(threshold),
+        )?;
+        unified.push(point(1, 0, 0, SchedulerKind::Baseline, threshold, &r, &reference));
+    }
+
+    let mut points = Vec::new();
+    for &lrb in lrbs {
+        for &lmb in lmbs {
+            let machine = presets::by_cluster_count(clusters)
+                .with_register_buses(BusConfig::unbounded(lrb))
+                .with_memory_buses(BusConfig::unbounded(lmb))
+                .with_name(format!("{clusters}-cluster LRB={lrb} LMB={lmb}"));
+            for scheduler in SchedulerKind::ALL {
+                for &threshold in thresholds {
+                    let cfg = RunConfig::new(scheduler).with_threshold(threshold);
+                    let r = run_suite(&workloads, &machine, &cfg)?;
+                    points.push(point(clusters, lrb, lmb, scheduler, threshold, &r, &reference));
+                }
+            }
+        }
+    }
+    Ok(SweepOutput {
+        clusters,
+        unified,
+        points,
+    })
+}
+
+/// Renders the sweep as a text table (one row per bar, like the figure's
+/// bars left to right).
+#[must_use]
+pub fn render(output: &SweepOutput) -> String {
+    let mut t = Table::new(vec![
+        "config", "scheduler", "threshold", "compute", "stall", "total",
+    ]);
+    for p in &output.unified {
+        t.row(vec![
+            "unified".to_string(),
+            p.scheduler.name().to_string(),
+            format!("{:.2}", p.threshold),
+            norm(p.normalized_compute),
+            norm(p.normalized_stall),
+            norm(p.normalized_total),
+        ]);
+    }
+    for p in &output.points {
+        t.row(vec![
+            format!("{}c LRB={} LMB={}", p.clusters, p.lrb, p.lmb),
+            p.scheduler.name().to_string(),
+            format!("{:.2}", p.threshold),
+            norm(p.normalized_compute),
+            norm(p.normalized_stall),
+            norm(p.normalized_total),
+        ]);
+    }
+    format!(
+        "Figure 5({}) — unbounded buses, {}-cluster (cycles normalised to Unified)\n{}",
+        if output.clusters == 2 { "a" } else { "b" },
+        output.clusters,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_reproduces_the_figure_shape() {
+        let out = run_quick(2, &SuiteParams::small()).unwrap();
+        assert_eq!(out.unified.len(), 2);
+        assert!(!out.points.is_empty());
+        // Unified reference normalises to 1.0 at threshold 1.0.
+        assert!((out.unified[0].normalized_total - 1.0).abs() < 1e-9);
+        for p in out.points.iter().chain(&out.unified) {
+            // Compute + stall always equals the total.
+            assert!(
+                (p.normalized_compute + p.normalized_stall - p.normalized_total).abs() < 1e-9
+            );
+        }
+        // RMCA never loses to Baseline at the same configuration.
+        for pair in out.points.chunks(4) {
+            // chunks are [baseline th1, baseline th0, rmca th1, rmca th0]
+            // per (lrb, lmb) in run_quick's nesting order.
+            let base_best = pair[0].normalized_total.min(pair[1].normalized_total);
+            let rmca_best = pair[2].normalized_total.min(pair[3].normalized_total);
+            assert!(
+                rmca_best <= base_best * 1.02,
+                "RMCA ({rmca_best:.3}) should not lose to Baseline ({base_best:.3})"
+            );
+        }
+        // Lower thresholds shrink the stall share.
+        for pair in out.points.chunks(2) {
+            assert!(
+                pair[1].normalized_stall <= pair[0].normalized_stall + 1e-9,
+                "threshold 0.0 should not stall more than threshold 1.0"
+            );
+        }
+        let text = render(&out);
+        assert!(text.contains("Figure 5"));
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment drivers that regenerate every table and figure of the paper.
+//!
+//! The binaries in `src/bin/` print the same rows/series the paper reports:
+//!
+//! * `table1` — the machine configurations (Table 1),
+//! * `fig3`  — the motivating example of Section 3 (Figure 3),
+//! * `fig5`  — the unbounded-bus sweep (Figure 5a/5b),
+//! * `fig6`  — the realistic-bus sweep (Figure 6a/6b),
+//!
+//! and the Criterion benches in `benches/` measure scheduler / simulator
+//! throughput plus the ablations called out in `DESIGN.md`.
+//!
+//! The library part of the crate contains the reusable machinery: running
+//! one (loop, machine, scheduler, threshold) point, aggregating a whole
+//! workload suite (in parallel across workloads), and formatting result
+//! tables.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod report;
+pub mod runner;
+pub mod table1;
+
+pub use runner::{run_loop, run_suite, RunConfig, RunResult, SchedulerKind, SuiteResult};

@@ -1,0 +1,114 @@
+//! Plain-text table formatting for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must have as many cells as there are headers).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a normalised value as the paper's figures present them (two
+/// decimals).
+#[must_use]
+pub fn norm(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a percentage difference between two cycle counts.
+#[must_use]
+pub fn pct_faster(slow: u64, fast: u64) -> String {
+    if fast == 0 {
+        return "n/a".into();
+    }
+    format!("{:+.1}%", (slow as f64 / fast as f64 - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["short", "1"]);
+        t.row(vec!["a-much-longer-name", "123456"]);
+        let text = t.render();
+        assert!(text.contains("name"));
+        assert!(text.contains("a-much-longer-name"));
+        assert_eq!(t.num_rows(), 2);
+        // All lines have the same alignment prefix width for the value column.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(norm(1.234), "1.23");
+        assert_eq!(pct_faster(150, 100), "+50.0%");
+        assert_eq!(pct_faster(100, 0), "n/a");
+    }
+}

@@ -1,0 +1,267 @@
+//! Running one experiment point and whole workload suites.
+
+use mvp_core::{
+    BaselineScheduler, ModuloScheduler, RmcaScheduler, ScheduleError, SchedulerOptions,
+};
+use mvp_ir::Loop;
+use mvp_machine::MachineConfig;
+use mvp_sim::{simulate, SimOptions, SimStats};
+use mvp_workloads::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which scheduler to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// The register-communication-aware baseline of [22].
+    Baseline,
+    /// The paper's Register and Memory Communication-Aware scheduler.
+    Rmca,
+}
+
+impl SchedulerKind {
+    /// Both schedulers, in the order the paper's figures present them.
+    pub const ALL: [SchedulerKind; 2] = [SchedulerKind::Baseline, SchedulerKind::Rmca];
+
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Baseline => "baseline",
+            SchedulerKind::Rmca => "rmca",
+        }
+    }
+
+    /// Builds the scheduler with the given options.
+    #[must_use]
+    pub fn build(self, options: SchedulerOptions) -> Box<dyn ModuloScheduler + Send + Sync> {
+        match self {
+            SchedulerKind::Baseline => Box::new(BaselineScheduler::with_options(options)),
+            SchedulerKind::Rmca => Box::new(RmcaScheduler::with_options(options)),
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One experiment point configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Which scheduler to use.
+    pub scheduler: SchedulerKind,
+    /// Cache-miss threshold for miss-latency scheduling.
+    pub threshold: f64,
+    /// Simulation options.
+    pub sim: SimOptions,
+}
+
+impl RunConfig {
+    /// Point configuration with the given scheduler and threshold 1.0.
+    #[must_use]
+    pub fn new(scheduler: SchedulerKind) -> Self {
+        Self {
+            scheduler,
+            threshold: 1.0,
+            sim: SimOptions::new(),
+        }
+    }
+
+    /// Returns a copy with the given threshold.
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    fn scheduler_options(&self) -> SchedulerOptions {
+        SchedulerOptions::new().with_threshold(self.threshold)
+    }
+}
+
+/// Result of running one loop under one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Name of the loop.
+    pub loop_name: String,
+    /// Initiation interval of the schedule.
+    pub ii: u32,
+    /// Stage count of the schedule.
+    pub stage_count: u32,
+    /// Inter-cluster register communications per iteration.
+    pub communications: usize,
+    /// Loads scheduled with the miss latency.
+    pub miss_scheduled_loads: usize,
+    /// Simulated cycle breakdown.
+    pub stats: SimStats,
+}
+
+impl RunResult {
+    /// Total simulated cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.stats.total_cycles()
+    }
+}
+
+/// Aggregated result of running a whole workload suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteResult {
+    /// Per-loop results.
+    pub runs: Vec<RunResult>,
+    /// Sum of compute cycles across the suite.
+    pub compute_cycles: u64,
+    /// Sum of stall cycles across the suite.
+    pub stall_cycles: u64,
+}
+
+impl SuiteResult {
+    /// Total cycles across the suite.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.stall_cycles
+    }
+
+    /// Total cycles normalised against a reference suite run.
+    #[must_use]
+    pub fn normalized_to(&self, reference: &SuiteResult) -> f64 {
+        if reference.total_cycles() == 0 {
+            0.0
+        } else {
+            self.total_cycles() as f64 / reference.total_cycles() as f64
+        }
+    }
+
+    /// Compute cycles normalised against a reference suite run's total.
+    #[must_use]
+    pub fn normalized_compute(&self, reference: &SuiteResult) -> f64 {
+        if reference.total_cycles() == 0 {
+            0.0
+        } else {
+            self.compute_cycles as f64 / reference.total_cycles() as f64
+        }
+    }
+
+    /// Stall cycles normalised against a reference suite run's total.
+    #[must_use]
+    pub fn normalized_stall(&self, reference: &SuiteResult) -> f64 {
+        if reference.total_cycles() == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / reference.total_cycles() as f64
+        }
+    }
+}
+
+/// Schedules and simulates one loop on one machine.
+///
+/// # Errors
+///
+/// Propagates any [`ScheduleError`] from the scheduler.
+pub fn run_loop(
+    l: &Loop,
+    machine: &MachineConfig,
+    config: &RunConfig,
+) -> Result<RunResult, ScheduleError> {
+    let scheduler = config.scheduler.build(config.scheduler_options());
+    let schedule = scheduler.schedule(l, machine)?;
+    let stats = simulate(l, &schedule, machine, &config.sim);
+    Ok(RunResult {
+        loop_name: l.name().to_string(),
+        ii: schedule.ii(),
+        stage_count: schedule.stage_count(),
+        communications: schedule.num_communications(),
+        miss_scheduled_loads: schedule.miss_scheduled_loads().count(),
+        stats,
+    })
+}
+
+/// Schedules and simulates every loop of every workload, in parallel across
+/// workloads.
+///
+/// # Errors
+///
+/// Returns the first scheduling error encountered.
+pub fn run_suite(
+    workloads: &[Workload],
+    machine: &MachineConfig,
+    config: &RunConfig,
+) -> Result<SuiteResult, ScheduleError> {
+    let results: Vec<Result<Vec<RunResult>, ScheduleError>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = workloads
+                .iter()
+                .map(|w| {
+                    scope.spawn(move |_| {
+                        w.loops
+                            .iter()
+                            .map(|l| run_loop(l, machine, config))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("experiment worker thread panicked"))
+                .collect()
+        })
+        .expect("experiment thread scope panicked");
+
+    let mut runs = Vec::new();
+    for r in results {
+        runs.extend(r?);
+    }
+    let compute_cycles = runs.iter().map(|r| r.stats.compute_cycles).sum();
+    let stall_cycles = runs.iter().map(|r| r.stats.stall_cycles).sum();
+    Ok(SuiteResult {
+        runs,
+        compute_cycles,
+        stall_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_machine::presets;
+    use mvp_workloads::suite::{suite, SuiteParams};
+
+    #[test]
+    fn run_loop_produces_consistent_results() {
+        let workloads = suite(&SuiteParams::small());
+        let machine = presets::two_cluster();
+        let cfg = RunConfig::new(SchedulerKind::Rmca).with_threshold(0.0);
+        let r = run_loop(&workloads[0].loops[0], &machine, &cfg).unwrap();
+        assert_eq!(r.loop_name, workloads[0].loops[0].name());
+        assert!(r.ii >= 1);
+        assert_eq!(r.total_cycles(), r.stats.compute_cycles + r.stats.stall_cycles);
+    }
+
+    #[test]
+    fn run_suite_aggregates_all_loops() {
+        let workloads = suite(&SuiteParams::small());
+        let machine = presets::unified();
+        let cfg = RunConfig::new(SchedulerKind::Baseline);
+        let result = run_suite(&workloads, &machine, &cfg).unwrap();
+        let loops: usize = workloads.iter().map(|w| w.loops.len()).sum();
+        assert_eq!(result.runs.len(), loops);
+        assert_eq!(
+            result.total_cycles(),
+            result.compute_cycles + result.stall_cycles
+        );
+        // Normalising a run against itself is 1.0.
+        assert!((result.normalized_to(&result) - 1.0).abs() < 1e-12);
+        let parts = result.normalized_compute(&result) + result.normalized_stall(&result);
+        assert!((parts - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scheduler_kind_helpers() {
+        assert_eq!(SchedulerKind::Baseline.to_string(), "baseline");
+        assert_eq!(SchedulerKind::Rmca.name(), "rmca");
+        assert_eq!(SchedulerKind::ALL.len(), 2);
+    }
+}

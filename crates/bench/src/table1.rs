@@ -1,0 +1,57 @@
+//! Table 1: the machine configurations and operation latencies.
+
+use crate::report::Table;
+use mvp_machine::{presets, FuKind};
+
+/// Renders Table 1.
+#[must_use]
+pub fn render() -> String {
+    let mut t = Table::new(vec![
+        "configuration",
+        "clusters",
+        "int/fp/mem FUs per cluster",
+        "registers per cluster",
+        "L1 per cluster",
+        "issue width",
+    ]);
+    for m in presets::table1() {
+        let c = m.cluster(0);
+        t.row(vec![
+            m.name.clone(),
+            m.num_clusters().to_string(),
+            format!(
+                "{}/{}/{}",
+                c.fu_count(FuKind::Integer),
+                c.fu_count(FuKind::Float),
+                c.fu_count(FuKind::Memory)
+            ),
+            c.register_file_size.to_string(),
+            format!("{} B", c.cache.capacity_bytes),
+            m.issue_width().to_string(),
+        ]);
+    }
+    let lat = presets::unified().latencies;
+    format!(
+        "Table 1 — multiVLIWprocessor configurations\n{}\nOperation latencies: int={} fp={} load(local hit)={} store={} main memory={} cycles\nLocal caches: direct-mapped, 32 B lines, non-blocking, 10 MSHR entries\n",
+        t.render(),
+        lat.int_op,
+        lat.fp_op,
+        lat.load_hit,
+        lat.store,
+        lat.main_memory
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mentions_all_three_configurations() {
+        let text = render();
+        assert!(text.contains("unified"));
+        assert!(text.contains("2-cluster"));
+        assert!(text.contains("4-cluster"));
+        assert!(text.contains("main memory=10"));
+    }
+}

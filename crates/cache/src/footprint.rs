@@ -1,0 +1,89 @@
+//! Footprint statistics of reference sets.
+//!
+//! The footprint (number of distinct cache blocks touched) is a cheap
+//! indicator of capacity pressure, used by the benchmark harness to report
+//! why a kernel does or does not fit in the per-cluster cache slice.
+
+use mvp_ir::{Loop, OpId};
+use mvp_machine::CacheGeometry;
+use std::collections::HashSet;
+
+/// Number of distinct cache blocks touched by `refs` over at most `window`
+/// iteration points of the loop nest.
+#[must_use]
+pub fn distinct_blocks(l: &Loop, refs: &[OpId], geometry: CacheGeometry, window: usize) -> u64 {
+    let mut blocks: HashSet<u64> = HashSet::new();
+    let mem_ops: Vec<OpId> = refs
+        .iter()
+        .copied()
+        .filter(|&op| l.op(op).is_memory())
+        .collect();
+    if mem_ops.is_empty() {
+        return 0;
+    }
+    for iv in l.nest().iteration_vectors().take(window.max(1)) {
+        for &op in &mem_ops {
+            if let Some(addr) = l.address_of(op, &iv) {
+                blocks.insert(geometry.block_of(addr));
+            }
+        }
+    }
+    blocks.len() as u64
+}
+
+/// Footprint in bytes of `refs` over at most `window` iteration points.
+#[must_use]
+pub fn footprint_bytes(l: &Loop, refs: &[OpId], geometry: CacheGeometry, window: usize) -> u64 {
+    distinct_blocks(l, refs, geometry, window) * geometry.block_bytes
+}
+
+/// Whether the footprint of `refs` over `window` iteration points fits in a
+/// cache of the given geometry.
+#[must_use]
+pub fn fits_in_cache(l: &Loop, refs: &[OpId], geometry: CacheGeometry, window: usize) -> bool {
+    footprint_bytes(l, refs, geometry, window) <= geometry.capacity_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_ir::Loop;
+
+    fn streaming_loop() -> (Loop, OpId, OpId) {
+        let mut b = Loop::builder("footprint");
+        let i = b.dimension("I", 128);
+        let a = b.auto_array("A", 4096);
+        let c = b.auto_array("C", 4096);
+        let ld_a = b.load("LDA", b.array_ref(a).stride(i, 8).build());
+        let ld_c = b.load("LDC", b.array_ref(c).stride(i, 8).build());
+        let l = b.build().unwrap();
+        (l, ld_a, ld_c)
+    }
+
+    #[test]
+    fn distinct_blocks_counts_each_block_once() {
+        let (l, ld_a, _) = streaming_loop();
+        let g = CacheGeometry::direct_mapped(1024);
+        // 128 iterations * 8 bytes = 1024 bytes = 32 blocks of 32 bytes.
+        assert_eq!(distinct_blocks(&l, &[ld_a], g, 128), 32);
+        assert_eq!(footprint_bytes(&l, &[ld_a], g, 128), 1024);
+    }
+
+    #[test]
+    fn two_streams_double_the_footprint() {
+        let (l, ld_a, ld_c) = streaming_loop();
+        let g = CacheGeometry::direct_mapped(1024);
+        assert_eq!(distinct_blocks(&l, &[ld_a, ld_c], g, 128), 64);
+        assert!(fits_in_cache(&l, &[ld_a], g, 128));
+        assert!(!fits_in_cache(&l, &[ld_a, ld_c], g, 128));
+    }
+
+    #[test]
+    fn empty_or_non_memory_sets_have_zero_footprint() {
+        let (l, _, _) = streaming_loop();
+        let g = CacheGeometry::direct_mapped(1024);
+        assert_eq!(distinct_blocks(&l, &[], g, 64), 0);
+        assert_eq!(footprint_bytes(&l, &[], g, 64), 0);
+        assert!(fits_in_cache(&l, &[], g, 64));
+    }
+}

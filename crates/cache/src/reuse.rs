@@ -1,0 +1,175 @@
+//! Closed-form reuse classification of affine references.
+//!
+//! This mirrors the reuse-vector terminology used in the CME literature:
+//!
+//! * **self-temporal** reuse: the reference touches the same address on
+//!   consecutive innermost iterations (inner stride 0),
+//! * **self-spatial** reuse: consecutive innermost iterations stay within the
+//!   same cache block often enough to matter (0 < |stride| < block size),
+//! * **group** reuse: two references to the same array whose addresses differ
+//!   by a constant smaller than a block, so one can inherit the block the
+//!   other fetched (the `LD1`/`LD3` pair of the motivating example).
+
+use mvp_ir::{Loop, OpId};
+use mvp_machine::CacheGeometry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kind of self-reuse a reference exhibits along the innermost loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReuseKind {
+    /// Same address every iteration.
+    SelfTemporal,
+    /// Nearby addresses: several consecutive iterations share a block.
+    SelfSpatial,
+    /// Each iteration touches a different block.
+    None,
+}
+
+impl fmt::Display for ReuseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReuseKind::SelfTemporal => "self-temporal",
+            ReuseKind::SelfSpatial => "self-spatial",
+            ReuseKind::None => "none",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies the self-reuse of memory operation `op` along the innermost
+/// loop of `l` for a cache with the given block size.
+///
+/// Returns [`ReuseKind::None`] for non-memory operations.
+#[must_use]
+pub fn self_reuse(l: &Loop, op: OpId, geometry: CacheGeometry) -> ReuseKind {
+    let Some(r) = l.memory_ref_of(op) else {
+        return ReuseKind::None;
+    };
+    let stride = r.inner_stride(l.nest());
+    if stride == 0 {
+        ReuseKind::SelfTemporal
+    } else if stride.unsigned_abs() < geometry.block_bytes {
+        ReuseKind::SelfSpatial
+    } else {
+        ReuseKind::None
+    }
+}
+
+/// Whether memory operations `a` and `b` exhibit group reuse: they reference
+/// the same array with identical strides and a constant address difference
+/// smaller than one cache block, so scheduling them on the same cluster lets
+/// one reuse the block fetched by the other.
+#[must_use]
+pub fn group_reuse(l: &Loop, a: OpId, b: OpId, geometry: CacheGeometry) -> bool {
+    let (Some(ra), Some(rb)) = (l.memory_ref_of(a), l.memory_ref_of(b)) else {
+        return false;
+    };
+    if ra.array != rb.array {
+        return false;
+    }
+    // Same direction of travel in every dimension.
+    let dims = ra.strides.len().max(rb.strides.len());
+    for d in 0..dims {
+        let sa = ra.strides.get(d).copied().unwrap_or(0);
+        let sb = rb.strides.get(d).copied().unwrap_or(0);
+        if sa != sb {
+            return false;
+        }
+    }
+    let delta = (ra.offset - rb.offset).unsigned_abs();
+    delta < geometry.block_bytes
+}
+
+/// Expected miss ratio of a reference in isolation, from its self-reuse alone
+/// (1 miss per block for spatial reuse, a single cold miss for temporal
+/// reuse, 1.0 otherwise). This is the quick analytical estimate; the CME
+/// estimator in [`crate::cme`] accounts for conflicts and group reuse too.
+#[must_use]
+pub fn isolated_miss_ratio(l: &Loop, op: OpId, geometry: CacheGeometry) -> f64 {
+    let Some(r) = l.memory_ref_of(op) else {
+        return 0.0;
+    };
+    match self_reuse(l, op, geometry) {
+        ReuseKind::SelfTemporal => 0.0,
+        ReuseKind::SelfSpatial => {
+            let stride = r.inner_stride(l.nest()).unsigned_abs();
+            stride as f64 / geometry.block_bytes as f64
+        }
+        ReuseKind::None => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_ir::Loop;
+
+    fn geometry() -> CacheGeometry {
+        CacheGeometry::direct_mapped(1024)
+    }
+
+    /// Loads with unit stride, large stride, zero stride and a group-reuse
+    /// partner.
+    fn sample_loop() -> (Loop, OpId, OpId, OpId, OpId, OpId) {
+        let mut b = Loop::builder("reuse");
+        let j = b.dimension("J", 4);
+        let i = b.dimension("I", 64);
+        let a = b.auto_array("A", 8192);
+        let c = b.auto_array("C", 8192);
+        let unit = b.load("UNIT", b.array_ref(a).stride(i, 8).build());
+        let wide = b.load("WIDE", b.array_ref(a).stride(i, 128).build());
+        let scalar = b.load("SCALAR", b.array_ref(c).stride(j, 8).build());
+        let partner = b.load("PARTNER", b.array_ref(a).offset(8).stride(i, 8).build());
+        let other_array = b.load("OTHER", b.array_ref(c).stride(i, 8).build());
+        let l = b.build().unwrap();
+        (l, unit, wide, scalar, partner, other_array)
+    }
+
+    #[test]
+    fn self_reuse_classification() {
+        let (l, unit, wide, scalar, _, _) = sample_loop();
+        assert_eq!(self_reuse(&l, unit, geometry()), ReuseKind::SelfSpatial);
+        assert_eq!(self_reuse(&l, wide, geometry()), ReuseKind::None);
+        assert_eq!(self_reuse(&l, scalar, geometry()), ReuseKind::SelfTemporal);
+    }
+
+    #[test]
+    fn group_reuse_requires_same_array_same_strides_and_small_delta() {
+        let (l, unit, wide, scalar, partner, other_array) = sample_loop();
+        let g = geometry();
+        assert!(group_reuse(&l, unit, partner, g));
+        assert!(group_reuse(&l, partner, unit, g));
+        // Different stride: no group reuse.
+        assert!(!group_reuse(&l, unit, wide, g));
+        // Different array: no group reuse.
+        assert!(!group_reuse(&l, unit, other_array, g));
+        // Non-memory pairs never group-reuse.
+        assert!(!group_reuse(&l, unit, scalar, g));
+    }
+
+    #[test]
+    fn isolated_miss_ratio_matches_reuse_kind() {
+        let (l, unit, wide, scalar, _, _) = sample_loop();
+        let g = geometry();
+        assert!((isolated_miss_ratio(&l, unit, g) - 0.25).abs() < 1e-12);
+        assert_eq!(isolated_miss_ratio(&l, wide, g), 1.0);
+        assert_eq!(isolated_miss_ratio(&l, scalar, g), 0.0);
+    }
+
+    #[test]
+    fn non_memory_ops_have_no_reuse() {
+        let mut b = Loop::builder("arith");
+        let x = b.fp_op("X");
+        let l = b.build().unwrap();
+        assert_eq!(self_reuse(&l, x, geometry()), ReuseKind::None);
+        assert_eq!(isolated_miss_ratio(&l, x, geometry()), 0.0);
+    }
+
+    #[test]
+    fn display_of_reuse_kind() {
+        assert_eq!(ReuseKind::SelfTemporal.to_string(), "self-temporal");
+        assert_eq!(ReuseKind::SelfSpatial.to_string(), "self-spatial");
+        assert_eq!(ReuseKind::None.to_string(), "none");
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests of the cache model and the locality analysis.
+
+use mvp_cache::{CacheSim, LocalityAnalysis};
+use mvp_ir::Loop;
+use mvp_machine::CacheGeometry;
+use proptest::prelude::*;
+
+proptest! {
+    /// Misses never exceed accesses, and re-accessing the same address
+    /// immediately always hits.
+    #[test]
+    fn cache_sim_counters_are_consistent(addresses in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cache = CacheSim::new(CacheGeometry::direct_mapped(2048));
+        for &a in &addresses {
+            cache.access(a);
+            prop_assert!(cache.access(a), "immediate re-access of {a} must hit");
+        }
+        prop_assert_eq!(cache.accesses(), 2 * addresses.len() as u64);
+        prop_assert!(cache.misses() <= addresses.len() as u64);
+        prop_assert!(cache.miss_ratio() <= 0.5 + 1e-12);
+    }
+
+    /// A larger cache never produces more misses for the same single
+    /// streaming reference (no Belady anomaly for direct-mapped streams).
+    #[test]
+    fn larger_caches_do_not_hurt_single_streams(stride in 1i64..64, trip in 8u64..256) {
+        let mut b = Loop::builder("stream");
+        let i = b.dimension("I", trip);
+        let a = b.array("A", 0, 1 << 20);
+        let ld = b.load("LD", b.array_ref(a).stride(i, stride * 8).build());
+        let l = b.build().unwrap();
+        let analysis = LocalityAnalysis::with_window(&l, trip as usize);
+        let small = analysis.miss_count(CacheGeometry::direct_mapped(1024), &[ld]);
+        let large = analysis.miss_count(CacheGeometry::direct_mapped(8192), &[ld]);
+        prop_assert!(large <= small, "large cache missed more: {large} > {small}");
+    }
+
+    /// The miss count of a reference set is bounded by its access count, and
+    /// adding a reference never reduces the total number of misses.
+    #[test]
+    fn miss_counts_are_bounded_and_monotone_in_the_reference_set(
+        trip in 8u64..128,
+        stride_a in 1i64..8,
+        stride_b in 1i64..8,
+        gap in 0u64..8,
+    ) {
+        let mut b = Loop::builder("pair");
+        let i = b.dimension("I", trip);
+        let arr_a = b.array("A", 0, 1 << 20);
+        let arr_b = b.array("B", 4096 * gap + 512, 1 << 20);
+        let ld_a = b.load("LDA", b.array_ref(arr_a).stride(i, stride_a * 8).build());
+        let ld_b = b.load("LDB", b.array_ref(arr_b).stride(i, stride_b * 8).build());
+        let l = b.build().unwrap();
+        let geometry = CacheGeometry::direct_mapped(2048);
+        let analysis = LocalityAnalysis::with_window(&l, trip as usize);
+
+        let one = analysis.profile(geometry, &[ld_a]);
+        prop_assert!(one.total_misses <= one.total_accesses);
+        prop_assert_eq!(one.total_accesses, trip);
+
+        let both = analysis.profile(geometry, &[ld_a, ld_b]);
+        prop_assert!(both.total_misses <= both.total_accesses);
+        prop_assert!(both.total_misses >= one.total_misses,
+            "adding a reference must not reduce total misses");
+
+        // Per-op miss ratios are probabilities.
+        for s in &both.per_op {
+            prop_assert!((0.0..=1.0).contains(&s.miss_ratio()));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Errors produced by the modulo schedulers.
+
+use mvp_machine::MachineError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while modulo scheduling a loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// No feasible initiation interval was found up to the configured limit.
+    NoFeasibleIi {
+        /// The minimum II the search started from.
+        min_ii: u32,
+        /// The largest II that was attempted.
+        max_ii: u32,
+    },
+    /// The loop uses a functional-unit kind the machine does not provide, so
+    /// no II can ever work.
+    MissingResources {
+        /// Human-readable description of the missing resource.
+        reason: String,
+    },
+    /// The machine configuration is invalid.
+    Machine(MachineError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NoFeasibleIi { min_ii, max_ii } => write!(
+                f,
+                "no feasible initiation interval found in [{min_ii}, {max_ii}]"
+            ),
+            ScheduleError::MissingResources { reason } => {
+                write!(f, "loop cannot be scheduled on this machine: {reason}")
+            }
+            ScheduleError::Machine(e) => write!(f, "invalid machine configuration: {e}"),
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for ScheduleError {
+    fn from(e: MachineError) -> Self {
+        ScheduleError::Machine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs: Vec<ScheduleError> = vec![
+            ScheduleError::NoFeasibleIi {
+                min_ii: 3,
+                max_ii: 64,
+            },
+            ScheduleError::MissingResources {
+                reason: "no memory units".into(),
+            },
+            ScheduleError::Machine(MachineError::NoClusters),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn machine_error_converts_and_sources() {
+        let e: ScheduleError = MachineError::ZeroInitiationInterval.into();
+        assert!(matches!(e, ScheduleError::Machine(_)));
+        assert!(e.source().is_some());
+        let other = ScheduleError::NoFeasibleIi {
+            min_ii: 1,
+            max_ii: 2,
+        };
+        assert!(other.source().is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! Register lifetime / pressure estimation.
+//!
+//! Modulo scheduling fails (and the II is increased) when a cluster would
+//! need more registers than its local file provides. The estimate used here
+//! is the standard MaxLive-style approximation: every value produced by an
+//! operation lives from its definition until its last use (across iterations
+//! for loop-carried consumers), and a lifetime of `L` cycles occupies
+//! `ceil(L / II)` registers because that many instances of the value are
+//! alive simultaneously in the kernel. Values received over a register bus
+//! additionally occupy one register in the consuming cluster.
+
+use crate::schedule::PlacedOp;
+use mvp_ir::{EdgeKind, Loop, OpId};
+use mvp_machine::ClusterId;
+
+/// Lifetime (in cycles) of the value produced by `op`, from its definition to
+/// its last use, under the given placements. Returns 0 for operations that
+/// produce no value or whose value is never consumed.
+#[must_use]
+pub fn value_lifetime(l: &Loop, placements: &[PlacedOp], op: OpId, ii: u32) -> u32 {
+    if !l.op(op).kind.produces_value() {
+        return 0;
+    }
+    let def = &placements[op.index()];
+    let mut last_use = None;
+    for edge in l.succs(op) {
+        if edge.kind != EdgeKind::Data {
+            continue;
+        }
+        let user = &placements[edge.dst.index()];
+        let use_cycle = i64::from(user.cycle) + i64::from(ii) * i64::from(edge.distance);
+        let lifetime = (use_cycle - i64::from(def.cycle)).max(0) as u32;
+        last_use = Some(last_use.map_or(lifetime, |l: u32| l.max(lifetime)));
+    }
+    last_use.unwrap_or(0)
+}
+
+/// Estimated number of registers needed in each of `num_clusters` clusters.
+#[must_use]
+pub fn register_pressure(
+    l: &Loop,
+    placements: &[PlacedOp],
+    ii: u32,
+    num_clusters: usize,
+) -> Vec<u32> {
+    let mut pressure = vec![0u32; num_clusters];
+    let ii = ii.max(1);
+    for op in l.op_ids() {
+        let def = &placements[op.index()];
+        let lifetime = value_lifetime(l, placements, op, ii);
+        if lifetime == 0 && l.op(op).kind.produces_value() && l.succs(op).next().is_some() {
+            // Value consumed in the same cycle it is produced still needs one
+            // register for at least one II.
+            pressure[def.cluster] += 1;
+            continue;
+        }
+        if lifetime > 0 {
+            pressure[def.cluster] += lifetime.div_ceil(ii);
+        }
+        // Consumers in other clusters hold a copy received over the bus.
+        let mut copied_to: Vec<ClusterId> = Vec::new();
+        for edge in l.succs(op) {
+            if edge.kind != EdgeKind::Data {
+                continue;
+            }
+            let user = &placements[edge.dst.index()];
+            if user.cluster != def.cluster && !copied_to.contains(&user.cluster) {
+                copied_to.push(user.cluster);
+                pressure[user.cluster] += 1;
+            }
+        }
+    }
+    pressure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_ir::Loop;
+
+    fn place(op: usize, cluster: ClusterId, cycle: u32, ii: u32) -> PlacedOp {
+        PlacedOp {
+            op: OpId::from_index(op),
+            cluster,
+            cycle,
+            stage: cycle / ii,
+            row: cycle % ii,
+            assumed_latency: 2,
+            miss_scheduled: false,
+        }
+    }
+
+    /// producer -> consumer chain within a single cluster.
+    fn chain_loop() -> Loop {
+        let mut b = Loop::builder("chain");
+        let a = b.fp_op("A");
+        let c = b.fp_op("C");
+        b.data_edge(a, c, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn short_lifetime_needs_one_register() {
+        let l = chain_loop();
+        let ii = 4;
+        let placements = vec![place(0, 0, 0, ii), place(1, 0, 2, ii)];
+        assert_eq!(value_lifetime(&l, &placements, OpId::from_index(0), ii), 2);
+        assert_eq!(register_pressure(&l, &placements, ii, 1), vec![1]);
+    }
+
+    #[test]
+    fn long_lifetime_needs_multiple_registers() {
+        let l = chain_loop();
+        let ii = 2;
+        // Value defined at cycle 0, used at cycle 7: alive for 7 cycles,
+        // ceil(7/2) = 4 overlapping instances.
+        let placements = vec![place(0, 0, 0, ii), place(1, 0, 7, ii)];
+        assert_eq!(value_lifetime(&l, &placements, OpId::from_index(0), ii), 7);
+        assert_eq!(register_pressure(&l, &placements, ii, 1), vec![4]);
+    }
+
+    #[test]
+    fn loop_carried_uses_extend_the_lifetime() {
+        let mut b = Loop::builder("carried");
+        let a = b.fp_op("A");
+        let c = b.fp_op("C");
+        b.data_edge(a, c, 2);
+        let l = b.build().unwrap();
+        let ii = 3;
+        let placements = vec![place(0, 0, 1, ii), place(1, 0, 2, ii)];
+        // Use happens 2 iterations later: 2 + 2*3 - 1 = 7 cycles.
+        assert_eq!(value_lifetime(&l, &placements, OpId::from_index(0), ii), 7);
+    }
+
+    #[test]
+    fn cross_cluster_consumers_add_pressure_to_both_clusters() {
+        let l = chain_loop();
+        let ii = 4;
+        let placements = vec![place(0, 0, 0, ii), place(1, 1, 6, ii)];
+        let p = register_pressure(&l, &placements, ii, 2);
+        // Producer cluster holds the value, consumer cluster holds the copy.
+        assert_eq!(p, vec![2, 1]);
+    }
+
+    #[test]
+    fn stores_and_dead_values_need_no_registers() {
+        let mut b = Loop::builder("store");
+        let i = b.dimension("I", 8);
+        let arr = b.auto_array("A", 256);
+        let ld = b.load("LD", b.array_ref(arr).stride(i, 8).build());
+        let st = b.store("ST", b.array_ref(arr).stride(i, 8).build());
+        b.data_edge(ld, st, 0);
+        let l = b.build().unwrap();
+        let ii = 2;
+        let placements = vec![place(0, 0, 0, ii), place(1, 0, 2, ii)];
+        // The store produces nothing; the load's value lives 2 cycles.
+        assert_eq!(value_lifetime(&l, &placements, st, ii), 0);
+        assert_eq!(register_pressure(&l, &placements, ii, 1), vec![1]);
+    }
+
+    #[test]
+    fn same_cycle_consumption_still_occupies_one_register() {
+        let l = chain_loop();
+        let ii = 4;
+        let placements = vec![place(0, 0, 3, ii), place(1, 0, 3, ii)];
+        assert_eq!(register_pressure(&l, &placements, ii, 1), vec![1]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Static metrics of a schedule, for reporting and for the benchmark harness.
+
+use crate::schedule::Schedule;
+use mvp_ir::Loop;
+use mvp_machine::MachineConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary of the static properties of a modulo schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleMetrics {
+    /// Name of the loop.
+    pub loop_name: String,
+    /// Name of the machine configuration.
+    pub machine_name: String,
+    /// Name of the scheduler that produced the schedule.
+    pub scheduler_name: String,
+    /// Initiation interval.
+    pub ii: u32,
+    /// Stage count.
+    pub stage_count: u32,
+    /// Inter-cluster register communications per kernel iteration.
+    pub communications: usize,
+    /// Loads scheduled with the cache-miss latency.
+    pub miss_scheduled_loads: usize,
+    /// Workload balance (min/max operations per cluster; 1.0 = perfect).
+    pub balance: f64,
+    /// Largest per-cluster register requirement.
+    pub max_register_pressure: u32,
+    /// `NCYCLE_compute` for the loop's recorded trip counts.
+    pub compute_cycles: u64,
+}
+
+impl ScheduleMetrics {
+    /// Gathers the metrics of `schedule` for `l` on `machine`.
+    #[must_use]
+    pub fn collect(l: &Loop, machine: &MachineConfig, schedule: &Schedule) -> Self {
+        Self {
+            loop_name: l.name().to_string(),
+            machine_name: machine.name.clone(),
+            scheduler_name: schedule.scheduler_name.clone(),
+            ii: schedule.ii(),
+            stage_count: schedule.stage_count(),
+            communications: schedule.num_communications(),
+            miss_scheduled_loads: schedule.miss_scheduled_loads().count(),
+            balance: schedule.balance(machine.num_clusters()),
+            max_register_pressure: schedule.register_pressure().iter().copied().max().unwrap_or(0),
+            compute_cycles: schedule.compute_cycles_of(l),
+        }
+    }
+}
+
+impl fmt::Display for ScheduleMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} {:<12} {:<9} II={:<3} SC={:<3} comms/iter={:<3} miss-sched={:<3} balance={:.2} regs={:<3} compute={}",
+            self.loop_name,
+            self.machine_name,
+            self.scheduler_name,
+            self.ii,
+            self.stage_count,
+            self.communications,
+            self.miss_scheduled_loads,
+            self.balance,
+            self.max_register_pressure,
+            self.compute_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaselineScheduler, ModuloScheduler};
+    use mvp_machine::presets;
+
+    fn sample_loop() -> Loop {
+        let mut b = Loop::builder("metrics-loop");
+        let i = b.dimension("I", 100);
+        let a = b.auto_array("A", 8192);
+        let ld = b.load("LD", b.array_ref(a).stride(i, 8).build());
+        let f = b.fp_op("F");
+        let st = b.store("ST", b.array_ref(a).stride(i, 8).build());
+        b.data_edge(ld, f, 0);
+        b.data_edge(f, st, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn metrics_reflect_the_schedule() {
+        let l = sample_loop();
+        let machine = presets::two_cluster();
+        let s = BaselineScheduler::new().schedule(&l, &machine).unwrap();
+        let m = ScheduleMetrics::collect(&l, &machine, &s);
+        assert_eq!(m.ii, s.ii());
+        assert_eq!(m.stage_count, s.stage_count());
+        assert_eq!(m.communications, s.num_communications());
+        assert_eq!(m.compute_cycles, s.compute_cycles(1, 100));
+        assert_eq!(m.loop_name, "metrics-loop");
+        assert_eq!(m.scheduler_name, "baseline");
+        // A tiny loop may legitimately end up entirely in one cluster.
+        assert!((0.0..=1.0).contains(&m.balance));
+        let line = m.to_string();
+        assert!(line.contains("metrics-loop"));
+        assert!(line.contains("II="));
+    }
+}

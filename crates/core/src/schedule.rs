@@ -1,0 +1,269 @@
+//! The result of modulo scheduling: operation placements, inter-cluster
+//! communications and the derived static metrics (II, SC, compute cycles).
+
+use mvp_ir::{Loop, OpId};
+use mvp_machine::ClusterId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Placement of one operation in the modulo schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedOp {
+    /// The operation.
+    pub op: OpId,
+    /// Cluster the operation executes in.
+    pub cluster: ClusterId,
+    /// Absolute cycle within the flat (single-iteration) schedule.
+    pub cycle: u32,
+    /// Stage of the software pipeline (`cycle / II`).
+    pub stage: u32,
+    /// Row of the modulo reservation table (`cycle % II`).
+    pub row: u32,
+    /// Latency the scheduler assumed for this operation (hit latency, or the
+    /// cache-miss latency for miss-scheduled loads).
+    pub assumed_latency: u32,
+    /// Whether the operation (a load) was scheduled with the cache-miss
+    /// latency (binding prefetching).
+    pub miss_scheduled: bool,
+}
+
+/// One inter-cluster register communication of the kernel (one per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Communication {
+    /// Operation producing the value.
+    pub src: OpId,
+    /// Operation consuming the value.
+    pub dst: OpId,
+    /// Cluster the value leaves.
+    pub from_cluster: ClusterId,
+    /// Cluster the value enters.
+    pub to_cluster: ClusterId,
+    /// Absolute cycle at which the bus transfer starts.
+    pub start_cycle: u32,
+    /// Bus used for the transfer (0 when the register-bus set is unbounded).
+    pub bus: usize,
+}
+
+/// A complete modulo schedule of one loop on one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Name of the machine configuration the schedule targets.
+    pub machine_name: String,
+    /// Name of the scheduler that produced it (`"baseline"`, `"rmca"`, ...).
+    pub scheduler_name: String,
+    ii: u32,
+    stage_count: u32,
+    ops: Vec<PlacedOp>,
+    communications: Vec<Communication>,
+    /// Estimated register requirement per cluster (MaxLive approximation).
+    register_pressure: Vec<u32>,
+}
+
+impl Schedule {
+    /// Assembles a schedule from its parts. `ops` must contain one placement
+    /// per operation of the loop, in operation-id order.
+    #[must_use]
+    pub fn new(
+        machine_name: impl Into<String>,
+        scheduler_name: impl Into<String>,
+        ii: u32,
+        ops: Vec<PlacedOp>,
+        communications: Vec<Communication>,
+        register_pressure: Vec<u32>,
+    ) -> Self {
+        let last_cycle = ops.iter().map(|p| p.cycle).max().unwrap_or(0);
+        let stage_count = last_cycle / ii.max(1) + 1;
+        Self {
+            machine_name: machine_name.into(),
+            scheduler_name: scheduler_name.into(),
+            ii,
+            stage_count,
+            ops,
+            communications,
+            register_pressure,
+        }
+    }
+
+    /// The initiation interval (II): cycles between the start of consecutive
+    /// iterations in the kernel.
+    #[must_use]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// The stage count (SC): how many iterations overlap in the kernel; also
+    /// determines the length of the prologue and epilogue.
+    #[must_use]
+    pub fn stage_count(&self) -> u32 {
+        self.stage_count
+    }
+
+    /// Placement of every operation, in operation-id order.
+    #[must_use]
+    pub fn ops(&self) -> &[PlacedOp] {
+        &self.ops
+    }
+
+    /// Placement of operation `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` does not belong to the scheduled loop.
+    #[must_use]
+    pub fn placement(&self, op: OpId) -> &PlacedOp {
+        &self.ops[op.index()]
+    }
+
+    /// All inter-cluster register communications (one instance per kernel
+    /// iteration each).
+    #[must_use]
+    pub fn communications(&self) -> &[Communication] {
+        &self.communications
+    }
+
+    /// Number of inter-cluster register communications per iteration.
+    #[must_use]
+    pub fn num_communications(&self) -> usize {
+        self.communications.len()
+    }
+
+    /// Estimated register requirement of each cluster.
+    #[must_use]
+    pub fn register_pressure(&self) -> &[u32] {
+        &self.register_pressure
+    }
+
+    /// Number of operations assigned to `cluster`.
+    #[must_use]
+    pub fn ops_in_cluster(&self, cluster: ClusterId) -> usize {
+        self.ops.iter().filter(|p| p.cluster == cluster).count()
+    }
+
+    /// Workload balance across `num_clusters` clusters: the ratio between the
+    /// least-loaded and the most-loaded cluster (1.0 = perfectly balanced;
+    /// 1.0 by convention for single-cluster machines or empty schedules).
+    #[must_use]
+    pub fn balance(&self, num_clusters: usize) -> f64 {
+        if num_clusters <= 1 || self.ops.is_empty() {
+            return 1.0;
+        }
+        let counts: Vec<usize> = (0..num_clusters).map(|c| self.ops_in_cluster(c)).collect();
+        let max = *counts.iter().max().unwrap_or(&0);
+        let min = *counts.iter().min().unwrap_or(&0);
+        if max == 0 {
+            1.0
+        } else {
+            min as f64 / max as f64
+        }
+    }
+
+    /// `NCYCLE_compute` of the paper's cycle model for a loop executed
+    /// `ntimes` times with `niter` iterations each:
+    /// `ntimes * ((niter + SC − 1) * II)`.
+    #[must_use]
+    pub fn compute_cycles(&self, ntimes: u64, niter: u64) -> u64 {
+        ntimes * ((niter + u64::from(self.stage_count) - 1) * u64::from(self.ii))
+    }
+
+    /// `NCYCLE_compute` using the trip counts recorded in the loop nest.
+    #[must_use]
+    pub fn compute_cycles_of(&self, l: &Loop) -> u64 {
+        self.compute_cycles(l.times_executed(), l.iterations())
+    }
+
+    /// Loads that were scheduled with the cache-miss latency.
+    pub fn miss_scheduled_loads(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.ops
+            .iter()
+            .filter(|p| p.miss_scheduled)
+            .map(|p| p.op)
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: II={}, SC={}, {} ops, {} communications/iter",
+            self.scheduler_name,
+            self.machine_name,
+            self.ii,
+            self.stage_count,
+            self.ops.len(),
+            self.communications.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placed(op: usize, cluster: ClusterId, cycle: u32, ii: u32) -> PlacedOp {
+        PlacedOp {
+            op: OpId::from_index(op),
+            cluster,
+            cycle,
+            stage: cycle / ii,
+            row: cycle % ii,
+            assumed_latency: 2,
+            miss_scheduled: false,
+        }
+    }
+
+    #[test]
+    fn stage_count_follows_the_last_cycle() {
+        let ii = 3;
+        let ops = vec![placed(0, 0, 0, ii), placed(1, 0, 5, ii), placed(2, 1, 9, ii)];
+        let s = Schedule::new("m", "test", ii, ops, vec![], vec![0, 0]);
+        // Last cycle 9 -> stage 3 -> SC = 4 (matching Figure 3a: II=3, SC=4).
+        assert_eq!(s.ii(), 3);
+        assert_eq!(s.stage_count(), 4);
+    }
+
+    #[test]
+    fn compute_cycles_matches_the_paper_formula() {
+        let ii = 3;
+        let ops = vec![placed(0, 0, 0, ii), placed(1, 0, 9, ii)];
+        let s = Schedule::new("m", "test", ii, ops, vec![], vec![0]);
+        assert_eq!(s.stage_count(), 4);
+        // NTIMES * (N + SC - 1) * II = 10 * (100 + 3) * 3
+        assert_eq!(s.compute_cycles(10, 100), 10 * 103 * 3);
+    }
+
+    #[test]
+    fn balance_and_cluster_occupancy() {
+        let ii = 2;
+        let ops = vec![
+            placed(0, 0, 0, ii),
+            placed(1, 0, 1, ii),
+            placed(2, 0, 2, ii),
+            placed(3, 1, 1, ii),
+        ];
+        let s = Schedule::new("m", "test", ii, ops, vec![], vec![2, 1]);
+        assert_eq!(s.ops_in_cluster(0), 3);
+        assert_eq!(s.ops_in_cluster(1), 1);
+        assert!((s.balance(2) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.balance(1), 1.0);
+        assert_eq!(s.register_pressure(), &[2, 1]);
+    }
+
+    #[test]
+    fn communications_are_reported() {
+        let ii = 4;
+        let ops = vec![placed(0, 0, 0, ii), placed(1, 1, 6, ii)];
+        let comms = vec![Communication {
+            src: OpId::from_index(0),
+            dst: OpId::from_index(1),
+            from_cluster: 0,
+            to_cluster: 1,
+            start_cycle: 2,
+            bus: 0,
+        }];
+        let s = Schedule::new("m", "test", ii, ops, comms, vec![1, 1]);
+        assert_eq!(s.num_communications(), 1);
+        assert_eq!(s.communications()[0].to_cluster, 1);
+        assert!(s.to_string().contains("1 communications/iter"));
+        assert_eq!(s.miss_scheduled_loads().count(), 0);
+    }
+}

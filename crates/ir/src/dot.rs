@@ -1,0 +1,67 @@
+//! Graphviz export of dependence graphs, for debugging and documentation.
+
+use crate::edge::EdgeKind;
+use crate::graph::Loop;
+
+/// Renders the dependence graph in Graphviz `dot` syntax.
+///
+/// Memory operations are drawn as boxes, arithmetic operations as ellipses;
+/// loop-carried edges are dashed and labelled with their distance.
+#[must_use]
+pub fn to_dot(l: &Loop) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", l.name()));
+    out.push_str("  rankdir=TB;\n");
+    for op in l.ops() {
+        let shape = if op.is_memory() { "box" } else { "ellipse" };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\\n{}\", shape={}];\n",
+            op.id.index(),
+            op.name,
+            op.kind,
+            shape
+        ));
+    }
+    for edge in l.edges() {
+        let style = if edge.is_loop_carried() { "dashed" } else { "solid" };
+        let colour = match edge.kind {
+            EdgeKind::Data => "black",
+            EdgeKind::Memory => "gray50",
+        };
+        out.push_str(&format!(
+            "  n{} -> n{} [label=\"{}\", style={}, color={}];\n",
+            edge.src.index(),
+            edge.dst.index(),
+            edge.distance,
+            style,
+            colour
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_mentions_every_op_and_edge() {
+        let mut b = Loop::builder("dot-test");
+        let i = b.dimension("I", 8);
+        let a = b.auto_array("A", 512);
+        let ld = b.load("LD", b.array_ref(a).stride(i, 8).build());
+        let f = b.fp_op("F");
+        b.data_edge(ld, f, 0);
+        b.data_edge(f, f, 1);
+        let l = b.build().unwrap();
+        let dot = to_dot(&l);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("LD"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

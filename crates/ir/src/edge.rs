@@ -1,0 +1,112 @@
+//! Dependence edges of the data-dependence graph.
+
+use crate::op::OpId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kind of a dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Flow of a register value from producer to consumer. When producer and
+    /// consumer end up in different clusters, the value must travel over a
+    /// register bus.
+    Data,
+    /// Ordering constraint through memory (store→load, load→store or
+    /// store→store on possibly-aliasing references). No register value moves,
+    /// so no register-bus transfer is ever needed.
+    Memory,
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeKind::Data => f.write_str("data"),
+            EdgeKind::Memory => f.write_str("memory"),
+        }
+    }
+}
+
+/// A dependence edge `src → dst` with an iteration distance.
+///
+/// A distance of 0 is an intra-iteration dependence; a distance of `d > 0`
+/// means the value produced in iteration `i` is consumed in iteration
+/// `i + d` (a loop-carried dependence, the source of recurrences).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DepEdge {
+    /// Producing operation.
+    pub src: OpId,
+    /// Consuming operation.
+    pub dst: OpId,
+    /// Iteration distance (0 = same iteration).
+    pub distance: u32,
+    /// Kind of the dependence.
+    pub kind: EdgeKind,
+}
+
+impl DepEdge {
+    /// Creates a register-value (data) dependence.
+    #[must_use]
+    pub fn data(src: OpId, dst: OpId, distance: u32) -> Self {
+        Self {
+            src,
+            dst,
+            distance,
+            kind: EdgeKind::Data,
+        }
+    }
+
+    /// Creates a memory-ordering dependence.
+    #[must_use]
+    pub fn memory(src: OpId, dst: OpId, distance: u32) -> Self {
+        Self {
+            src,
+            dst,
+            distance,
+            kind: EdgeKind::Memory,
+        }
+    }
+
+    /// Whether the edge is loop-carried.
+    #[must_use]
+    pub fn is_loop_carried(&self) -> bool {
+        self.distance > 0
+    }
+
+    /// Whether a register value flows along this edge (and therefore needs a
+    /// register-bus transfer if the endpoints live in different clusters).
+    #[must_use]
+    pub fn carries_value(&self) -> bool {
+        self.kind == EdgeKind::Data
+    }
+}
+
+impl fmt::Display for DepEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} [{}, d={}]", self.src, self.dst, self.kind, self.distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let a = OpId::from_index(0);
+        let b = OpId::from_index(1);
+        let d = DepEdge::data(a, b, 0);
+        assert_eq!(d.kind, EdgeKind::Data);
+        assert!(d.carries_value());
+        assert!(!d.is_loop_carried());
+        let m = DepEdge::memory(b, a, 2);
+        assert_eq!(m.kind, EdgeKind::Memory);
+        assert!(!m.carries_value());
+        assert!(m.is_loop_carried());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = DepEdge::data(OpId::from_index(3), OpId::from_index(5), 1);
+        assert_eq!(e.to_string(), "op3 -> op5 [data, d=1]");
+    }
+}

@@ -1,0 +1,174 @@
+//! Operations of a modulo-scheduled loop body.
+
+use mvp_machine::{FuKind, OperationLatencies};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an operation within a [`crate::Loop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// Index of the operation in [`crate::Loop::ops`] order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an identifier from a raw index.
+    ///
+    /// Mostly useful in tests; identifiers obtained from a
+    /// [`crate::LoopBuilder`] are always valid for the loop it builds.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        Self(index as u32)
+    }
+
+    /// Raw numeric value, usable as an MRT token.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Class of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Integer arithmetic / logic / address computation.
+    IntOp,
+    /// Floating-point arithmetic.
+    FpOp,
+    /// Load from memory (produces a register value).
+    Load,
+    /// Store to memory (consumes register values, produces none).
+    Store,
+}
+
+impl OpKind {
+    /// Functional-unit kind that executes this operation class.
+    #[must_use]
+    pub fn fu_kind(self) -> FuKind {
+        match self {
+            OpKind::IntOp => FuKind::Integer,
+            OpKind::FpOp => FuKind::Float,
+            OpKind::Load | OpKind::Store => FuKind::Memory,
+        }
+    }
+
+    /// Whether the operation accesses memory.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+
+    /// Whether the operation produces a register value that consumers read.
+    #[must_use]
+    pub fn produces_value(self) -> bool {
+        !matches!(self, OpKind::Store)
+    }
+
+    /// Scheduler-visible latency of the operation, assuming loads hit in the
+    /// local cache (the optimistic default of the paper's baseline).
+    #[must_use]
+    pub fn hit_latency(self, latencies: &OperationLatencies) -> u32 {
+        match self {
+            OpKind::IntOp => latencies.int_op,
+            OpKind::FpOp => latencies.fp_op,
+            OpKind::Load => latencies.load_hit,
+            OpKind::Store => latencies.store,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::IntOp => "int",
+            OpKind::FpOp => "fp",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An operation of the loop body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Operation {
+    /// Identifier of the operation.
+    pub id: OpId,
+    /// Class of the operation.
+    pub kind: OpKind,
+    /// Human-readable name (e.g. `"LD1"`, `"MUL"`), used in dumps and tests.
+    pub name: String,
+    /// Index into [`crate::Loop::memory_refs`] when the operation is a load
+    /// or a store.
+    pub mem_ref: Option<usize>,
+}
+
+impl Operation {
+    /// Whether the operation is a load or a store.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        self.kind.is_memory()
+    }
+
+    /// Whether the operation is a load.
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        self.kind == OpKind::Load
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {})", self.name, self.id, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_kind_mapping() {
+        assert_eq!(OpKind::IntOp.fu_kind(), FuKind::Integer);
+        assert_eq!(OpKind::FpOp.fu_kind(), FuKind::Float);
+        assert_eq!(OpKind::Load.fu_kind(), FuKind::Memory);
+        assert_eq!(OpKind::Store.fu_kind(), FuKind::Memory);
+    }
+
+    #[test]
+    fn memory_and_value_classification() {
+        assert!(OpKind::Load.is_memory());
+        assert!(OpKind::Store.is_memory());
+        assert!(!OpKind::FpOp.is_memory());
+        assert!(OpKind::Load.produces_value());
+        assert!(!OpKind::Store.produces_value());
+        assert!(OpKind::IntOp.produces_value());
+    }
+
+    #[test]
+    fn hit_latencies_follow_machine_latencies() {
+        let lat = OperationLatencies::paper_defaults();
+        assert_eq!(OpKind::IntOp.hit_latency(&lat), 1);
+        assert_eq!(OpKind::FpOp.hit_latency(&lat), 2);
+        assert_eq!(OpKind::Load.hit_latency(&lat), 2);
+        assert_eq!(OpKind::Store.hit_latency(&lat), 1);
+    }
+
+    #[test]
+    fn op_id_roundtrip_and_display() {
+        let id = OpId::from_index(5);
+        assert_eq!(id.index(), 5);
+        assert_eq!(id.raw(), 5);
+        assert_eq!(id.to_string(), "op5");
+        assert_eq!(OpKind::Load.to_string(), "load");
+    }
+}

@@ -1,0 +1,324 @@
+//! Recurrence (elementary-circuit) analysis of the dependence graph.
+//!
+//! Loop-carried dependence cycles bound the initiation interval from below:
+//! for every elementary circuit `c`, `II >= ceil(latency(c) / distance(c))`.
+//! The maximum over all circuits is the *recurrence-constrained minimum II*
+//! (RecMII). The RMCA scheduler additionally needs to know, for a given load,
+//! how much its latency can grow before some recurrence through it starts
+//! constraining the II (Section 4.3: a load is only scheduled with the miss
+//! latency "provided that this latency does not increase the II if the
+//! operation is in a recurrence").
+
+use crate::graph::Loop;
+use crate::op::OpId;
+use std::collections::HashSet;
+
+/// An elementary circuit of the dependence graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    /// Operations on the circuit, in traversal order.
+    pub ops: Vec<OpId>,
+    /// Sum of the iteration distances of the edges on the circuit (always
+    /// at least 1 for a valid loop).
+    pub distance: u32,
+}
+
+impl Circuit {
+    /// Sum of the latencies of the operations on the circuit, using the
+    /// supplied per-operation latency function.
+    pub fn latency(&self, mut latency_of: impl FnMut(OpId) -> u32) -> u64 {
+        self.ops.iter().map(|&op| u64::from(latency_of(op))).sum()
+    }
+
+    /// Minimum initiation interval imposed by this circuit alone:
+    /// `ceil(latency / distance)`.
+    pub fn min_ii(&self, latency_of: impl FnMut(OpId) -> u32) -> u32 {
+        let lat = self.latency(latency_of);
+        let dist = u64::from(self.distance.max(1));
+        lat.div_ceil(dist) as u32
+    }
+}
+
+/// Upper bound on the number of circuits enumerated before giving up on exact
+/// enumeration (pathological graphs); the RecMII computed from the circuits
+/// found so far is still a valid lower bound and the positive-cycle check in
+/// [`rec_mii`] remains exact.
+const MAX_CIRCUITS: usize = 100_000;
+
+/// Enumerates the elementary circuits of the dependence graph.
+///
+/// Uses a Johnson-style search: circuits are only reported from their
+/// smallest operation id, which guarantees each elementary circuit is found
+/// exactly once. The search stops after [`MAX_CIRCUITS`] circuits.
+#[must_use]
+pub fn elementary_circuits(l: &Loop) -> Vec<Circuit> {
+    let n = l.num_ops();
+    let mut circuits = Vec::new();
+    let mut on_path = vec![false; n];
+    let mut path: Vec<usize> = Vec::new();
+
+    // Depth-first search restricted to nodes >= root so that each circuit is
+    // discovered exactly once, rooted at its minimum node.
+    fn dfs(
+        l: &Loop,
+        root: usize,
+        node: usize,
+        on_path: &mut Vec<bool>,
+        path: &mut Vec<usize>,
+        circuits: &mut Vec<Circuit>,
+    ) {
+        if circuits.len() >= MAX_CIRCUITS {
+            return;
+        }
+        on_path[node] = true;
+        path.push(node);
+        for edge in l.succs(OpId::from_index(node)) {
+            let next = edge.dst.index();
+            if next < root {
+                continue;
+            }
+            if next == root {
+                // Found a circuit: path + closing edge.
+                let ops: Vec<OpId> = path.iter().map(|&i| OpId::from_index(i)).collect();
+                let mut distance = 0u32;
+                for w in 0..path.len() {
+                    let from = OpId::from_index(path[w]);
+                    let to = OpId::from_index(path[(w + 1) % path.len()]);
+                    // Take the minimum distance among parallel edges from→to.
+                    let d = l
+                        .succs(from)
+                        .filter(|e| e.dst == to)
+                        .map(|e| e.distance)
+                        .min()
+                        .unwrap_or(0);
+                    distance += d;
+                }
+                circuits.push(Circuit { ops, distance });
+                if circuits.len() >= MAX_CIRCUITS {
+                    break;
+                }
+            } else if !on_path[next] {
+                dfs(l, root, next, on_path, path, circuits);
+            }
+        }
+        path.pop();
+        on_path[node] = false;
+    }
+
+    for root in 0..n {
+        dfs(l, root, root, &mut on_path, &mut path, &mut circuits);
+    }
+    circuits
+}
+
+/// Identifiers of all operations that belong to at least one recurrence.
+#[must_use]
+pub fn ops_in_recurrences(l: &Loop) -> HashSet<OpId> {
+    let mut set = HashSet::new();
+    for c in elementary_circuits(l) {
+        set.extend(c.ops.iter().copied());
+    }
+    set
+}
+
+/// Recurrence-constrained minimum initiation interval.
+///
+/// Computed exactly with a positive-cycle feasibility check (Floyd–Warshall
+/// longest paths on edge weights `latency(src) − II·distance`), searching the
+/// smallest II for which no positive cycle exists. Returns 1 for acyclic
+/// graphs.
+pub fn rec_mii(l: &Loop, mut latency_of: impl FnMut(OpId) -> u32) -> u32 {
+    let latencies: Vec<u32> = l.op_ids().map(&mut latency_of).collect();
+    // Upper bound: sum of all latencies is always a feasible II.
+    let upper: u64 = latencies.iter().map(|&x| u64::from(x)).sum::<u64>().max(1);
+    let mut lo = 1u64;
+    let mut hi = upper;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if has_positive_cycle(l, &latencies, mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u32
+}
+
+/// Whether the constraint graph has a positive-weight cycle for candidate
+/// initiation interval `ii` (meaning `ii` is infeasible).
+fn has_positive_cycle(l: &Loop, latencies: &[u32], ii: u64) -> bool {
+    let n = l.num_ops();
+    const NEG_INF: i64 = i64::MIN / 4;
+    let mut dist = vec![vec![NEG_INF; n]; n];
+    for edge in l.edges() {
+        let w = i64::from(latencies[edge.src.index()]) - (ii as i64) * i64::from(edge.distance);
+        let (s, d) = (edge.src.index(), edge.dst.index());
+        if w > dist[s][d] {
+            dist[s][d] = w;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if dist[i][k] == NEG_INF {
+                continue;
+            }
+            for j in 0..n {
+                if dist[k][j] == NEG_INF {
+                    continue;
+                }
+                let via = dist[i][k] + dist[k][j];
+                if via > dist[i][j] {
+                    dist[i][j] = via;
+                }
+            }
+        }
+    }
+    (0..n).any(|i| dist[i][i] > 0)
+}
+
+/// How many extra cycles of latency operation `op` can absorb before some
+/// recurrence through it would force the initiation interval above `ii`.
+///
+/// Returns `u32::MAX` when `op` does not belong to any recurrence (its
+/// latency can grow freely without affecting the II; only the schedule length
+/// / stage count grows).
+pub fn latency_slack(l: &Loop, op: OpId, ii: u32, mut latency_of: impl FnMut(OpId) -> u32) -> u32 {
+    let circuits = elementary_circuits(l);
+    let mut slack = u64::from(u32::MAX);
+    let mut found = false;
+    for c in &circuits {
+        if !c.ops.contains(&op) {
+            continue;
+        }
+        found = true;
+        let lat = c.latency(&mut latency_of);
+        let budget = u64::from(ii) * u64::from(c.distance.max(1));
+        let s = budget.saturating_sub(lat);
+        slack = slack.min(s);
+    }
+    if found {
+        slack.min(u64::from(u32::MAX)) as u32
+    } else {
+        u32::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Loop;
+    use mvp_machine::OperationLatencies;
+
+    fn hit(l: &Loop) -> impl FnMut(OpId) -> u32 + '_ {
+        let lat = OperationLatencies::paper_defaults();
+        move |op| l.op(op).kind.hit_latency(&lat)
+    }
+
+    /// x -> y -> x with distance 1 on the back edge; both fp (latency 2).
+    fn simple_recurrence() -> Loop {
+        let mut b = Loop::builder("rec");
+        let x = b.fp_op("X");
+        let y = b.fp_op("Y");
+        b.data_edge(x, y, 0);
+        b.data_edge(y, x, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn acyclic_graph_has_rec_mii_one_and_no_circuits() {
+        let mut b = Loop::builder("chain");
+        let x = b.fp_op("X");
+        let y = b.fp_op("Y");
+        let z = b.fp_op("Z");
+        b.data_edge(x, y, 0);
+        b.data_edge(y, z, 0);
+        let l = b.build().unwrap();
+        assert!(elementary_circuits(&l).is_empty());
+        assert!(ops_in_recurrences(&l).is_empty());
+        assert_eq!(rec_mii(&l, hit(&l)), 1);
+        assert_eq!(latency_slack(&l, x, 3, hit(&l)), u32::MAX);
+    }
+
+    #[test]
+    fn two_node_recurrence_has_rec_mii_four() {
+        let l = simple_recurrence();
+        let circuits = elementary_circuits(&l);
+        assert_eq!(circuits.len(), 1);
+        assert_eq!(circuits[0].distance, 1);
+        assert_eq!(circuits[0].latency(hit(&l)), 4);
+        assert_eq!(circuits[0].min_ii(hit(&l)), 4);
+        assert_eq!(rec_mii(&l, hit(&l)), 4);
+        assert_eq!(ops_in_recurrences(&l).len(), 2);
+    }
+
+    #[test]
+    fn distance_two_recurrence_halves_rec_mii() {
+        let mut b = Loop::builder("rec2");
+        let x = b.fp_op("X");
+        let y = b.fp_op("Y");
+        b.data_edge(x, y, 0);
+        b.data_edge(y, x, 2);
+        let l = b.build().unwrap();
+        assert_eq!(rec_mii(&l, hit(&l)), 2);
+    }
+
+    #[test]
+    fn self_loop_is_a_circuit() {
+        let mut b = Loop::builder("self");
+        let x = b.fp_op("X");
+        b.data_edge(x, x, 1);
+        let l = b.build().unwrap();
+        let circuits = elementary_circuits(&l);
+        assert_eq!(circuits.len(), 1);
+        assert_eq!(circuits[0].ops, vec![x]);
+        assert_eq!(rec_mii(&l, hit(&l)), 2);
+    }
+
+    #[test]
+    fn latency_slack_reflects_ii_headroom() {
+        let l = simple_recurrence();
+        let x = OpId::from_index(0);
+        // With II = 4 the circuit latency (4) exactly meets the budget: no slack.
+        assert_eq!(latency_slack(&l, x, 4, hit(&l)), 0);
+        // With II = 6 there are 2 spare cycles.
+        assert_eq!(latency_slack(&l, x, 6, hit(&l)), 2);
+        // With II = 10 there are 6 spare cycles.
+        assert_eq!(latency_slack(&l, x, 10, hit(&l)), 6);
+    }
+
+    #[test]
+    fn two_disjoint_circuits_take_the_max() {
+        let mut b = Loop::builder("two-circuits");
+        let a = b.fp_op("A");
+        let c = b.fp_op("C");
+        let d = b.fp_op("D");
+        b.data_edge(a, a, 1); // circuit of latency 2, distance 1 -> II 2
+        b.data_edge(c, d, 0);
+        b.data_edge(d, c, 1); // circuit of latency 4, distance 1 -> II 4
+        let l = b.build().unwrap();
+        assert_eq!(elementary_circuits(&l).len(), 2);
+        assert_eq!(rec_mii(&l, hit(&l)), 4);
+    }
+
+    #[test]
+    fn rec_mii_matches_circuit_bound_on_random_small_graphs() {
+        // Cross-check the feasibility-based RecMII against the circuit
+        // enumeration on a handful of structured graphs.
+        for &(dist, n_ops) in &[(1u32, 3usize), (2, 4), (3, 5)] {
+            let mut b = Loop::builder("ring");
+            let ops: Vec<_> = (0..n_ops).map(|i| b.fp_op(format!("F{i}"))).collect();
+            for w in 0..n_ops - 1 {
+                b.data_edge(ops[w], ops[w + 1], 0);
+            }
+            b.data_edge(ops[n_ops - 1], ops[0], dist);
+            let l = b.build().unwrap();
+            let circuits = elementary_circuits(&l);
+            let from_circuits = circuits
+                .iter()
+                .map(|c| c.min_ii(hit(&l)))
+                .max()
+                .unwrap_or(1);
+            assert_eq!(rec_mii(&l, hit(&l)), from_circuits);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the loop IR.
+
+use mvp_ir::{mii, ArrayRef, DimId, Loop, LoopNest};
+use mvp_machine::presets;
+use proptest::prelude::*;
+
+proptest! {
+    /// Affine references are linear: the address difference between two
+    /// iteration vectors equals the dot product of the strides with the
+    /// iteration-vector difference.
+    #[test]
+    fn array_ref_addresses_are_affine(
+        base in 0u64..1_000_000,
+        offset in 0i64..4096,
+        s0 in -64i64..64,
+        s1 in -64i64..64,
+        iv_a in (0u64..100, 0u64..100),
+        iv_b in (0u64..100, 0u64..100),
+    ) {
+        let r = ArrayRef::builder(mvp_ir::ArrayId::from_index(0))
+            .offset(offset)
+            .stride(DimId::from_index(0), s0)
+            .stride(DimId::from_index(1), s1)
+            .build();
+        // Keep addresses positive.
+        let base = base + 1_000_000;
+        let a = r.address(base, &[iv_a.0, iv_a.1]) as i64;
+        let b = r.address(base, &[iv_b.0, iv_b.1]) as i64;
+        let expected = s0 * (iv_a.0 as i64 - iv_b.0 as i64) + s1 * (iv_a.1 as i64 - iv_b.1 as i64);
+        prop_assert_eq!(a - b, expected);
+    }
+
+    /// The iteration-vector iterator visits exactly the product of the trip
+    /// counts, in lexicographic order.
+    #[test]
+    fn loop_nest_iteration_space_is_complete(trips in proptest::collection::vec(1u64..6, 1..4)) {
+        let mut nest = LoopNest::new();
+        for (k, &t) in trips.iter().enumerate() {
+            nest.push_dimension(format!("D{k}"), t);
+        }
+        let points: Vec<Vec<u64>> = nest.iteration_vectors().collect();
+        prop_assert_eq!(points.len() as u64, trips.iter().product::<u64>());
+        // Lexicographic and in-bounds.
+        for w in points.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for p in &points {
+            for (d, &x) in p.iter().enumerate() {
+                prop_assert!(x < trips[d]);
+            }
+        }
+    }
+
+    /// The minimum II never exceeds the sum of all operation latencies and is
+    /// always at least 1; the scheduling order is a permutation.
+    #[test]
+    fn mii_and_ordering_are_well_formed(n_ops in 2usize..12, back_edge in 0usize..8, distance in 1u32..3) {
+        let mut b = Loop::builder("chain");
+        let ops: Vec<_> = (0..n_ops).map(|k| b.fp_op(format!("F{k}"))).collect();
+        for w in 0..n_ops - 1 {
+            b.data_edge(ops[w], ops[w + 1], 0);
+        }
+        // Optional loop-carried back edge to form a recurrence.
+        let src = back_edge.min(n_ops - 1);
+        b.data_edge(ops[n_ops - 1], ops[src], distance);
+        let l = b.build().unwrap();
+        let machine = presets::unified();
+        let bound = mii::minimum_ii(&l, &machine);
+        prop_assert!(bound >= 1);
+        prop_assert!(bound <= 2 * n_ops as u32);
+        let order = mvp_ir::ordering::schedule_order(&l, |op| l.op(op).kind.hit_latency(&machine.latencies));
+        let mut seen: Vec<usize> = order.iter().map(|o| o.index()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n_ops).collect::<Vec<_>>());
+    }
+}

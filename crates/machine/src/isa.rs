@@ -1,0 +1,311 @@
+//! The VLIW instruction format of the multiVLIWprocessor (Figure 2).
+//!
+//! Every VLIW instruction is split into one *cluster word* per cluster. A
+//! cluster word contains one operation slot per functional unit of the
+//! cluster plus, for every register bus, an `IN BUS` field and an `OUT BUS`
+//! field:
+//!
+//! * the `OUT BUS` field names the local register (or bypassed functional
+//!   unit result) that the cluster drives onto the bus this cycle;
+//! * the `IN BUS` field names the local register into which the value latched
+//!   in the cluster's *incoming register value* (IRV) register is written.
+//!
+//! All inter-cluster register communication is therefore encoded statically;
+//! no hardware arbitration is needed for register buses.
+
+use crate::fu::FuKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an architectural register within a cluster's local register file.
+pub type RegisterIndex = u16;
+
+/// Index of a register bus.
+pub type BusIndex = usize;
+
+/// An operation placed in a functional-unit slot of a cluster word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SlotOp {
+    /// Identifier of the operation in the scheduled loop (opaque to the ISA).
+    pub op: u32,
+    /// Kind of functional unit the operation executes on.
+    pub kind: FuKind,
+    /// Destination register in the local register file, if the operation
+    /// produces a value.
+    pub dest: Option<RegisterIndex>,
+}
+
+/// `OUT BUS` field: drive a local value onto a register bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OutBusField {
+    /// Local register whose value is driven (possibly bypassed from a
+    /// functional-unit output being written this cycle).
+    pub source: RegisterIndex,
+}
+
+/// `IN BUS` field: store the value latched in the IRV into a local register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InBusField {
+    /// Local register that receives the IRV contents.
+    pub dest: RegisterIndex,
+}
+
+/// The part of a VLIW instruction executed by one cluster in one cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterWord {
+    /// One slot per functional unit of the cluster (index = unit index in
+    /// [`crate::ClusterConfig::functional_units`] order); `None` is a no-op.
+    pub fu_slots: Vec<Option<SlotOp>>,
+    /// One `IN BUS` field per register bus.
+    pub in_bus: Vec<Option<InBusField>>,
+    /// One `OUT BUS` field per register bus.
+    pub out_bus: Vec<Option<OutBusField>>,
+}
+
+impl ClusterWord {
+    /// Creates an empty (all no-op) cluster word for a cluster with
+    /// `num_fus` functional units and `num_buses` register buses.
+    #[must_use]
+    pub fn empty(num_fus: usize, num_buses: usize) -> Self {
+        Self {
+            fu_slots: vec![None; num_fus],
+            in_bus: vec![None; num_buses],
+            out_bus: vec![None; num_buses],
+        }
+    }
+
+    /// Whether the word encodes no work at all.
+    #[must_use]
+    pub fn is_nop(&self) -> bool {
+        self.fu_slots.iter().all(Option::is_none)
+            && self.in_bus.iter().all(Option::is_none)
+            && self.out_bus.iter().all(Option::is_none)
+    }
+
+    /// Number of operations (occupied functional-unit slots).
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.fu_slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of bus fields in use (either direction).
+    #[must_use]
+    pub fn num_bus_fields(&self) -> usize {
+        self.in_bus.iter().filter(|s| s.is_some()).count()
+            + self.out_bus.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// A full VLIW instruction: one [`ClusterWord`] per cluster, all issued in
+/// lockstep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VliwInstruction {
+    /// Per-cluster words, indexed by cluster id.
+    pub clusters: Vec<ClusterWord>,
+}
+
+impl VliwInstruction {
+    /// Creates an empty instruction for `num_clusters` identical clusters.
+    #[must_use]
+    pub fn empty(num_clusters: usize, fus_per_cluster: usize, num_buses: usize) -> Self {
+        Self {
+            clusters: (0..num_clusters)
+                .map(|_| ClusterWord::empty(fus_per_cluster, num_buses))
+                .collect(),
+        }
+    }
+
+    /// Whether the instruction encodes no work at all.
+    #[must_use]
+    pub fn is_nop(&self) -> bool {
+        self.clusters.iter().all(ClusterWord::is_nop)
+    }
+
+    /// Total number of operations across all clusters.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.clusters.iter().map(ClusterWord::num_ops).sum()
+    }
+
+    /// Serialises the instruction to a compact textual encoding.
+    ///
+    /// The encoding is line-oriented (`cluster/slot` prefixed fields) and is
+    /// intended for golden tests and debugging rather than as a binary ISA.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for (c, word) in self.clusters.iter().enumerate() {
+            for (s, slot) in word.fu_slots.iter().enumerate() {
+                if let Some(op) = slot {
+                    let dest = op.dest.map_or(-1i32, |d| i32::from(d));
+                    out.push_str(&format!("F {c} {s} {} {} {dest}\n", op.op, op.kind.index()));
+                }
+            }
+            for (b, field) in word.out_bus.iter().enumerate() {
+                if let Some(f) = field {
+                    out.push_str(&format!("O {c} {b} {}\n", f.source));
+                }
+            }
+            for (b, field) in word.in_bus.iter().enumerate() {
+                if let Some(f) = field {
+                    out.push_str(&format!("I {c} {b} {}\n", f.dest));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses an instruction from the encoding produced by
+    /// [`VliwInstruction::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string when a line is malformed or refers to a
+    /// cluster/slot/bus outside the shape of `template`.
+    pub fn decode(
+        encoded: &str,
+        num_clusters: usize,
+        fus_per_cluster: usize,
+        num_buses: usize,
+    ) -> Result<Self, String> {
+        let mut inst = Self::empty(num_clusters, fus_per_cluster, num_buses);
+        for (lineno, line) in encoded.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let parse = |s: &str| -> Result<i64, String> {
+                s.parse::<i64>()
+                    .map_err(|e| format!("line {}: bad integer `{s}`: {e}", lineno + 1))
+            };
+            match fields.first().copied() {
+                Some("F") if fields.len() == 6 => {
+                    let c = parse(fields[1])? as usize;
+                    let s = parse(fields[2])? as usize;
+                    let op = parse(fields[3])? as u32;
+                    let kind = FuKind::from_index(parse(fields[4])? as usize)
+                        .ok_or_else(|| format!("line {}: bad FU kind", lineno + 1))?;
+                    let dest = parse(fields[5])?;
+                    let dest = if dest < 0 { None } else { Some(dest as RegisterIndex) };
+                    let word = inst
+                        .clusters
+                        .get_mut(c)
+                        .ok_or_else(|| format!("line {}: cluster {c} out of range", lineno + 1))?;
+                    let slot = word
+                        .fu_slots
+                        .get_mut(s)
+                        .ok_or_else(|| format!("line {}: slot {s} out of range", lineno + 1))?;
+                    *slot = Some(SlotOp { op, kind, dest });
+                }
+                Some("O") if fields.len() == 4 => {
+                    let c = parse(fields[1])? as usize;
+                    let b = parse(fields[2])? as usize;
+                    let source = parse(fields[3])? as RegisterIndex;
+                    let word = inst
+                        .clusters
+                        .get_mut(c)
+                        .ok_or_else(|| format!("line {}: cluster {c} out of range", lineno + 1))?;
+                    let field = word
+                        .out_bus
+                        .get_mut(b)
+                        .ok_or_else(|| format!("line {}: bus {b} out of range", lineno + 1))?;
+                    *field = Some(OutBusField { source });
+                }
+                Some("I") if fields.len() == 4 => {
+                    let c = parse(fields[1])? as usize;
+                    let b = parse(fields[2])? as usize;
+                    let dest = parse(fields[3])? as RegisterIndex;
+                    let word = inst
+                        .clusters
+                        .get_mut(c)
+                        .ok_or_else(|| format!("line {}: cluster {c} out of range", lineno + 1))?;
+                    let field = word
+                        .in_bus
+                        .get_mut(b)
+                        .ok_or_else(|| format!("line {}: bus {b} out of range", lineno + 1))?;
+                    *field = Some(InBusField { dest });
+                }
+                _ => return Err(format!("line {}: malformed field `{line}`", lineno + 1)),
+            }
+        }
+        Ok(inst)
+    }
+}
+
+impl fmt::Display for VliwInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> VliwInstruction {
+        let mut inst = VliwInstruction::empty(2, 3, 2);
+        inst.clusters[0].fu_slots[0] = Some(SlotOp {
+            op: 7,
+            kind: FuKind::Integer,
+            dest: Some(3),
+        });
+        inst.clusters[0].fu_slots[2] = Some(SlotOp {
+            op: 9,
+            kind: FuKind::Memory,
+            dest: None,
+        });
+        inst.clusters[0].out_bus[1] = Some(OutBusField { source: 3 });
+        inst.clusters[1].in_bus[1] = Some(InBusField { dest: 12 });
+        inst.clusters[1].fu_slots[1] = Some(SlotOp {
+            op: 11,
+            kind: FuKind::Float,
+            dest: Some(12),
+        });
+        inst
+    }
+
+    #[test]
+    fn empty_instruction_is_nop() {
+        let inst = VliwInstruction::empty(4, 3, 2);
+        assert!(inst.is_nop());
+        assert_eq!(inst.num_ops(), 0);
+        assert_eq!(inst.clusters.len(), 4);
+    }
+
+    #[test]
+    fn counting_ops_and_bus_fields() {
+        let inst = sample();
+        assert!(!inst.is_nop());
+        assert_eq!(inst.num_ops(), 3);
+        assert_eq!(inst.clusters[0].num_ops(), 2);
+        assert_eq!(inst.clusters[0].num_bus_fields(), 1);
+        assert_eq!(inst.clusters[1].num_bus_fields(), 1);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let inst = sample();
+        let encoded = inst.encode();
+        let decoded = VliwInstruction::decode(&encoded, 2, 3, 2).unwrap();
+        assert_eq!(inst, decoded);
+    }
+
+    #[test]
+    fn display_matches_encode() {
+        let inst = sample();
+        assert_eq!(inst.to_string(), inst.encode());
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_and_malformed_input() {
+        assert!(VliwInstruction::decode("F 9 0 1 0 -1", 2, 3, 2).is_err());
+        assert!(VliwInstruction::decode("F 0 9 1 0 -1", 2, 3, 2).is_err());
+        assert!(VliwInstruction::decode("O 0 9 1", 2, 3, 2).is_err());
+        assert!(VliwInstruction::decode("X 0 0 1", 2, 3, 2).is_err());
+        assert!(VliwInstruction::decode("F 0 0 nonsense 0 -1", 2, 3, 2).is_err());
+        assert!(VliwInstruction::decode("F 0 0 1 7 -1", 2, 3, 2).is_err());
+        // Blank lines are fine.
+        assert!(VliwInstruction::decode("\n\n", 2, 3, 2).is_ok());
+    }
+}

@@ -1,0 +1,122 @@
+//! Operation latencies of the multiVLIWprocessor (Table 1).
+//!
+//! The paper's evaluation uses a 2-cycle local-cache hit, a 10-cycle main
+//! memory access and parameterised bus latencies. Arithmetic latencies follow
+//! the motivating example of Section 3 (2-cycle arithmetic operations); the
+//! exact values are configurable so that sensitivity studies are possible.
+
+use crate::error::MachineError;
+use serde::{Deserialize, Serialize};
+
+/// Latencies (in cycles) of the operation classes executed by the machine.
+///
+/// All latencies are *defined* latencies as seen by the static scheduler: the
+/// number of cycles between the issue of an operation and the first cycle in
+/// which a dependent operation may issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OperationLatencies {
+    /// Integer arithmetic / logic operations.
+    pub int_op: u32,
+    /// Floating-point arithmetic operations.
+    pub fp_op: u32,
+    /// Load that hits in the local L1 data cache (the optimistic latency the
+    /// scheduler assumes by default).
+    pub load_hit: u32,
+    /// Store operation (occupies the memory port; produces no register value).
+    pub store: u32,
+    /// Access to main memory, once a miss request reaches it.
+    pub main_memory: u32,
+}
+
+impl OperationLatencies {
+    /// Latencies used throughout the paper's evaluation (Table 1 and the
+    /// Section 3 example): 1-cycle integer ops, 2-cycle floating-point ops,
+    /// 2-cycle local cache hit, 1-cycle store issue, 10-cycle main memory.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        Self {
+            int_op: 1,
+            fp_op: 2,
+            load_hit: 2,
+            store: 1,
+            main_memory: 10,
+        }
+    }
+
+    /// Validates that every latency that must be positive is positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::InvalidLatency`] naming the offending field.
+    pub fn validate(&self) -> Result<(), MachineError> {
+        let checks: [(&'static str, u32); 5] = [
+            ("int_op", self.int_op),
+            ("fp_op", self.fp_op),
+            ("load_hit", self.load_hit),
+            ("store", self.store),
+            ("main_memory", self.main_memory),
+        ];
+        for (name, value) in checks {
+            if value == 0 {
+                return Err(MachineError::InvalidLatency { which: name });
+            }
+        }
+        Ok(())
+    }
+
+    /// Latency the scheduler should assume for a load scheduled with the
+    /// *cache-miss* latency (binding prefetching): local cache access plus a
+    /// memory-bus transfer plus the main memory access, as defined in
+    /// Section 4.3 of the paper.
+    #[must_use]
+    pub fn load_miss(&self, memory_bus_latency: u32) -> u32 {
+        self.load_hit + memory_bus_latency + self.main_memory
+    }
+}
+
+impl Default for OperationLatencies {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table1() {
+        let lat = OperationLatencies::paper_defaults();
+        assert_eq!(lat.load_hit, 2);
+        assert_eq!(lat.main_memory, 10);
+        assert_eq!(lat.fp_op, 2);
+        assert!(lat.validate().is_ok());
+    }
+
+    #[test]
+    fn default_equals_paper_defaults() {
+        assert_eq!(OperationLatencies::default(), OperationLatencies::paper_defaults());
+    }
+
+    #[test]
+    fn zero_latency_is_rejected() {
+        let mut lat = OperationLatencies::paper_defaults();
+        lat.load_hit = 0;
+        assert_eq!(
+            lat.validate(),
+            Err(MachineError::InvalidLatency { which: "load_hit" })
+        );
+        let mut lat = OperationLatencies::paper_defaults();
+        lat.main_memory = 0;
+        assert!(lat.validate().is_err());
+    }
+
+    #[test]
+    fn miss_latency_is_hit_plus_bus_plus_memory() {
+        let lat = OperationLatencies::paper_defaults();
+        // Section 3 example: 2 (local cache) + 2 (bus) + 10 (memory) = 14.
+        assert_eq!(lat.load_miss(2), 14);
+        assert_eq!(lat.load_miss(1), 13);
+        assert_eq!(lat.load_miss(4), 16);
+    }
+}

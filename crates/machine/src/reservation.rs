@@ -1,0 +1,384 @@
+//! Modulo reservation table (MRT).
+//!
+//! Modulo scheduling places every operation at an absolute cycle, but resource
+//! usage repeats every II cycles, so resources are tracked modulo II. The MRT
+//! tracks, per cluster, the issue slots of every functional-unit kind and, per
+//! register bus, the cycles during which the bus is busy with a transfer (a
+//! bus stays busy for its whole latency, Section 2.1 of the paper).
+
+use crate::bus::BusCount;
+use crate::error::MachineError;
+use crate::fu::FuKind;
+use crate::machine::{ClusterId, MachineConfig};
+use serde::{Deserialize, Serialize};
+
+/// Token recorded in an MRT slot: the identifier of the operation (or
+/// communication) occupying the slot. Purely informational; the MRT only
+/// cares about occupancy.
+pub type SlotToken = u32;
+
+/// A reserved functional-unit issue slot, returned by
+/// [`ModuloReservationTable::reserve_fu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuSlot {
+    /// Cluster the slot belongs to.
+    pub cluster: ClusterId,
+    /// Functional-unit kind.
+    pub kind: FuKind,
+    /// Unit index within the kind.
+    pub unit: usize,
+    /// Row of the MRT (cycle modulo II).
+    pub row: u32,
+}
+
+/// A reserved register-bus transfer, returned by
+/// [`ModuloReservationTable::reserve_register_bus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BusSlot {
+    /// Bus index (0 when the bus set is unbounded).
+    pub bus: usize,
+    /// First row (cycle modulo II) occupied by the transfer.
+    pub start_row: u32,
+    /// Number of consecutive rows occupied (the bus latency).
+    pub duration: u32,
+    /// Whether the reservation was made on an unbounded bus set (never
+    /// conflicts, not tracked in the table).
+    pub unbounded: bool,
+}
+
+/// The modulo reservation table for one (machine, II) pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModuloReservationTable {
+    ii: u32,
+    /// `fu[cluster][kind][row * units + unit]`
+    fu: Vec<[Vec<Option<SlotToken>>; 3]>,
+    fu_units: Vec<[usize; 3]>,
+    /// `register_bus[bus][row]`, empty when the bus set is unbounded.
+    register_bus: Vec<Vec<Option<SlotToken>>>,
+    register_bus_latency: u32,
+    unbounded_register_buses: bool,
+    /// Count of register-bus transfers reserved (including on unbounded bus
+    /// sets), for statistics.
+    transfers: usize,
+}
+
+impl ModuloReservationTable {
+    /// Creates an empty MRT for `machine` at initiation interval `ii`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::ZeroInitiationInterval`] when `ii == 0`.
+    pub fn new(machine: &MachineConfig, ii: u32) -> Result<Self, MachineError> {
+        if ii == 0 {
+            return Err(MachineError::ZeroInitiationInterval);
+        }
+        let mut fu = Vec::with_capacity(machine.num_clusters());
+        let mut fu_units = Vec::with_capacity(machine.num_clusters());
+        for (_, cluster) in machine.clusters() {
+            let mut per_kind: [Vec<Option<SlotToken>>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            let mut units = [0usize; 3];
+            for kind in FuKind::ALL {
+                let n = cluster.fu_count(kind);
+                units[kind.index()] = n;
+                per_kind[kind.index()] = vec![None; n * ii as usize];
+            }
+            fu.push(per_kind);
+            fu_units.push(units);
+        }
+        let (register_bus, unbounded) = match machine.register_buses.count {
+            BusCount::Finite(n) => (vec![vec![None; ii as usize]; n], false),
+            BusCount::Unbounded => (Vec::new(), true),
+        };
+        Ok(Self {
+            ii,
+            fu,
+            fu_units,
+            register_bus,
+            register_bus_latency: machine.register_buses.latency,
+            unbounded_register_buses: unbounded,
+            transfers: 0,
+        })
+    }
+
+    /// The initiation interval this table was built for.
+    #[must_use]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Number of register-bus transfers reserved so far.
+    #[must_use]
+    pub fn num_transfers(&self) -> usize {
+        self.transfers
+    }
+
+    /// Row (cycle modulo II) of an absolute cycle.
+    #[must_use]
+    pub fn row_of(&self, cycle: u32) -> u32 {
+        cycle % self.ii
+    }
+
+    fn fu_cell(&self, cluster: ClusterId, kind: FuKind, row: u32, unit: usize) -> &Option<SlotToken> {
+        &self.fu[cluster][kind.index()][row as usize * self.fu_units[cluster][kind.index()] + unit]
+    }
+
+    fn fu_cell_mut(
+        &mut self,
+        cluster: ClusterId,
+        kind: FuKind,
+        row: u32,
+        unit: usize,
+    ) -> &mut Option<SlotToken> {
+        let units = self.fu_units[cluster][kind.index()];
+        &mut self.fu[cluster][kind.index()][row as usize * units + unit]
+    }
+
+    /// Whether cluster `cluster` has a free issue slot of `kind` at `cycle`.
+    #[must_use]
+    pub fn has_free_fu(&self, cluster: ClusterId, kind: FuKind, cycle: u32) -> bool {
+        let row = self.row_of(cycle);
+        let units = self.fu_units[cluster][kind.index()];
+        (0..units).any(|u| self.fu_cell(cluster, kind, row, u).is_none())
+    }
+
+    /// Reserves an issue slot of `kind` in `cluster` at `cycle` for `token`.
+    ///
+    /// Returns `None` when every unit of that kind is already busy in that
+    /// row.
+    pub fn reserve_fu(
+        &mut self,
+        cluster: ClusterId,
+        kind: FuKind,
+        cycle: u32,
+        token: SlotToken,
+    ) -> Option<FuSlot> {
+        let row = self.row_of(cycle);
+        let units = self.fu_units[cluster][kind.index()];
+        for unit in 0..units {
+            if self.fu_cell(cluster, kind, row, unit).is_none() {
+                *self.fu_cell_mut(cluster, kind, row, unit) = Some(token);
+                return Some(FuSlot {
+                    cluster,
+                    kind,
+                    unit,
+                    row,
+                });
+            }
+        }
+        None
+    }
+
+    /// Releases a previously reserved functional-unit slot.
+    pub fn release_fu(&mut self, slot: FuSlot) {
+        *self.fu_cell_mut(slot.cluster, slot.kind, slot.row, slot.unit) = None;
+    }
+
+    /// Number of free issue slots of `kind` in `cluster` at `cycle`.
+    #[must_use]
+    pub fn free_fu_slots(&self, cluster: ClusterId, kind: FuKind, cycle: u32) -> usize {
+        let row = self.row_of(cycle);
+        let units = self.fu_units[cluster][kind.index()];
+        (0..units)
+            .filter(|&u| self.fu_cell(cluster, kind, row, u).is_none())
+            .count()
+    }
+
+    /// Whether a register-bus transfer of the configured latency can start at
+    /// `cycle` on some bus.
+    #[must_use]
+    pub fn can_reserve_register_bus(&self, cycle: u32) -> bool {
+        if self.unbounded_register_buses {
+            return true;
+        }
+        if self.register_bus_latency > self.ii {
+            // A transfer longer than the II would overlap with the same
+            // transfer of the next iteration on any single bus.
+            return false;
+        }
+        self.register_bus
+            .iter()
+            .any(|bus| self.bus_window_free(bus, cycle))
+    }
+
+    fn bus_window_free(&self, bus: &[Option<SlotToken>], cycle: u32) -> bool {
+        (0..self.register_bus_latency).all(|d| bus[self.row_of(cycle + d) as usize].is_none())
+    }
+
+    /// Reserves a register-bus transfer starting at `cycle` (occupying the bus
+    /// for its full latency, modulo II). Returns `None` if every bus is busy
+    /// in the window.
+    pub fn reserve_register_bus(&mut self, cycle: u32, token: SlotToken) -> Option<BusSlot> {
+        if self.unbounded_register_buses {
+            self.transfers += 1;
+            return Some(BusSlot {
+                bus: 0,
+                start_row: self.row_of(cycle),
+                duration: self.register_bus_latency,
+                unbounded: true,
+            });
+        }
+        if self.register_bus_latency > self.ii {
+            return None;
+        }
+        let start_row = self.row_of(cycle);
+        let latency = self.register_bus_latency;
+        let ii = self.ii;
+        let chosen = self
+            .register_bus
+            .iter()
+            .position(|bus| (0..latency).all(|d| bus[((start_row + d) % ii) as usize].is_none()))?;
+        for d in 0..latency {
+            let row = ((start_row + d) % ii) as usize;
+            self.register_bus[chosen][row] = Some(token);
+        }
+        self.transfers += 1;
+        Some(BusSlot {
+            bus: chosen,
+            start_row,
+            duration: latency,
+            unbounded: false,
+        })
+    }
+
+    /// Releases a previously reserved register-bus transfer.
+    pub fn release_register_bus(&mut self, slot: BusSlot) {
+        if slot.unbounded {
+            self.transfers = self.transfers.saturating_sub(1);
+            return;
+        }
+        for d in 0..slot.duration {
+            let row = ((slot.start_row + d) % self.ii) as usize;
+            self.register_bus[slot.bus][row] = None;
+        }
+        self.transfers = self.transfers.saturating_sub(1);
+    }
+
+    /// Fraction of functional-unit issue slots of `kind` in `cluster` that are
+    /// occupied (0.0–1.0). Returns 0.0 for kinds with no units.
+    #[must_use]
+    pub fn fu_utilization(&self, cluster: ClusterId, kind: FuKind) -> f64 {
+        let units = self.fu_units[cluster][kind.index()];
+        let total = units * self.ii as usize;
+        if total == 0 {
+            return 0.0;
+        }
+        let used = self.fu[cluster][kind.index()]
+            .iter()
+            .filter(|c| c.is_some())
+            .count();
+        used as f64 / total as f64
+    }
+
+    /// Fraction of register-bus slots that are occupied (0.0 for unbounded
+    /// bus sets, which never saturate).
+    #[must_use]
+    pub fn register_bus_utilization(&self) -> f64 {
+        if self.unbounded_register_buses || self.register_bus.is_empty() {
+            return 0.0;
+        }
+        let total = self.register_bus.len() * self.ii as usize;
+        let used: usize = self
+            .register_bus
+            .iter()
+            .map(|bus| bus.iter().filter(|c| c.is_some()).count())
+            .sum();
+        used as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn zero_ii_is_rejected() {
+        let machine = presets::two_cluster();
+        assert_eq!(
+            ModuloReservationTable::new(&machine, 0).unwrap_err(),
+            MachineError::ZeroInitiationInterval
+        );
+    }
+
+    #[test]
+    fn fu_reservation_fills_all_units_then_fails() {
+        let machine = presets::two_cluster(); // 2 memory units per cluster
+        let mut mrt = ModuloReservationTable::new(&machine, 3).unwrap();
+        assert!(mrt.has_free_fu(0, FuKind::Memory, 5));
+        assert_eq!(mrt.free_fu_slots(0, FuKind::Memory, 5), 2);
+        let a = mrt.reserve_fu(0, FuKind::Memory, 5, 1).unwrap();
+        let b = mrt.reserve_fu(0, FuKind::Memory, 5, 2).unwrap();
+        assert_ne!(a.unit, b.unit);
+        assert_eq!(a.row, 2);
+        assert!(!mrt.has_free_fu(0, FuKind::Memory, 5));
+        // Cycle 8 maps to the same row (8 mod 3 == 2) and is also full.
+        assert!(mrt.reserve_fu(0, FuKind::Memory, 8, 3).is_none());
+        // Another row is still free.
+        assert!(mrt.reserve_fu(0, FuKind::Memory, 6, 4).is_some());
+        // Another cluster is unaffected.
+        assert!(mrt.has_free_fu(1, FuKind::Memory, 5));
+        // Releasing frees the slot again.
+        mrt.release_fu(a);
+        assert!(mrt.has_free_fu(0, FuKind::Memory, 5));
+    }
+
+    #[test]
+    fn register_bus_reservation_respects_latency_window() {
+        // 1 register bus with 2-cycle latency.
+        let machine = presets::motivating_example_machine();
+        let mut mrt = ModuloReservationTable::new(&machine, 4).unwrap();
+        assert!(mrt.can_reserve_register_bus(1));
+        let slot = mrt.reserve_register_bus(1, 10).unwrap();
+        assert!(!slot.unbounded);
+        assert_eq!(slot.start_row, 1);
+        // Rows 1 and 2 are now busy; a transfer starting at row 2 conflicts.
+        assert!(!mrt.can_reserve_register_bus(2));
+        // Row 0 conflicts too (would occupy rows 0 and 1).
+        assert!(!mrt.can_reserve_register_bus(0));
+        // Row 3 occupies rows 3 and 0: free.
+        assert!(mrt.can_reserve_register_bus(3));
+        let slot2 = mrt.reserve_register_bus(3, 11).unwrap();
+        assert_eq!(mrt.num_transfers(), 2);
+        // Everything is now busy.
+        for cycle in 0..4 {
+            assert!(!mrt.can_reserve_register_bus(cycle));
+        }
+        assert!((mrt.register_bus_utilization() - 1.0).abs() < 1e-12);
+        mrt.release_register_bus(slot2);
+        assert!(mrt.can_reserve_register_bus(3));
+        assert_eq!(mrt.num_transfers(), 1);
+    }
+
+    #[test]
+    fn bus_latency_longer_than_ii_cannot_be_reserved() {
+        let machine = presets::motivating_example_machine(); // bus latency 2
+        let mut mrt = ModuloReservationTable::new(&machine, 1).unwrap();
+        assert!(!mrt.can_reserve_register_bus(0));
+        assert!(mrt.reserve_register_bus(0, 1).is_none());
+    }
+
+    #[test]
+    fn unbounded_register_buses_never_conflict() {
+        let machine = presets::two_cluster()
+            .with_register_buses(crate::BusConfig::unbounded(2));
+        let mut mrt = ModuloReservationTable::new(&machine, 2).unwrap();
+        for i in 0..100 {
+            assert!(mrt.can_reserve_register_bus(i));
+            let slot = mrt.reserve_register_bus(i, i).unwrap();
+            assert!(slot.unbounded);
+        }
+        assert_eq!(mrt.num_transfers(), 100);
+        assert_eq!(mrt.register_bus_utilization(), 0.0);
+    }
+
+    #[test]
+    fn utilization_reflects_reservations() {
+        let machine = presets::four_cluster(); // 1 unit of each kind per cluster
+        let mut mrt = ModuloReservationTable::new(&machine, 2).unwrap();
+        assert_eq!(mrt.fu_utilization(0, FuKind::Integer), 0.0);
+        mrt.reserve_fu(0, FuKind::Integer, 0, 1).unwrap();
+        assert!((mrt.fu_utilization(0, FuKind::Integer) - 0.5).abs() < 1e-12);
+        mrt.reserve_fu(0, FuKind::Integer, 1, 2).unwrap();
+        assert!((mrt.fu_utilization(0, FuKind::Integer) - 1.0).abs() < 1e-12);
+    }
+}

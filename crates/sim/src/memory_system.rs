@@ -1,0 +1,394 @@
+//! The distributed memory system: per-cluster coherent caches, MSHRs, memory
+//! buses and main memory.
+//!
+//! A memory access issued by a cluster follows the paper's latency model
+//! (Section 2.2):
+//!
+//! ```text
+//! LAT = LAT_cache
+//!     + MISS_LC * ( NC_WaitingEntry + NC_WaitingBus + LAT_MemoryBus
+//!                   + if hit in a remote cache { LAT_cache } else { LAT_MainMemory } )
+//! ```
+//!
+//! Coherence (snoopy MSI) transactions also occupy a memory bus, and
+//! secondary misses to a line already being fetched merge with the pending
+//! MSHR entry.
+
+use crate::bus::MemoryBuses;
+use crate::mshr::Mshr;
+use crate::msi::{CoherentCache, HitKind, MsiState};
+use mvp_machine::{ClusterId, MachineConfig};
+use serde::{Deserialize, Serialize};
+
+/// Which level of the memory hierarchy served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceLevel {
+    /// Hit in the local cache.
+    LocalHit,
+    /// The line was already being fetched; the access merged with the
+    /// pending miss.
+    InFlightMerge,
+    /// A store hit a Shared line and had to invalidate remote copies.
+    Upgrade,
+    /// Miss served by another cluster's cache.
+    RemoteCache,
+    /// Miss served by main memory.
+    MainMemory,
+}
+
+/// Timing and classification of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessOutcome {
+    /// Total latency of the access as seen by the issuing cluster.
+    pub latency: u64,
+    /// Level that served the access.
+    pub level: ServiceLevel,
+    /// Cycles spent waiting for a free memory bus.
+    pub bus_wait: u64,
+    /// Cycles spent waiting for a free MSHR entry.
+    pub mshr_wait: u64,
+}
+
+/// Aggregate counters of the memory system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryCounters {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Local cache hits.
+    pub local_hits: u64,
+    /// Accesses merged with an in-flight miss.
+    pub merges: u64,
+    /// Store upgrades (Shared → Modified).
+    pub upgrades: u64,
+    /// Misses served by a remote cluster's cache.
+    pub remote_fills: u64,
+    /// Misses served by main memory.
+    pub memory_fills: u64,
+    /// Invalidation messages sent to remote caches.
+    pub invalidations: u64,
+    /// Cycles spent waiting for a free memory bus.
+    pub bus_wait_cycles: u64,
+    /// Cycles spent waiting for a free MSHR entry.
+    pub mshr_wait_cycles: u64,
+    /// Memory-bus transactions (fills, upgrades, coherence).
+    pub bus_transactions: u64,
+}
+
+impl MemoryCounters {
+    /// Total misses (remote fills + memory fills).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.remote_fills + self.memory_fills
+    }
+
+    /// Local miss ratio (misses plus merges and upgrades over accesses).
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            (self.misses() + self.merges + self.upgrades) as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The whole distributed memory system of one multiVLIWprocessor.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    caches: Vec<CoherentCache>,
+    mshrs: Vec<Mshr>,
+    buses: MemoryBuses,
+    lat_cache: u64,
+    lat_memory: u64,
+    counters: MemoryCounters,
+    block_bytes: u64,
+}
+
+impl MemorySystem {
+    /// Builds the memory system of `machine` (one cache + MSHR per cluster,
+    /// the shared memory buses and main memory).
+    #[must_use]
+    pub fn new(machine: &MachineConfig) -> Self {
+        let caches: Vec<CoherentCache> = machine
+            .clusters()
+            .map(|(_, c)| CoherentCache::new(c.cache))
+            .collect();
+        let mshrs = machine
+            .clusters()
+            .map(|(_, c)| Mshr::new(c.cache.mshr_entries))
+            .collect();
+        let block_bytes = machine.cluster(0).cache.block_bytes;
+        Self {
+            caches,
+            mshrs,
+            buses: MemoryBuses::new(machine.memory_buses),
+            lat_cache: u64::from(machine.latencies.load_hit),
+            lat_memory: u64::from(machine.latencies.main_memory),
+            counters: MemoryCounters::default(),
+            block_bytes,
+        }
+    }
+
+    /// Aggregate counters observed so far.
+    #[must_use]
+    pub fn counters(&self) -> MemoryCounters {
+        let mut c = self.counters;
+        c.bus_wait_cycles = self.buses.wait_cycles();
+        c.bus_transactions = self.buses.transactions();
+        c.mshr_wait_cycles = self.mshrs.iter().map(Mshr::wait_cycles).sum();
+        c
+    }
+
+    /// The per-cluster cache of `cluster` (read-only, for tests and reports).
+    #[must_use]
+    pub fn cache(&self, cluster: ClusterId) -> &CoherentCache {
+        &self.caches[cluster]
+    }
+
+    /// Performs a memory access from `cluster` to `address` at time `now`.
+    pub fn access(
+        &mut self,
+        cluster: ClusterId,
+        address: u64,
+        is_store: bool,
+        now: u64,
+    ) -> AccessOutcome {
+        self.counters.accesses += 1;
+        let block = address / self.block_bytes;
+
+        match self.caches[cluster].lookup(block, is_store) {
+            HitKind::Hit => {
+                // The line may still be in flight from an earlier miss.
+                if let Some(done) = self.mshrs[cluster].pending_completion(block, now) {
+                    self.counters.merges += 1;
+                    self.caches[cluster].touch(block, is_store);
+                    return AccessOutcome {
+                        latency: self.lat_cache.max(done.saturating_sub(now)),
+                        level: ServiceLevel::InFlightMerge,
+                        bus_wait: 0,
+                        mshr_wait: 0,
+                    };
+                }
+                self.counters.local_hits += 1;
+                self.caches[cluster].touch(block, is_store);
+                AccessOutcome {
+                    latency: self.lat_cache,
+                    level: ServiceLevel::LocalHit,
+                    bus_wait: 0,
+                    mshr_wait: 0,
+                }
+            }
+            HitKind::UpgradeMiss => {
+                // Store to a Shared line: invalidate every other copy over a
+                // memory bus, then write locally.
+                self.counters.upgrades += 1;
+                let (bus_wait, _grant) = self.buses.request(now);
+                self.invalidate_others(cluster, block);
+                self.caches[cluster].touch(block, true);
+                AccessOutcome {
+                    latency: self.lat_cache + bus_wait + self.buses.latency(),
+                    level: ServiceLevel::Upgrade,
+                    bus_wait,
+                    mshr_wait: 0,
+                }
+            }
+            HitKind::Miss => self.handle_miss(cluster, block, is_store, now),
+        }
+    }
+
+    fn handle_miss(
+        &mut self,
+        cluster: ClusterId,
+        block: u64,
+        is_store: bool,
+        now: u64,
+    ) -> AccessOutcome {
+        // Secondary miss to a line already being fetched: merge.
+        if let Some(done) = self.mshrs[cluster].pending_completion(block, now) {
+            self.counters.merges += 1;
+            // Make sure the line is (or will be) resident.
+            let state = if is_store {
+                MsiState::Modified
+            } else {
+                MsiState::Shared
+            };
+            self.caches[cluster].allocate(block, state);
+            return AccessOutcome {
+                latency: self.lat_cache.max(done.saturating_sub(now)),
+                level: ServiceLevel::InFlightMerge,
+                bus_wait: 0,
+                mshr_wait: 0,
+            };
+        }
+
+        // Primary miss: wait for an MSHR entry, then for a bus, then fetch
+        // from a remote cache or main memory.
+        let mshr_wait = self.mshrs[cluster].entry_wait(now);
+        let after_entry = now + mshr_wait;
+        let (bus_wait, _grant) = self.buses.request(after_entry);
+
+        let remote = self
+            .caches
+            .iter()
+            .enumerate()
+            .any(|(c, cache)| c != cluster && cache.contains(block));
+        let fill_latency = if remote { self.lat_cache } else { self.lat_memory };
+        let level = if remote {
+            self.counters.remote_fills += 1;
+            ServiceLevel::RemoteCache
+        } else {
+            self.counters.memory_fills += 1;
+            ServiceLevel::MainMemory
+        };
+
+        // Coherence actions at the remote copies.
+        if remote {
+            if is_store {
+                self.invalidate_others(cluster, block);
+            } else {
+                for (c, cache) in self.caches.iter_mut().enumerate() {
+                    if c != cluster {
+                        cache.downgrade(block);
+                    }
+                }
+            }
+        }
+
+        let latency =
+            self.lat_cache + mshr_wait + bus_wait + self.buses.latency() + fill_latency;
+        let completion = now + latency;
+        self.mshrs[cluster].insert(block, completion, mshr_wait);
+
+        let state = if is_store {
+            MsiState::Modified
+        } else {
+            MsiState::Shared
+        };
+        self.caches[cluster].allocate(block, state);
+
+        AccessOutcome {
+            latency,
+            level,
+            bus_wait,
+            mshr_wait,
+        }
+    }
+
+    /// Empties every cluster's cache and MSHR (cold caches) while keeping the
+    /// accumulated counters and bus state. Used to model loops whose data is
+    /// not resident when the loop is re-entered.
+    pub fn flush_caches(&mut self) {
+        for (cache, mshr) in self.caches.iter_mut().zip(&mut self.mshrs) {
+            let geometry = *cache.geometry();
+            *cache = CoherentCache::new(geometry);
+            let wait = mshr.wait_cycles();
+            let merges = mshr.merges();
+            *mshr = Mshr::with_history(geometry.mshr_entries, wait, merges);
+        }
+    }
+
+    fn invalidate_others(&mut self, cluster: ClusterId, block: u64) {
+        for (c, cache) in self.caches.iter_mut().enumerate() {
+            if c != cluster && cache.invalidate(block) {
+                self.counters.invalidations += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_machine::presets;
+
+    fn system() -> MemorySystem {
+        MemorySystem::new(&presets::two_cluster())
+    }
+
+    #[test]
+    fn cold_miss_goes_to_main_memory_then_hits_locally() {
+        let mut m = system();
+        let a = m.access(0, 0x1000, false, 0);
+        assert_eq!(a.level, ServiceLevel::MainMemory);
+        // 2 (cache) + 1 (bus) + 10 (memory) with the realistic preset buses.
+        assert_eq!(a.latency, 13);
+        let b = m.access(0, 0x1008, false, 100);
+        assert_eq!(b.level, ServiceLevel::LocalHit);
+        assert_eq!(b.latency, 2);
+        let c = m.counters();
+        assert_eq!(c.accesses, 2);
+        assert_eq!(c.memory_fills, 1);
+        assert_eq!(c.local_hits, 1);
+    }
+
+    #[test]
+    fn remote_cache_serves_misses_from_other_clusters() {
+        let mut m = system();
+        m.access(0, 0x2000, false, 0);
+        let a = m.access(1, 0x2000, false, 100);
+        assert_eq!(a.level, ServiceLevel::RemoteCache);
+        // 2 (local) + 1 (bus) + 2 (remote cache).
+        assert_eq!(a.latency, 5);
+        assert_eq!(m.counters().remote_fills, 1);
+        // Both caches now share the line.
+        assert!(m.cache(0).contains(0x2000 / 32));
+        assert!(m.cache(1).contains(0x2000 / 32));
+    }
+
+    #[test]
+    fn stores_invalidate_remote_copies() {
+        let mut m = system();
+        m.access(0, 0x3000, false, 0);
+        m.access(1, 0x3000, false, 50); // now shared in both
+        let up = m.access(0, 0x3000, true, 100); // store hits Shared: upgrade
+        assert_eq!(up.level, ServiceLevel::Upgrade);
+        assert_eq!(m.counters().upgrades, 1);
+        assert_eq!(m.counters().invalidations, 1);
+        assert!(!m.cache(1).contains(0x3000 / 32));
+        // A later load from cluster 1 misses again (coherence miss) and is
+        // served by cluster 0's modified copy.
+        let reload = m.access(1, 0x3000, false, 200);
+        assert_eq!(reload.level, ServiceLevel::RemoteCache);
+    }
+
+    #[test]
+    fn secondary_miss_merges_with_the_in_flight_fill() {
+        let mut m = system();
+        let first = m.access(0, 0x4000, false, 0);
+        assert_eq!(first.level, ServiceLevel::MainMemory);
+        // Same block, 3 cycles later: merge, latency is the remaining time.
+        let second = m.access(0, 0x4008, false, 3);
+        assert_eq!(second.level, ServiceLevel::InFlightMerge);
+        assert_eq!(second.latency, first.latency - 3);
+        assert_eq!(m.counters().merges, 1);
+        assert_eq!(m.counters().memory_fills, 1);
+    }
+
+    #[test]
+    fn bus_contention_adds_wait_cycles() {
+        // Single memory bus with 4-cycle latency.
+        let machine = presets::two_cluster()
+            .with_memory_buses(mvp_machine::BusConfig::finite(1, 4));
+        let mut m = MemorySystem::new(&machine);
+        let a = m.access(0, 0x5000, false, 0);
+        let b = m.access(1, 0x9000, false, 1);
+        assert_eq!(a.bus_wait, 0);
+        assert_eq!(b.bus_wait, 3);
+        assert_eq!(m.counters().bus_wait_cycles, 3);
+        assert_eq!(m.counters().bus_transactions, 2);
+    }
+
+    #[test]
+    fn miss_ratio_reflects_conflicting_streams() {
+        let mut m = system();
+        // Two addresses one cache-capacity (4 KB) apart ping-pong in the
+        // 4 KB direct-mapped local cache of cluster 0.
+        for t in 0..20 {
+            m.access(0, 0x0, false, t * 50);
+            m.access(0, 0x1000, false, t * 50 + 25);
+        }
+        let c = m.counters();
+        assert_eq!(c.local_hits, 0);
+        assert!(c.miss_ratio() > 0.99);
+    }
+}

@@ -1,0 +1,268 @@
+//! Per-cluster coherent L1 data caches with a snoopy MSI protocol.
+//!
+//! Each cluster owns a set-associative (direct-mapped in the paper's
+//! configurations) cache whose lines carry an MSI state. The protocol is
+//! managed entirely by the hardware: the scheduler never sees it, only the
+//! latency consequences.
+
+use mvp_machine::CacheGeometry;
+use serde::{Deserialize, Serialize};
+
+/// MSI coherence state of a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MsiState {
+    /// The line is valid and possibly dirty; no other cache holds it.
+    Modified,
+    /// The line is valid and clean; other caches may hold it too.
+    Shared,
+    /// The line is not present (invalid lines are simply absent).
+    Invalid,
+}
+
+/// Where a local cache lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HitKind {
+    /// Present locally with a state sufficient for the request.
+    Hit,
+    /// Present locally but only Shared while the request was a store: an
+    /// upgrade (invalidation of remote copies) is required.
+    UpgradeMiss,
+    /// Not present locally.
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    block: u64,
+    state: MsiState,
+    /// LRU timestamp: larger = more recently used.
+    last_use: u64,
+}
+
+/// One cluster's coherent L1 data cache (tag + state store).
+#[derive(Debug, Clone)]
+pub struct CoherentCache {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+}
+
+impl CoherentCache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry) -> Self {
+        geometry
+            .validate()
+            .expect("cache geometry must be validated before simulation");
+        Self {
+            geometry,
+            sets: vec![Vec::new(); geometry.num_sets() as usize],
+            tick: 0,
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    fn set_index(&self, block: u64) -> usize {
+        (block % self.geometry.num_sets()) as usize
+    }
+
+    /// State of the line holding `block`, or [`MsiState::Invalid`] if absent.
+    #[must_use]
+    pub fn state_of(&self, block: u64) -> MsiState {
+        let set = self.set_index(block);
+        self.sets[set]
+            .iter()
+            .find(|l| l.block == block)
+            .map_or(MsiState::Invalid, |l| l.state)
+    }
+
+    /// Whether the cache currently holds `block` in any valid state.
+    #[must_use]
+    pub fn contains(&self, block: u64) -> bool {
+        self.state_of(block) != MsiState::Invalid
+    }
+
+    /// Looks up `block` for a load (`is_store == false`) or store
+    /// (`is_store == true`) **without** allocating. Returns how the local
+    /// lookup fared.
+    #[must_use]
+    pub fn lookup(&self, block: u64, is_store: bool) -> HitKind {
+        match self.state_of(block) {
+            MsiState::Invalid => HitKind::Miss,
+            MsiState::Modified => HitKind::Hit,
+            MsiState::Shared => {
+                if is_store {
+                    HitKind::UpgradeMiss
+                } else {
+                    HitKind::Hit
+                }
+            }
+        }
+    }
+
+    /// Marks `block` as used (LRU update) and, for stores, upgrades its state
+    /// to Modified. Call after a [`HitKind::Hit`] or once an upgrade
+    /// completes.
+    pub fn touch(&mut self, block: u64, is_store: bool) {
+        self.tick += 1;
+        let set = self.set_index(block);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.block == block) {
+            line.last_use = self.tick;
+            if is_store {
+                line.state = MsiState::Modified;
+            }
+        }
+    }
+
+    /// Allocates `block` in the given state, evicting the LRU line of the set
+    /// if the set is full. Returns the evicted block, if any (used by the
+    /// memory system to write back / drop state).
+    pub fn allocate(&mut self, block: u64, state: MsiState) -> Option<u64> {
+        self.tick += 1;
+        let ways = self.geometry.associativity as usize;
+        let set = self.set_index(block);
+        let lines = &mut self.sets[set];
+        if let Some(line) = lines.iter_mut().find(|l| l.block == block) {
+            line.state = state;
+            line.last_use = self.tick;
+            return None;
+        }
+        let mut evicted = None;
+        if lines.len() >= ways {
+            let lru = lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("set is non-empty");
+            evicted = Some(lines.remove(lru).block);
+        }
+        lines.push(Line {
+            block,
+            state,
+            last_use: self.tick,
+        });
+        evicted
+    }
+
+    /// Invalidates `block` (snoop-induced). Returns whether a valid copy was
+    /// removed.
+    pub fn invalidate(&mut self, block: u64) -> bool {
+        let set = self.set_index(block);
+        let lines = &mut self.sets[set];
+        if let Some(pos) = lines.iter().position(|l| l.block == block) {
+            lines.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Downgrades `block` to Shared (a remote reader snooped it). Returns
+    /// whether the block was present in Modified state.
+    pub fn downgrade(&mut self, block: u64) -> bool {
+        let set = self.set_index(block);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.block == block) {
+            let was_modified = line.state == MsiState::Modified;
+            line.state = MsiState::Shared;
+            was_modified
+        } else {
+            false
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> CoherentCache {
+        CoherentCache::new(CacheGeometry::direct_mapped(1024))
+    }
+
+    #[test]
+    fn empty_cache_misses_everything() {
+        let c = cache();
+        assert_eq!(c.lookup(0, false), HitKind::Miss);
+        assert_eq!(c.state_of(0), MsiState::Invalid);
+        assert!(!c.contains(0));
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn allocate_then_hit_and_upgrade() {
+        let mut c = cache();
+        assert_eq!(c.allocate(5, MsiState::Shared), None);
+        assert_eq!(c.lookup(5, false), HitKind::Hit);
+        assert_eq!(c.lookup(5, true), HitKind::UpgradeMiss);
+        c.touch(5, true);
+        assert_eq!(c.state_of(5), MsiState::Modified);
+        assert_eq!(c.lookup(5, true), HitKind::Hit);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts_previous_block() {
+        let mut c = cache(); // 32 sets
+        c.allocate(3, MsiState::Shared);
+        // Block 3 + 32 maps to the same set.
+        let evicted = c.allocate(3 + 32, MsiState::Shared);
+        assert_eq!(evicted, Some(3));
+        assert!(!c.contains(3));
+        assert!(c.contains(35));
+    }
+
+    #[test]
+    fn invalidate_and_downgrade() {
+        let mut c = cache();
+        c.allocate(7, MsiState::Modified);
+        assert!(c.downgrade(7));
+        assert_eq!(c.state_of(7), MsiState::Shared);
+        assert!(!c.downgrade(7)); // already shared
+        assert!(c.invalidate(7));
+        assert!(!c.invalidate(7));
+        assert_eq!(c.state_of(7), MsiState::Invalid);
+    }
+
+    #[test]
+    fn lru_is_respected_with_associativity() {
+        let geometry = CacheGeometry {
+            capacity_bytes: 128,
+            block_bytes: 32,
+            associativity: 2,
+            mshr_entries: 10,
+        };
+        let mut c = CoherentCache::new(geometry);
+        // Set 0 holds even block numbers for this 2-set cache.
+        c.allocate(0, MsiState::Shared);
+        c.allocate(2, MsiState::Shared);
+        c.touch(0, false); // block 2 becomes LRU
+        let evicted = c.allocate(4, MsiState::Shared);
+        assert_eq!(evicted, Some(2));
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn reallocating_a_resident_block_updates_state_without_eviction() {
+        let mut c = cache();
+        c.allocate(9, MsiState::Shared);
+        let evicted = c.allocate(9, MsiState::Modified);
+        assert_eq!(evicted, None);
+        assert_eq!(c.state_of(9), MsiState::Modified);
+        assert_eq!(c.resident_lines(), 1);
+    }
+}

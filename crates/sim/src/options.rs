@@ -1,0 +1,70 @@
+//! Simulation options.
+
+use serde::{Deserialize, Serialize};
+
+/// Options controlling a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// Upper bound on the total number of innermost-loop iterations simulated
+    /// (across all executions of the loop). The paper runs SPECfp95 until 100
+    /// million memory instructions; kernels in this reproduction are sized so
+    /// their full trip counts finish in milliseconds, but a cap keeps
+    /// experiment sweeps bounded regardless of workload configuration.
+    pub max_inner_iterations: u64,
+    /// Whether the local caches are flushed every time the innermost loop is
+    /// re-entered (cold caches per execution). The default keeps caches warm,
+    /// like the real machine would.
+    pub flush_between_executions: bool,
+}
+
+impl SimOptions {
+    /// Default options: effectively unbounded iterations, warm caches.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            max_inner_iterations: u64::MAX,
+            flush_between_executions: false,
+        }
+    }
+
+    /// Returns a copy with a bound on the simulated innermost iterations.
+    #[must_use]
+    pub fn with_max_inner_iterations(mut self, max: u64) -> Self {
+        self.max_inner_iterations = max.max(1);
+        self
+    }
+
+    /// Returns a copy with cold caches at every loop entry.
+    #[must_use]
+    pub fn with_flush_between_executions(mut self, flush: bool) -> Self {
+        self.flush_between_executions = flush;
+        self
+    }
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_unbounded_and_warm() {
+        let o = SimOptions::default();
+        assert_eq!(o.max_inner_iterations, u64::MAX);
+        assert!(!o.flush_between_executions);
+    }
+
+    #[test]
+    fn builders_override_and_clamp() {
+        let o = SimOptions::new()
+            .with_max_inner_iterations(0)
+            .with_flush_between_executions(true);
+        assert_eq!(o.max_inner_iterations, 1);
+        assert!(o.flush_between_executions);
+    }
+}

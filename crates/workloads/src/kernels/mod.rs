@@ -1,0 +1,119 @@
+//! Synthetic kernels modelled on the SPECfp95 programs of the paper's
+//! evaluation.
+//!
+//! Every kernel module exposes `loops(&KernelParams) -> Vec<Loop>` returning
+//! the modulo-scheduled innermost loops that dominate the corresponding
+//! benchmark, rebuilt from their published loop structure: operation mix,
+//! dependence shape (including recurrences), access strides and array
+//! layouts. Trip counts are parameterised so experiments stay fast.
+
+pub mod applu;
+pub mod apsi;
+pub mod hydro2d;
+pub mod mgrid;
+pub mod su2cor;
+pub mod swim;
+pub mod tomcatv;
+pub mod turb3d;
+
+use serde::{Deserialize, Serialize};
+
+/// Common sizing parameters of the synthetic kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelParams {
+    /// Trip count of the pipelined innermost loop.
+    pub inner_trip: u64,
+    /// Trip count of the surrounding loop (how many times the innermost loop
+    /// is entered).
+    pub outer_trip: u64,
+}
+
+impl Default for KernelParams {
+    fn default() -> Self {
+        Self {
+            inner_trip: 128,
+            outer_trip: 4,
+        }
+    }
+}
+
+impl KernelParams {
+    /// Parameters scaled down for fast unit tests.
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            inner_trip: 32,
+            outer_trip: 2,
+        }
+    }
+
+    /// Size in bytes of a 2D array of doubles spanning the whole iteration
+    /// space plus a halo row/column.
+    #[must_use]
+    pub fn plane_bytes(&self) -> u64 {
+        (self.inner_trip + 2) * (self.outer_trip + 2) * 8
+    }
+
+    /// Row stride (bytes) of a 2D array whose rows follow the inner loop.
+    #[must_use]
+    pub fn row_bytes(&self) -> i64 {
+        (self.inner_trip as i64 + 2) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_core::{BaselineScheduler, ModuloScheduler, RmcaScheduler};
+    use mvp_ir::Loop;
+    use mvp_machine::presets;
+
+    fn every_kernel(params: &KernelParams) -> Vec<(&'static str, Vec<Loop>)> {
+        vec![
+            ("tomcatv", tomcatv::loops(params)),
+            ("swim", swim::loops(params)),
+            ("su2cor", su2cor::loops(params)),
+            ("hydro2d", hydro2d::loops(params)),
+            ("mgrid", mgrid::loops(params)),
+            ("applu", applu::loops(params)),
+            ("turb3d", turb3d::loops(params)),
+            ("apsi", apsi::loops(params)),
+        ]
+    }
+
+    #[test]
+    fn all_kernels_build_and_have_memory_operations() {
+        for (name, loops) in every_kernel(&KernelParams::default()) {
+            assert!(!loops.is_empty(), "{name} has no loops");
+            for l in &loops {
+                assert!(l.num_ops() >= 5, "{name}/{} is too small", l.name());
+                assert!(l.memory_ops().count() >= 2, "{name}/{} has no memory mix", l.name());
+                assert!(l.iterations() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn all_kernels_are_schedulable_on_every_table1_machine() {
+        let params = KernelParams::small();
+        for machine in presets::table1() {
+            for (name, loops) in every_kernel(&params) {
+                for l in &loops {
+                    let b = BaselineScheduler::new().schedule(l, &machine);
+                    assert!(b.is_ok(), "baseline failed on {name}/{} for {}", l.name(), machine.name);
+                    let r = RmcaScheduler::new().schedule(l, &machine);
+                    assert!(r.is_ok(), "rmca failed on {name}/{} for {}", l.name(), machine.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_params_helpers() {
+        let p = KernelParams::default();
+        assert_eq!(p.row_bytes(), 130 * 8);
+        assert_eq!(p.plane_bytes(), 130 * 6 * 8);
+        let s = KernelParams::small();
+        assert!(s.inner_trip < p.inner_trip);
+    }
+}

@@ -1,0 +1,48 @@
+//! Schedules and simulates the whole SPECfp95-modelled suite on every Table-1
+//! machine and prints a per-benchmark comparison of the two schedulers.
+//!
+//! Run with `cargo run --release --example benchmark_suite`.
+
+use multivliw::core::{BaselineScheduler, ModuloScheduler, RmcaScheduler, SchedulerOptions};
+use multivliw::machine::presets;
+use multivliw::sim::{simulate, SimOptions};
+use multivliw::workloads::suite::{suite, SuiteParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workloads = suite(&SuiteParams::default());
+    // Threshold 0.00: every load that can hide the miss latency does so.
+    let options = SchedulerOptions::new().with_threshold(0.0);
+
+    for machine in [presets::unified(), presets::two_cluster(), presets::four_cluster()] {
+        println!("=== {machine} ===");
+        println!(
+            "{:<12} {:>14} {:>14} {:>9}",
+            "benchmark", "baseline", "rmca", "speedup"
+        );
+        for w in &workloads {
+            let mut totals = [0u64; 2];
+            for (slot, scheduler) in [
+                Box::new(BaselineScheduler::with_options(options)) as Box<dyn ModuloScheduler>,
+                Box::new(RmcaScheduler::with_options(options)),
+            ]
+            .iter()
+            .enumerate()
+            {
+                for l in &w.loops {
+                    let schedule = scheduler.schedule(l, &machine)?;
+                    let stats = simulate(l, &schedule, &machine, &SimOptions::new());
+                    totals[slot] += stats.total_cycles();
+                }
+            }
+            println!(
+                "{:<12} {:>14} {:>14} {:>8.2}x",
+                w.name,
+                totals[0],
+                totals[1],
+                totals[0] as f64 / totals[1] as f64
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

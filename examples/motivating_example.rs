@@ -1,0 +1,48 @@
+//! The paper's Section-3 motivating example, end to end.
+//!
+//! Shows how the cluster assignment of memory operations changes the cycle
+//! count on a machine with a distributed data cache: the register-oriented
+//! baseline reaches II = 3 but stalls on ping-pong conflict misses, while
+//! RMCA accepts II = 4 and removes almost all stalls (the paper's 1.5x).
+//!
+//! Run with `cargo run --example motivating_example`.
+
+use multivliw::core::{BaselineScheduler, ModuloScheduler, RmcaScheduler};
+use multivliw::machine::presets;
+use multivliw::sim::{simulate, SimOptions};
+use multivliw::workloads::motivating::{motivating_loop, MotivatingParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = MotivatingParams::default();
+    let (l, ops) = motivating_loop(&params);
+    let machine = presets::motivating_example_machine();
+
+    println!("loop: {l}");
+    println!("machine: {machine}\n");
+
+    let mut totals = Vec::new();
+    for (label, scheduler) in [
+        ("baseline (register-aware only)", Box::new(BaselineScheduler::new()) as Box<dyn ModuloScheduler>),
+        ("rmca (register + memory aware)", Box::new(RmcaScheduler::new())),
+    ] {
+        let schedule = scheduler.schedule(&l, &machine)?;
+        let stats = simulate(&l, &schedule, &machine, &SimOptions::new());
+        println!("{label}:");
+        println!("  II = {}, SC = {}, communications/iteration = {}",
+            schedule.ii(), schedule.stage_count(), schedule.num_communications());
+        println!(
+            "  cluster of LD1/LD2/LD3/LD4 = {}/{}/{}/{}",
+            schedule.placement(ops.ld1).cluster,
+            schedule.placement(ops.ld2).cluster,
+            schedule.placement(ops.ld3).cluster,
+            schedule.placement(ops.ld4).cluster
+        );
+        println!("  {stats}\n");
+        totals.push(stats.total_cycles());
+    }
+    println!(
+        "speedup of RMCA over the baseline: {:.2}x (paper's hand analysis: ~1.5x)",
+        totals[0] as f64 / totals[1] as f64
+    );
+    Ok(())
+}

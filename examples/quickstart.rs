@@ -1,0 +1,44 @@
+//! Quickstart: build a small loop, schedule it with both schedulers on the
+//! 2-cluster machine and simulate the result.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use multivliw::core::{BaselineScheduler, ModuloScheduler, RmcaScheduler, ScheduleMetrics};
+use multivliw::ir::Loop;
+use multivliw::machine::presets;
+use multivliw::sim::{simulate, SimOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // DO I = 1, N:  A(I) = B(I) * C(I) + s
+    let mut builder = Loop::builder("quickstart");
+    let i = builder.dimension("I", 256);
+    let a = builder.auto_array("A", 64 * 1024);
+    let b = builder.auto_array("B", 64 * 1024);
+    let c = builder.auto_array("C", 64 * 1024);
+    let ld_b = builder.load("LD_B", builder.array_ref(b).stride(i, 8).build());
+    let ld_c = builder.load("LD_C", builder.array_ref(c).stride(i, 8).build());
+    let mul = builder.fp_op("MUL");
+    let add = builder.fp_op("ADD");
+    let st = builder.store("ST_A", builder.array_ref(a).stride(i, 8).build());
+    builder.data_edge(ld_b, mul, 0);
+    builder.data_edge(ld_c, mul, 0);
+    builder.data_edge(mul, add, 0);
+    builder.data_edge(add, st, 0);
+    let l = builder.build()?;
+
+    let machine = presets::two_cluster();
+    println!("machine: {machine}");
+    println!("loop:    {l}\n");
+
+    for scheduler in [
+        Box::new(BaselineScheduler::new()) as Box<dyn ModuloScheduler>,
+        Box::new(RmcaScheduler::new()),
+    ] {
+        let schedule = scheduler.schedule(&l, &machine)?;
+        let metrics = ScheduleMetrics::collect(&l, &machine, &schedule);
+        let stats = simulate(&l, &schedule, &machine, &SimOptions::new());
+        println!("{metrics}");
+        println!("  simulated: {stats}\n");
+    }
+    Ok(())
+}

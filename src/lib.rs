@@ -1,0 +1,43 @@
+//! `multivliw` — a reproduction of *"Modulo Scheduling for a
+//! Fully-Distributed Clustered VLIW Architecture"* (Sánchez & González,
+//! MICRO-33, 2000) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace crates so applications can
+//! depend on a single crate:
+//!
+//! * [`machine`] — the multiVLIWprocessor machine model (clusters, buses,
+//!   ISA, Table-1 presets),
+//! * [`ir`] — the loop IR and data-dependence graphs,
+//! * [`cache`] — the CME-style data-locality analysis,
+//! * [`core`] — the modulo schedulers (Baseline and RMCA, the paper's
+//!   contribution),
+//! * [`sim`] — the cycle-level simulator with distributed coherent caches,
+//! * [`workloads`] — the synthetic SPECfp95-modelled kernels and the
+//!   Figure-3 motivating example.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use multivliw::core::{ModuloScheduler, RmcaScheduler};
+//! use multivliw::machine::presets;
+//! use multivliw::sim::{simulate, SimOptions};
+//! use multivliw::workloads::motivating::{motivating_loop, MotivatingParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (l, _) = motivating_loop(&MotivatingParams::default());
+//! let machine = presets::two_cluster();
+//! let schedule = RmcaScheduler::new().schedule(&l, &machine)?;
+//! let stats = simulate(&l, &schedule, &machine, &SimOptions::new());
+//! println!("II = {}, total cycles = {}", schedule.ii(), stats.total_cycles());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mvp_cache as cache;
+pub use mvp_core as core;
+pub use mvp_ir as ir;
+pub use mvp_machine as machine;
+pub use mvp_sim as sim;
+pub use mvp_workloads as workloads;

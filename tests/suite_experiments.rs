@@ -1,0 +1,111 @@
+//! Integration test: the qualitative shape of the paper's evaluation
+//! (Figures 5 and 6) on the bundled workload suite.
+
+use multivliw::core::{BaselineScheduler, ModuloScheduler, RmcaScheduler, SchedulerOptions};
+use multivliw::ir::mii;
+use multivliw::machine::{presets, BusConfig};
+use multivliw::sim::{simulate, SimOptions};
+use multivliw::workloads::suite::{suite, SuiteParams};
+
+fn suite_cycles(
+    machine: &multivliw::machine::MachineConfig,
+    scheduler: &dyn ModuloScheduler,
+) -> (u64, u64) {
+    let mut compute = 0;
+    let mut stall = 0;
+    for w in suite(&SuiteParams::small()) {
+        for l in &w.loops {
+            let schedule = scheduler.schedule(l, machine).unwrap();
+            let stats = simulate(l, &schedule, machine, &SimOptions::new());
+            compute += stats.compute_cycles;
+            stall += stats.stall_cycles;
+        }
+    }
+    (compute, stall)
+}
+
+#[test]
+fn schedules_respect_the_minimum_ii_on_all_machines() {
+    for machine in presets::table1() {
+        for w in suite(&SuiteParams::small()) {
+            for l in &w.loops {
+                let schedule = RmcaScheduler::new().schedule(l, &machine).unwrap();
+                assert!(
+                    schedule.ii() >= mii::minimum_ii(l, &machine),
+                    "{}: II {} below MII",
+                    l.name(),
+                    schedule.ii()
+                );
+                // Register pressure never exceeds the local register files.
+                for (c, &p) in schedule.register_pressure().iter().enumerate() {
+                    assert!(p <= machine.cluster(c).register_file_size as u32);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rmca_never_loses_to_the_baseline_with_scarce_memory_buses() {
+    // Figure 6 configuration: 2 register buses @ 1 cycle, 1 memory bus @ 4
+    // cycles — the setting where fewer misses directly translate into fewer
+    // cycles spent waiting for a bus.
+    for clusters in [2usize, 4] {
+        let machine = presets::by_cluster_count(clusters)
+            .with_register_buses(BusConfig::finite(2, 1))
+            .with_memory_buses(BusConfig::finite(1, 4));
+        let opts = SchedulerOptions::new().with_threshold(0.0);
+        let (bc, bs) = suite_cycles(&machine, &BaselineScheduler::with_options(opts));
+        let (rc, rs) = suite_cycles(&machine, &RmcaScheduler::with_options(opts));
+        let baseline_total = bc + bs;
+        let rmca_total = rc + rs;
+        assert!(
+            rmca_total as f64 <= baseline_total as f64 * 1.02,
+            "{clusters}-cluster: RMCA {rmca_total} vs baseline {baseline_total}"
+        );
+    }
+}
+
+#[test]
+fn lowering_the_threshold_trades_stall_for_compute() {
+    // The per-threshold bars of Figures 5/6: smaller thresholds shrink the
+    // stall component (and may grow the compute component).
+    let machine = presets::two_cluster();
+    let mut stalls = Vec::new();
+    for threshold in [1.0, 0.75, 0.25, 0.0] {
+        let opts = SchedulerOptions::new().with_threshold(threshold);
+        let (_, stall) = suite_cycles(&machine, &RmcaScheduler::with_options(opts));
+        stalls.push(stall);
+    }
+    assert!(
+        stalls.last().unwrap() < stalls.first().unwrap(),
+        "threshold 0.00 should stall far less than threshold 1.00: {stalls:?}"
+    );
+    // At threshold 0.00 the remaining stall time is a small fraction of the
+    // threshold-1.00 stall time (the paper reports "almost zero").
+    assert!(
+        (*stalls.last().unwrap() as f64) < 0.35 * (*stalls.first().unwrap() as f64),
+        "{stalls:?}"
+    );
+}
+
+#[test]
+fn clustered_machines_with_unbounded_buses_approach_the_unified_machine() {
+    // Figure 5, threshold 0.00: the clustered configurations come close to
+    // the Unified one once stalls are hidden.
+    let opts = SchedulerOptions::new().with_threshold(0.0);
+    let (uc, us) = suite_cycles(&presets::unified(), &BaselineScheduler::with_options(opts));
+    let unified_total = uc + us;
+    for clusters in [2usize, 4] {
+        let machine = presets::by_cluster_count(clusters)
+            .with_register_buses(BusConfig::unbounded(1))
+            .with_memory_buses(BusConfig::unbounded(1));
+        let (cc, cs) = suite_cycles(&machine, &RmcaScheduler::with_options(opts));
+        let clustered_total = cc + cs;
+        let ratio = clustered_total as f64 / unified_total as f64;
+        assert!(
+            ratio < 1.6,
+            "{clusters}-cluster with unbounded buses should stay within 60% of unified, got {ratio:.2}"
+        );
+    }
+}
