@@ -7,11 +7,11 @@
 //! * register-pressure check — scheduling cost with and without the MaxLive
 //!   check.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvp_bench::{run_loop, RunConfig, SchedulerKind};
 use mvp_cache::LocalityAnalysis;
 use mvp_core::{ModuloScheduler, RmcaScheduler, SchedulerOptions};
 use mvp_machine::presets;
+use mvp_testutil::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvp_workloads::suite::{suite, SuiteParams};
 
 fn bench_threshold_sweep(c: &mut Criterion) {
@@ -64,9 +64,8 @@ fn bench_register_pressure_check(c: &mut Criterion) {
             BenchmarkId::new("rmca_suite", enforce),
             &enforce,
             |b, &e| {
-                let sched = RmcaScheduler::with_options(
-                    SchedulerOptions::new().with_register_pressure(e),
-                );
+                let sched =
+                    RmcaScheduler::with_options(SchedulerOptions::new().with_register_pressure(e));
                 b.iter(|| {
                     for w in &workloads {
                         for l in &w.loops {

@@ -2,9 +2,9 @@
 //! (schedule + simulate) for both schedulers. The measured ratio between the
 //! baseline and RMCA total cycle counts is the paper's headline 1.5x.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvp_bench::{run_loop, RunConfig, SchedulerKind};
 use mvp_machine::presets;
+use mvp_testutil::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvp_workloads::motivating::{motivating_loop, MotivatingParams};
 
 fn bench_fig3(c: &mut Criterion) {

@@ -2,7 +2,7 @@
 //! quick grid so a bench run stays short. The printed table is the
 //! reproduced figure for the quick grid.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvp_testutil::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvp_workloads::suite::SuiteParams;
 
 fn bench_fig5(c: &mut Criterion) {

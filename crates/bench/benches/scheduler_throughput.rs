@@ -5,9 +5,9 @@
 //! the Baseline and RMCA schedulers over the whole workload suite on the
 //! 2- and 4-cluster machines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvp_core::{BaselineScheduler, ModuloScheduler, RmcaScheduler};
 use mvp_machine::presets;
+use mvp_testutil::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvp_workloads::suite::{suite, SuiteParams};
 
 fn bench_schedulers(c: &mut Criterion) {

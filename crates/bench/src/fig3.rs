@@ -56,7 +56,13 @@ pub fn run(params: &MotivatingParams) -> Fig3Output {
 #[must_use]
 pub fn render(output: &Fig3Output) -> String {
     let mut t = Table::new(vec![
-        "partition", "II", "SC", "comms/iter", "compute", "stall", "total",
+        "partition",
+        "II",
+        "SC",
+        "comms/iter",
+        "compute",
+        "stall",
+        "total",
     ]);
     for (name, r) in [
         ("register-only (baseline, fig 3a)", &output.baseline),

@@ -9,16 +9,15 @@
 
 use crate::report::{norm, Table};
 use crate::runner::{run_suite, RunConfig, SchedulerKind, SuiteResult};
-use mvp_core::ScheduleError;
+use multivliw::Error;
 use mvp_machine::{presets, BusConfig};
 use mvp_workloads::suite::{suite, SuiteParams};
-use serde::{Deserialize, Serialize};
 
 /// The threshold values of the paper's figures, in presentation order.
 pub const THRESHOLDS: [f64; 4] = [1.0, 0.75, 0.25, 0.0];
 
 /// One bar of the figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// Number of clusters (2 or 4).
     pub clusters: usize,
@@ -39,7 +38,7 @@ pub struct SweepPoint {
 }
 
 /// The whole figure: reference bars plus the sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepOutput {
     /// Number of clusters of the clustered configuration.
     pub clusters: usize,
@@ -77,7 +76,7 @@ fn point(
 ///
 /// Propagates the first scheduling error (none is expected for the bundled
 /// workloads and machines).
-pub fn run(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, ScheduleError> {
+pub fn run(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, Error> {
     run_with(clusters, params, &[1, 2, 4], &[1, 2, 4], &THRESHOLDS)
 }
 
@@ -86,7 +85,7 @@ pub fn run(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, Schedul
 /// # Errors
 ///
 /// Propagates the first scheduling error.
-pub fn run_quick(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, ScheduleError> {
+pub fn run_quick(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, Error> {
     run_with(clusters, params, &[1], &[1, 4], &[1.0, 0.0])
 }
 
@@ -96,7 +95,7 @@ fn run_with(
     lrbs: &[u32],
     lmbs: &[u32],
     thresholds: &[f64],
-) -> Result<SweepOutput, ScheduleError> {
+) -> Result<SweepOutput, Error> {
     let workloads = suite(params);
     let unified_machine = presets::unified();
     let reference = run_suite(
@@ -112,7 +111,15 @@ fn run_with(
             &unified_machine,
             &RunConfig::new(SchedulerKind::Baseline).with_threshold(threshold),
         )?;
-        unified.push(point(1, 0, 0, SchedulerKind::Baseline, threshold, &r, &reference));
+        unified.push(point(
+            1,
+            0,
+            0,
+            SchedulerKind::Baseline,
+            threshold,
+            &r,
+            &reference,
+        ));
     }
 
     let mut points = Vec::new();
@@ -126,7 +133,9 @@ fn run_with(
                 for &threshold in thresholds {
                     let cfg = RunConfig::new(scheduler).with_threshold(threshold);
                     let r = run_suite(&workloads, &machine, &cfg)?;
-                    points.push(point(clusters, lrb, lmb, scheduler, threshold, &r, &reference));
+                    points.push(point(
+                        clusters, lrb, lmb, scheduler, threshold, &r, &reference,
+                    ));
                 }
             }
         }
@@ -143,7 +152,12 @@ fn run_with(
 #[must_use]
 pub fn render(output: &SweepOutput) -> String {
     let mut t = Table::new(vec![
-        "config", "scheduler", "threshold", "compute", "stall", "total",
+        "config",
+        "scheduler",
+        "threshold",
+        "compute",
+        "stall",
+        "total",
     ]);
     for p in &output.unified {
         t.row(vec![
@@ -186,9 +200,7 @@ mod tests {
         assert!((out.unified[0].normalized_total - 1.0).abs() < 1e-9);
         for p in out.points.iter().chain(&out.unified) {
             // Compute + stall always equals the total.
-            assert!(
-                (p.normalized_compute + p.normalized_stall - p.normalized_total).abs() < 1e-9
-            );
+            assert!((p.normalized_compute + p.normalized_stall - p.normalized_total).abs() < 1e-9);
         }
         // RMCA never loses to Baseline at the same configuration.
         for pair in out.points.chunks(4) {

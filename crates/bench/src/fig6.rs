@@ -10,7 +10,7 @@
 use crate::fig5::{SweepOutput, SweepPoint, THRESHOLDS};
 use crate::report::{norm, Table};
 use crate::runner::{run_suite, RunConfig, SchedulerKind};
-use mvp_core::ScheduleError;
+use multivliw::Error;
 use mvp_machine::{presets, BusConfig};
 use mvp_workloads::suite::{suite, SuiteParams};
 
@@ -19,7 +19,7 @@ use mvp_workloads::suite::{suite, SuiteParams};
 /// # Errors
 ///
 /// Propagates the first scheduling error.
-pub fn run(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, ScheduleError> {
+pub fn run(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, Error> {
     run_with(clusters, params, &[1, 2], &[1, 4], &THRESHOLDS)
 }
 
@@ -28,7 +28,7 @@ pub fn run(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, Schedul
 /// # Errors
 ///
 /// Propagates the first scheduling error.
-pub fn run_quick(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, ScheduleError> {
+pub fn run_quick(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, Error> {
     run_with(clusters, params, &[1], &[4], &[1.0, 0.0])
 }
 
@@ -38,7 +38,7 @@ fn run_with(
     nmbs: &[usize],
     lmbs: &[u32],
     thresholds: &[f64],
-) -> Result<SweepOutput, ScheduleError> {
+) -> Result<SweepOutput, Error> {
     let workloads = suite(params);
     let unified_machine = presets::unified();
     let reference = run_suite(
@@ -104,7 +104,12 @@ fn run_with(
 #[must_use]
 pub fn render(output: &SweepOutput) -> String {
     let mut t = Table::new(vec![
-        "config", "scheduler", "threshold", "compute", "stall", "total",
+        "config",
+        "scheduler",
+        "threshold",
+        "compute",
+        "stall",
+        "total",
     ]);
     for p in &output.unified {
         t.row(vec![

@@ -1,55 +1,26 @@
 //! Running one experiment point and whole workload suites.
+//!
+//! This module is a thin configuration layer over
+//! [`multivliw::pipeline`]: a [`RunConfig`] names the (scheduler,
+//! threshold, simulation options) point of an experiment grid, and
+//! [`run_loop`] / [`run_suite`] turn it into a [`Pipeline`] for the given
+//! machine. The schedule → simulate → report sequence itself lives only in
+//! the pipeline.
 
-use mvp_core::{
-    BaselineScheduler, ModuloScheduler, RmcaScheduler, ScheduleError, SchedulerOptions,
-};
+use multivliw::pipeline::Pipeline;
+use multivliw::Error;
+use mvp_core::SchedulerOptions;
 use mvp_ir::Loop;
 use mvp_machine::MachineConfig;
-use mvp_sim::{simulate, SimOptions, SimStats};
+use mvp_sim::SimOptions;
 use mvp_workloads::Workload;
-use serde::{Deserialize, Serialize};
-use std::fmt;
 
-/// Which scheduler to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum SchedulerKind {
-    /// The register-communication-aware baseline of [22].
-    Baseline,
-    /// The paper's Register and Memory Communication-Aware scheduler.
-    Rmca,
-}
-
-impl SchedulerKind {
-    /// Both schedulers, in the order the paper's figures present them.
-    pub const ALL: [SchedulerKind; 2] = [SchedulerKind::Baseline, SchedulerKind::Rmca];
-
-    /// Short display name.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            SchedulerKind::Baseline => "baseline",
-            SchedulerKind::Rmca => "rmca",
-        }
-    }
-
-    /// Builds the scheduler with the given options.
-    #[must_use]
-    pub fn build(self, options: SchedulerOptions) -> Box<dyn ModuloScheduler + Send + Sync> {
-        match self {
-            SchedulerKind::Baseline => Box::new(BaselineScheduler::with_options(options)),
-            SchedulerKind::Rmca => Box::new(RmcaScheduler::with_options(options)),
-        }
-    }
-}
-
-impl fmt::Display for SchedulerKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
+pub use multivliw::pipeline::{
+    LoopReport as RunResult, PipelineReport as SuiteResult, SchedulerChoice as SchedulerKind,
+};
 
 /// One experiment point configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
     /// Which scheduler to use.
     pub scheduler: SchedulerKind,
@@ -77,82 +48,19 @@ impl RunConfig {
         self
     }
 
-    fn scheduler_options(&self) -> SchedulerOptions {
-        SchedulerOptions::new().with_threshold(self.threshold)
-    }
-}
-
-/// Result of running one loop under one configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RunResult {
-    /// Name of the loop.
-    pub loop_name: String,
-    /// Initiation interval of the schedule.
-    pub ii: u32,
-    /// Stage count of the schedule.
-    pub stage_count: u32,
-    /// Inter-cluster register communications per iteration.
-    pub communications: usize,
-    /// Loads scheduled with the miss latency.
-    pub miss_scheduled_loads: usize,
-    /// Simulated cycle breakdown.
-    pub stats: SimStats,
-}
-
-impl RunResult {
-    /// Total simulated cycles.
-    #[must_use]
-    pub fn total_cycles(&self) -> u64 {
-        self.stats.total_cycles()
-    }
-}
-
-/// Aggregated result of running a whole workload suite.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SuiteResult {
-    /// Per-loop results.
-    pub runs: Vec<RunResult>,
-    /// Sum of compute cycles across the suite.
-    pub compute_cycles: u64,
-    /// Sum of stall cycles across the suite.
-    pub stall_cycles: u64,
-}
-
-impl SuiteResult {
-    /// Total cycles across the suite.
-    #[must_use]
-    pub fn total_cycles(&self) -> u64 {
-        self.compute_cycles + self.stall_cycles
-    }
-
-    /// Total cycles normalised against a reference suite run.
-    #[must_use]
-    pub fn normalized_to(&self, reference: &SuiteResult) -> f64 {
-        if reference.total_cycles() == 0 {
-            0.0
-        } else {
-            self.total_cycles() as f64 / reference.total_cycles() as f64
-        }
-    }
-
-    /// Compute cycles normalised against a reference suite run's total.
-    #[must_use]
-    pub fn normalized_compute(&self, reference: &SuiteResult) -> f64 {
-        if reference.total_cycles() == 0 {
-            0.0
-        } else {
-            self.compute_cycles as f64 / reference.total_cycles() as f64
-        }
-    }
-
-    /// Stall cycles normalised against a reference suite run's total.
-    #[must_use]
-    pub fn normalized_stall(&self, reference: &SuiteResult) -> f64 {
-        if reference.total_cycles() == 0 {
-            0.0
-        } else {
-            self.stall_cycles as f64 / reference.total_cycles() as f64
-        }
+    /// Builds the end-to-end pipeline for this point on the given machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline-construction errors (invalid machine, Unified
+    /// paired with a clustered machine).
+    pub fn pipeline(&self, machine: &MachineConfig) -> Result<Pipeline, Error> {
+        Pipeline::builder()
+            .scheduler(self.scheduler)
+            .machine(machine.clone())
+            .scheduler_options(SchedulerOptions::new().with_threshold(self.threshold))
+            .sim_options(self.sim)
+            .build()
     }
 }
 
@@ -160,23 +68,9 @@ impl SuiteResult {
 ///
 /// # Errors
 ///
-/// Propagates any [`ScheduleError`] from the scheduler.
-pub fn run_loop(
-    l: &Loop,
-    machine: &MachineConfig,
-    config: &RunConfig,
-) -> Result<RunResult, ScheduleError> {
-    let scheduler = config.scheduler.build(config.scheduler_options());
-    let schedule = scheduler.schedule(l, machine)?;
-    let stats = simulate(l, &schedule, machine, &config.sim);
-    Ok(RunResult {
-        loop_name: l.name().to_string(),
-        ii: schedule.ii(),
-        stage_count: schedule.stage_count(),
-        communications: schedule.num_communications(),
-        miss_scheduled_loads: schedule.miss_scheduled_loads().count(),
-        stats,
-    })
+/// Propagates any [`Error`] from the pipeline.
+pub fn run_loop(l: &Loop, machine: &MachineConfig, config: &RunConfig) -> Result<RunResult, Error> {
+    config.pipeline(machine)?.run(l)
 }
 
 /// Schedules and simulates every loop of every workload, in parallel across
@@ -189,38 +83,8 @@ pub fn run_suite(
     workloads: &[Workload],
     machine: &MachineConfig,
     config: &RunConfig,
-) -> Result<SuiteResult, ScheduleError> {
-    let results: Vec<Result<Vec<RunResult>, ScheduleError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = workloads
-                .iter()
-                .map(|w| {
-                    scope.spawn(move |_| {
-                        w.loops
-                            .iter()
-                            .map(|l| run_loop(l, machine, config))
-                            .collect::<Result<Vec<_>, _>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("experiment worker thread panicked"))
-                .collect()
-        })
-        .expect("experiment thread scope panicked");
-
-    let mut runs = Vec::new();
-    for r in results {
-        runs.extend(r?);
-    }
-    let compute_cycles = runs.iter().map(|r| r.stats.compute_cycles).sum();
-    let stall_cycles = runs.iter().map(|r| r.stats.stall_cycles).sum();
-    Ok(SuiteResult {
-        runs,
-        compute_cycles,
-        stall_cycles,
-    })
+) -> Result<SuiteResult, Error> {
+    config.pipeline(machine)?.run_workloads(workloads)
 }
 
 #[cfg(test)]
@@ -237,7 +101,10 @@ mod tests {
         let r = run_loop(&workloads[0].loops[0], &machine, &cfg).unwrap();
         assert_eq!(r.loop_name, workloads[0].loops[0].name());
         assert!(r.ii >= 1);
-        assert_eq!(r.total_cycles(), r.stats.compute_cycles + r.stats.stall_cycles);
+        assert_eq!(
+            r.total_cycles(),
+            r.stats.compute_cycles + r.stats.stall_cycles
+        );
     }
 
     #[test]

@@ -17,13 +17,12 @@
 use crate::sim_cache::CacheSim;
 use mvp_ir::{Loop, OpId};
 use mvp_machine::CacheGeometry;
-use serde::{Deserialize, Serialize};
 
 /// Default number of iteration points evaluated per query.
 pub const DEFAULT_WINDOW: usize = 1024;
 
 /// Per-operation miss statistics within a profiled reference set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpMissStats {
     /// The memory operation.
     pub op: OpId,
@@ -46,7 +45,7 @@ impl OpMissStats {
 }
 
 /// Result of profiling a set of references against one cache geometry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MissProfile {
     /// Total accesses evaluated across the whole set.
     pub total_accesses: u64,

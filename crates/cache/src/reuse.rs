@@ -12,11 +12,10 @@
 
 use mvp_ir::{Loop, OpId};
 use mvp_machine::CacheGeometry;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Kind of self-reuse a reference exhibits along the innermost loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReuseKind {
     /// Same address every iteration.
     SelfTemporal,

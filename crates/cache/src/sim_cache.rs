@@ -29,7 +29,8 @@ impl CacheSim {
         geometry
             .validate()
             .expect("cache geometry must be validated before simulation");
-        let sets = vec![Vec::with_capacity(geometry.associativity as usize); geometry.num_sets() as usize];
+        let sets =
+            vec![Vec::with_capacity(geometry.associativity as usize); geometry.num_sets() as usize];
         Self {
             geometry,
             sets,

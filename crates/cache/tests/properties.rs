@@ -1,29 +1,39 @@
-//! Property-based tests of the cache model and the locality analysis.
+//! Property-style tests of the cache model and the locality analysis,
+//! driven by a seeded RNG sweep (the workspace builds without `proptest`).
 
 use mvp_cache::{CacheSim, LocalityAnalysis};
 use mvp_ir::Loop;
 use mvp_machine::CacheGeometry;
-use proptest::prelude::*;
+use mvp_testutil::SplitMix64;
 
-proptest! {
-    /// Misses never exceed accesses, and re-accessing the same address
-    /// immediately always hits.
-    #[test]
-    fn cache_sim_counters_are_consistent(addresses in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+/// Misses never exceed accesses, and re-accessing the same address
+/// immediately always hits.
+#[test]
+fn cache_sim_counters_are_consistent() {
+    let mut rng = SplitMix64::seed_from_u64(0x1A2B);
+    for _ in 0..64 {
+        let n = rng.gen_range_inclusive(1, 199);
+        let addresses: Vec<u64> = (0..n).map(|_| rng.next_u64() % 1_000_000).collect();
         let mut cache = CacheSim::new(CacheGeometry::direct_mapped(2048));
         for &a in &addresses {
             cache.access(a);
-            prop_assert!(cache.access(a), "immediate re-access of {a} must hit");
+            assert!(cache.access(a), "immediate re-access of {a} must hit");
         }
-        prop_assert_eq!(cache.accesses(), 2 * addresses.len() as u64);
-        prop_assert!(cache.misses() <= addresses.len() as u64);
-        prop_assert!(cache.miss_ratio() <= 0.5 + 1e-12);
+        assert_eq!(cache.accesses(), 2 * addresses.len() as u64);
+        assert!(cache.misses() <= addresses.len() as u64);
+        assert!(cache.miss_ratio() <= 0.5 + 1e-12);
     }
+}
 
-    /// A larger cache never produces more misses for the same single
-    /// streaming reference (no Belady anomaly for direct-mapped streams).
-    #[test]
-    fn larger_caches_do_not_hurt_single_streams(stride in 1i64..64, trip in 8u64..256) {
+/// A larger cache never produces more misses for the same single
+/// streaming reference (no Belady anomaly for direct-mapped streams).
+#[test]
+fn larger_caches_do_not_hurt_single_streams() {
+    let mut rng = SplitMix64::seed_from_u64(0x3C4D);
+    for _ in 0..64 {
+        let stride = rng.gen_range_inclusive(1, 63) as i64;
+        let trip = rng.gen_range_inclusive(8, 255) as u64;
+
         let mut b = Loop::builder("stream");
         let i = b.dimension("I", trip);
         let a = b.array("A", 0, 1 << 20);
@@ -32,18 +42,21 @@ proptest! {
         let analysis = LocalityAnalysis::with_window(&l, trip as usize);
         let small = analysis.miss_count(CacheGeometry::direct_mapped(1024), &[ld]);
         let large = analysis.miss_count(CacheGeometry::direct_mapped(8192), &[ld]);
-        prop_assert!(large <= small, "large cache missed more: {large} > {small}");
+        assert!(large <= small, "large cache missed more: {large} > {small}");
     }
+}
 
-    /// The miss count of a reference set is bounded by its access count, and
-    /// adding a reference never reduces the total number of misses.
-    #[test]
-    fn miss_counts_are_bounded_and_monotone_in_the_reference_set(
-        trip in 8u64..128,
-        stride_a in 1i64..8,
-        stride_b in 1i64..8,
-        gap in 0u64..8,
-    ) {
+/// The miss count of a reference set is bounded by its access count, and
+/// adding a reference never reduces the total number of misses.
+#[test]
+fn miss_counts_are_bounded_and_monotone_in_the_reference_set() {
+    let mut rng = SplitMix64::seed_from_u64(0x5E6F);
+    for _ in 0..64 {
+        let trip = rng.gen_range_inclusive(8, 127) as u64;
+        let stride_a = rng.gen_range_inclusive(1, 7) as i64;
+        let stride_b = rng.gen_range_inclusive(1, 7) as i64;
+        let gap = rng.gen_index(8) as u64;
+
         let mut b = Loop::builder("pair");
         let i = b.dimension("I", trip);
         let arr_a = b.array("A", 0, 1 << 20);
@@ -55,17 +68,19 @@ proptest! {
         let analysis = LocalityAnalysis::with_window(&l, trip as usize);
 
         let one = analysis.profile(geometry, &[ld_a]);
-        prop_assert!(one.total_misses <= one.total_accesses);
-        prop_assert_eq!(one.total_accesses, trip);
+        assert!(one.total_misses <= one.total_accesses);
+        assert_eq!(one.total_accesses, trip);
 
         let both = analysis.profile(geometry, &[ld_a, ld_b]);
-        prop_assert!(both.total_misses <= both.total_accesses);
-        prop_assert!(both.total_misses >= one.total_misses,
-            "adding a reference must not reduce total misses");
+        assert!(both.total_misses <= both.total_accesses);
+        assert!(
+            both.total_misses >= one.total_misses,
+            "adding a reference must not reduce total misses"
+        );
 
         // Per-op miss ratios are probabilities.
         for s in &both.per_op {
-            prop_assert!((0.0..=1.0).contains(&s.miss_ratio()));
+            assert!((0.0..=1.0).contains(&s.miss_ratio()));
         }
     }
 }

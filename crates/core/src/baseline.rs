@@ -1,6 +1,6 @@
 //! The baseline scheduler: register-communication-aware cluster assignment.
 //!
-//! This is the algorithm of the authors' earlier work [22] (Section 4.1 of
+//! This is the algorithm of the authors' earlier work \[22\] (Section 4.1 of
 //! the paper): a unified assign-and-schedule modulo scheduler whose cluster
 //! heuristic is the *profit in output register edges* — an operation goes to
 //! the cluster where adding it removes the most (or adds the fewest) register
@@ -42,7 +42,7 @@ impl ClusterPolicy for RegisterPolicy {
     }
 }
 
-/// The register-communication-aware baseline modulo scheduler of [22].
+/// The register-communication-aware baseline modulo scheduler of \[22\].
 ///
 /// # Example
 ///

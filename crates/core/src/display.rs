@@ -20,8 +20,7 @@ pub fn render_kernel(l: &Loop, machine: &MachineConfig, schedule: &Schedule) -> 
     let mut cells: Vec<Vec<Vec<String>>> = vec![vec![Vec::new(); clusters]; ii as usize];
     for placed in schedule.ops() {
         let name = &l.op(placed.op).name;
-        cells[placed.row as usize][placed.cluster]
-            .push(format!("{name}({})", placed.stage));
+        cells[placed.row as usize][placed.cluster].push(format!("{name}({})", placed.stage));
     }
     let mut bus: Vec<Vec<String>> = vec![Vec::new(); ii as usize];
     for c in schedule.communications() {
@@ -39,8 +38,8 @@ pub fn render_kernel(l: &Loop, machine: &MachineConfig, schedule: &Schedule) -> 
     let mut rendered: Vec<Vec<String>> = Vec::new();
     for row in 0..ii as usize {
         let mut line = vec![row.to_string()];
-        for c in 0..clusters {
-            line.push(cells[row][c].join(" "));
+        for cell in cells[row].iter().take(clusters) {
+            line.push(cell.join(" "));
         }
         line.push(bus[row].join(" "));
         for (i, cell) in line.iter().enumerate() {
@@ -66,7 +65,7 @@ pub fn render_kernel(l: &Loop, machine: &MachineConfig, schedule: &Schedule) -> 
         schedule.stage_count(),
         schedule.num_communications()
     );
-    let mut write_line = |cells: &[String], out: &mut String| {
+    let write_line = |cells: &[String], out: &mut String| {
         for (i, cell) in cells.iter().enumerate() {
             let _ = write!(out, "| {:<width$} ", cell, width = col_width[i]);
         }

@@ -1,6 +1,6 @@
 //! The unified assign-and-schedule engine shared by all schedulers.
 //!
-//! Both the baseline scheduler of [22] and the RMCA scheduler of the paper
+//! Both the baseline scheduler of \[22\] and the RMCA scheduler of the paper
 //! follow the same skeleton (Figure 4): sort the nodes, then for each node in
 //! order pick a cluster *and* a cycle in a single step, inserting the
 //! register-bus transfers that the chosen cluster implies. When a node cannot
@@ -59,7 +59,7 @@ pub trait ClusterPolicy {
 
 /// Number of register-value edges with exactly one endpoint inside
 /// `assigned ∪ {extra}` — the "output edges" of the cluster's dependence
-/// subgraph used by the baseline heuristic of [22].
+/// subgraph used by the baseline heuristic of \[22\].
 #[must_use]
 pub fn cut_edges(l: &Loop, assigned: &[OpId], extra: Option<OpId>) -> i64 {
     let in_set = |x: OpId| assigned.contains(&x) || extra == Some(x);
@@ -87,10 +87,7 @@ pub fn register_edge_profit(ctx: &SelectionContext<'_, '_>, op: OpId, cluster: C
 /// cluster, then the lower cluster index (deterministic).
 #[must_use]
 pub fn balance_key(ctx: &SelectionContext<'_, '_>, cluster: ClusterId) -> (i64, i64) {
-    (
-        -(ctx.cluster_ops[cluster].len() as i64),
-        -(cluster as i64),
-    )
+    (-(ctx.cluster_ops[cluster].len() as i64), -(cluster as i64))
 }
 
 /// Internal placement with signed cycles (pre-normalisation).
@@ -230,7 +227,19 @@ fn try_ii<P: ClusterPolicy>(
         let mut feasible: Vec<ClusterId> = Vec::new();
         for c in machine.cluster_ids() {
             let mut probe = mrt.clone();
-            if try_place(l, machine, &mut probe, &placements, ii, op, c, hit_lat, false).is_some() {
+            if try_place(
+                l,
+                machine,
+                &mut probe,
+                &placements,
+                ii,
+                op,
+                c,
+                hit_lat,
+                false,
+            )
+            .is_some()
+            {
                 feasible.push(c);
             }
         }
@@ -277,11 +286,29 @@ fn try_ii<P: ClusterPolicy>(
         // Step 4: place for real, falling back to the hit latency if the
         // miss latency does not fit in this cluster.
         let placed = try_place(
-            l, machine, &mut mrt, &placements, ii, op, cluster, assumed_lat, miss_scheduled,
+            l,
+            machine,
+            &mut mrt,
+            &placements,
+            ii,
+            op,
+            cluster,
+            assumed_lat,
+            miss_scheduled,
         )
         .or_else(|| {
             if miss_scheduled {
-                try_place(l, machine, &mut mrt, &placements, ii, op, cluster, hit_lat, false)
+                try_place(
+                    l,
+                    machine,
+                    &mut mrt,
+                    &placements,
+                    ii,
+                    op,
+                    cluster,
+                    hit_lat,
+                    false,
+                )
             } else {
                 None
             }
@@ -633,8 +660,7 @@ mod tests {
                 0
             };
             assert!(
-                i64::from(d.cycle) + ii * i64::from(e.distance)
-                    >= i64::from(p.cycle) + lat + comm,
+                i64::from(d.cycle) + ii * i64::from(e.distance) >= i64::from(p.cycle) + lat + comm,
                 "dependence {e} violated: src cycle {}, dst cycle {}",
                 p.cycle,
                 d.cycle
@@ -661,8 +687,7 @@ mod tests {
             .edges()
             .iter()
             .filter(|e| {
-                e.kind == EdgeKind::Data
-                    && s.placement(e.src).cluster != s.placement(e.dst).cluster
+                e.kind == EdgeKind::Data && s.placement(e.src).cluster != s.placement(e.dst).cluster
             })
             .count();
         assert_eq!(s.num_communications(), cross);
@@ -714,8 +739,8 @@ mod tests {
             .build()
             .unwrap();
         let l = simple_chain();
-        let err = schedule_with_policy(&l, &machine, &SchedulerOptions::new(), &FirstFit)
-            .unwrap_err();
+        let err =
+            schedule_with_policy(&l, &machine, &SchedulerOptions::new(), &FirstFit).unwrap_err();
         assert!(matches!(err, ScheduleError::MissingResources { .. }));
     }
 

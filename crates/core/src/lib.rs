@@ -6,7 +6,7 @@
 //! clusters, together with the register-communication-aware **baseline**
 //! scheduler it is compared against.
 //!
-//! * [`BaselineScheduler`] — the scheduler of the authors' earlier work [22]:
+//! * [`BaselineScheduler`] — the scheduler of the authors' earlier work \[22\]:
 //!   unified assign-and-schedule with a cluster heuristic that minimises the
 //!   register values crossing clusters. Running it on the single-cluster
 //!   [`presets::unified`](mvp_machine::presets::unified) machine gives the

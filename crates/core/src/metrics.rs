@@ -3,11 +3,10 @@
 use crate::schedule::Schedule;
 use mvp_ir::Loop;
 use mvp_machine::MachineConfig;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Summary of the static properties of a modulo schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleMetrics {
     /// Name of the loop.
     pub loop_name: String,
@@ -44,7 +43,12 @@ impl ScheduleMetrics {
             communications: schedule.num_communications(),
             miss_scheduled_loads: schedule.miss_scheduled_loads().count(),
             balance: schedule.balance(machine.num_clusters()),
-            max_register_pressure: schedule.register_pressure().iter().copied().max().unwrap_or(0),
+            max_register_pressure: schedule
+                .register_pressure()
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0),
             compute_cycles: schedule.compute_cycles_of(l),
         }
     }

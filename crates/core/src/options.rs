@@ -1,9 +1,7 @@
 //! Tunable options shared by all schedulers.
 
-use serde::{Deserialize, Serialize};
-
 /// Options controlling the modulo schedulers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedulerOptions {
     /// Cache-miss threshold (Section 4.3): a load is scheduled with the
     /// cache-miss latency when its estimated miss ratio in its cluster is at

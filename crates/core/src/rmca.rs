@@ -49,18 +49,13 @@ impl ClusterPolicy for MemoryAwarePolicy {
                 .iter()
                 .max_by_key(|&&c| {
                     let geometry = ctx.machine.cluster(c).cache;
-                    let added =
-                        ctx.analysis
-                            .added_misses(geometry, op, &ctx.cluster_mem_ops[c]);
+                    let added = ctx
+                        .analysis
+                        .added_misses(geometry, op, &ctx.cluster_mem_ops[c]);
                     // Primary: fewest added misses. Secondary: register-edge
                     // profit. Tertiary: balance, then lowest cluster id.
                     let (load, idx) = balance_key(ctx, c);
-                    (
-                        -(added as i64),
-                        register_edge_profit(ctx, op, c),
-                        load,
-                        idx,
-                    )
+                    (-(added as i64), register_edge_profit(ctx, op, c), load, idx)
                 })
                 .expect("feasible cluster list is never empty")
         } else {
@@ -248,11 +243,9 @@ mod tests {
         let l = fig3_like(machine.cluster(0).cache.capacity_bytes);
         let mut counts = Vec::new();
         for threshold in [1.0, 0.75, 0.25, 0.0] {
-            let s = RmcaScheduler::with_options(
-                SchedulerOptions::new().with_threshold(threshold),
-            )
-            .schedule(&l, &machine)
-            .unwrap();
+            let s = RmcaScheduler::with_options(SchedulerOptions::new().with_threshold(threshold))
+                .schedule(&l, &machine)
+                .unwrap();
             counts.push(s.miss_scheduled_loads().count());
         }
         // Lower thresholds never miss-schedule fewer loads.

@@ -3,11 +3,10 @@
 
 use mvp_ir::{Loop, OpId};
 use mvp_machine::ClusterId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Placement of one operation in the modulo schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlacedOp {
     /// The operation.
     pub op: OpId,
@@ -28,7 +27,7 @@ pub struct PlacedOp {
 }
 
 /// One inter-cluster register communication of the kernel (one per iteration).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Communication {
     /// Operation producing the value.
     pub src: OpId,
@@ -45,7 +44,7 @@ pub struct Communication {
 }
 
 /// A complete modulo schedule of one loop on one machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     /// Name of the machine configuration the schedule targets.
     pub machine_name: String,
@@ -173,10 +172,7 @@ impl Schedule {
 
     /// Loads that were scheduled with the cache-miss latency.
     pub fn miss_scheduled_loads(&self) -> impl Iterator<Item = OpId> + '_ {
-        self.ops
-            .iter()
-            .filter(|p| p.miss_scheduled)
-            .map(|p| p.op)
+        self.ops.iter().filter(|p| p.miss_scheduled).map(|p| p.op)
     }
 }
 
@@ -214,7 +210,11 @@ mod tests {
     #[test]
     fn stage_count_follows_the_last_cycle() {
         let ii = 3;
-        let ops = vec![placed(0, 0, 0, ii), placed(1, 0, 5, ii), placed(2, 1, 9, ii)];
+        let ops = vec![
+            placed(0, 0, 0, ii),
+            placed(1, 0, 5, ii),
+            placed(2, 1, 9, ii),
+        ];
         let s = Schedule::new("m", "test", ii, ops, vec![], vec![0, 0]);
         // Last cycle 9 -> stage 3 -> SC = 4 (matching Figure 3a: II=3, SC=4).
         assert_eq!(s.ii(), 3);

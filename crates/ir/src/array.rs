@@ -12,11 +12,10 @@
 //! where strides and the offset are expressed in bytes.
 
 use crate::loop_nest::{DimId, LoopNest};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an [`Array`] within a [`crate::Loop`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ArrayId(pub(crate) u32);
 
 impl ArrayId {
@@ -41,7 +40,7 @@ impl fmt::Display for ArrayId {
 
 /// A declared array (or scalar region) with a base address in the simulated
 /// address space.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Array {
     /// Identifier of the array.
     pub id: ArrayId,
@@ -57,7 +56,7 @@ pub struct Array {
 }
 
 /// An affine reference into an array, attached to a load or store operation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ArrayRef {
     /// The referenced array.
     pub array: ArrayId,
@@ -239,8 +238,12 @@ mod tests {
     #[test]
     fn inner_stride_and_variation() {
         let (nest, j, i) = nest_2d();
-        let varies = ArrayRef::builder(ArrayId::from_index(0)).stride(i, 8).build();
-        let constant = ArrayRef::builder(ArrayId::from_index(0)).stride(j, 8).build();
+        let varies = ArrayRef::builder(ArrayId::from_index(0))
+            .stride(i, 8)
+            .build();
+        let constant = ArrayRef::builder(ArrayId::from_index(0))
+            .stride(j, 8)
+            .build();
         assert_eq!(varies.inner_stride(&nest), 8);
         assert!(varies.varies_with_inner(&nest));
         assert_eq!(constant.inner_stride(&nest), 0);

@@ -23,7 +23,11 @@ pub fn to_dot(l: &Loop) -> String {
         ));
     }
     for edge in l.edges() {
-        let style = if edge.is_loop_carried() { "dashed" } else { "solid" };
+        let style = if edge.is_loop_carried() {
+            "dashed"
+        } else {
+            "solid"
+        };
         let colour = match edge.kind {
             EdgeKind::Data => "black",
             EdgeKind::Memory => "gray50",

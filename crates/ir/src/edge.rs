@@ -1,11 +1,10 @@
 //! Dependence edges of the data-dependence graph.
 
 use crate::op::OpId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Kind of a dependence edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeKind {
     /// Flow of a register value from producer to consumer. When producer and
     /// consumer end up in different clusters, the value must travel over a
@@ -31,7 +30,7 @@ impl fmt::Display for EdgeKind {
 /// A distance of 0 is an intra-iteration dependence; a distance of `d > 0`
 /// means the value produced in iteration `i` is consumed in iteration
 /// `i + d` (a loop-carried dependence, the source of recurrences).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DepEdge {
     /// Producing operation.
     pub src: OpId,
@@ -82,7 +81,11 @@ impl DepEdge {
 
 impl fmt::Display for DepEdge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {} [{}, d={}]", self.src, self.dst, self.kind, self.distance)
+        write!(
+            f,
+            "{} -> {} [{}, d={}]",
+            self.src, self.dst, self.kind, self.distance
+        )
     }
 }
 

@@ -4,7 +4,6 @@ use crate::array::{Array, ArrayId, ArrayRef, ArrayRefBuilder};
 use crate::edge::DepEdge;
 use crate::loop_nest::{DimId, LoopNest};
 use crate::op::{OpId, OpKind, Operation};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -69,7 +68,7 @@ impl Error for IrError {}
 
 /// A loop body ready for modulo scheduling: the data-dependence graph, the
 /// loop nest it belongs to, and the arrays its memory operations reference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Loop {
     name: String,
     ops: Vec<Operation>,
@@ -181,10 +180,7 @@ impl Loop {
 
     /// Identifiers of all memory operations (loads and stores), in order.
     pub fn memory_ops(&self) -> impl Iterator<Item = OpId> + '_ {
-        self.ops
-            .iter()
-            .filter(|o| o.is_memory())
-            .map(|o| o.id)
+        self.ops.iter().filter(|o| o.is_memory()).map(|o| o.id)
     }
 
     /// Identifiers of all load operations, in order.
@@ -341,7 +337,12 @@ impl LoopBuilder {
     }
 
     /// Declares an array at an explicit base address.
-    pub fn array(&mut self, name: impl Into<String>, base_address: u64, size_bytes: u64) -> ArrayId {
+    pub fn array(
+        &mut self,
+        name: impl Into<String>,
+        base_address: u64,
+        size_bytes: u64,
+    ) -> ArrayId {
         let id = ArrayId::from_index(self.arrays.len());
         self.arrays.push(Array {
             id,

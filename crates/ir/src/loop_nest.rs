@@ -6,12 +6,11 @@
 //! offsets) and for the cycle model
 //! `NCYCLE_compute = NTIMES * ((NITER + SC - 1) * II)`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a loop dimension within a [`LoopNest`]. Dimension 0 is the
 /// outermost loop; the highest index is the innermost (pipelined) loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DimId(pub(crate) u32);
 
 impl DimId {
@@ -35,7 +34,7 @@ impl fmt::Display for DimId {
 }
 
 /// One dimension (induction variable) of a loop nest.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LoopDim {
     /// Name of the induction variable (e.g. `"I"`).
     pub name: String,
@@ -44,7 +43,7 @@ pub struct LoopDim {
 }
 
 /// A perfect loop nest. The innermost dimension is the pipelined loop.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct LoopNest {
     dims: Vec<LoopDim>,
 }

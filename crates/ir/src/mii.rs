@@ -19,11 +19,7 @@ use mvp_machine::{FuKind, MachineConfig};
 pub fn res_mii(l: &Loop, machine: &MachineConfig) -> u32 {
     let mut worst = 1u32;
     for kind in FuKind::ALL {
-        let ops = l
-            .ops()
-            .iter()
-            .filter(|o| o.kind.fu_kind() == kind)
-            .count() as u64;
+        let ops = l.ops().iter().filter(|o| o.kind.fu_kind() == kind).count() as u64;
         let units = machine.total_fu_count(kind) as u64;
         if ops == 0 {
             continue;
@@ -44,9 +40,7 @@ pub fn res_mii(l: &Loop, machine: &MachineConfig) -> u32 {
 /// hits in the local cache (the optimistic latency of the baseline).
 #[must_use]
 pub fn rec_mii(l: &Loop, machine: &MachineConfig) -> u32 {
-    recurrence::rec_mii(l, |op: OpId| {
-        l.op(op).kind.hit_latency(&machine.latencies)
-    })
+    recurrence::rec_mii(l, |op: OpId| l.op(op).kind.hit_latency(&machine.latencies))
 }
 
 /// Minimum initiation interval: `max(ResMII, RecMII)`.

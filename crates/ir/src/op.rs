@@ -1,11 +1,10 @@
 //! Operations of a modulo-scheduled loop body.
 
 use mvp_machine::{FuKind, OperationLatencies};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an operation within a [`crate::Loop`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OpId(pub(crate) u32);
 
 impl OpId {
@@ -38,7 +37,7 @@ impl fmt::Display for OpId {
 }
 
 /// Class of an operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Integer arithmetic / logic / address computation.
     IntOp,
@@ -99,7 +98,7 @@ impl fmt::Display for OpKind {
 }
 
 /// An operation of the loop body.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Operation {
     /// Identifier of the operation.
     pub id: OpId,

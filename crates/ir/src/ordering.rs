@@ -1,6 +1,6 @@
 //! Node ordering for the unified assign-and-schedule pass.
 //!
-//! The paper reuses the ordering of its baseline scheduler [22]: nodes are
+//! The paper reuses the ordering of its baseline scheduler \[22\]: nodes are
 //! sorted so that, as far as possible, when a node is scheduled it has *only
 //! predecessors or only successors* among the already-scheduled nodes — never
 //! both — because a node squeezed between two already-placed neighbours has
@@ -265,9 +265,12 @@ mod tests {
                 sandwiched += 1;
             }
         }
-        assert!(sandwiched <= 1, "order {order:?} sandwiches {sandwiched} nodes");
+        assert!(
+            sandwiched <= 1,
+            "order {order:?} sandwiches {sandwiched} nodes"
+        );
         // Sanity: the permutation covers every node.
-        assert_eq!(pos(ld) + pos(f1) + pos(f2) + pos(st), 0 + 1 + 2 + 3);
+        assert_eq!(pos(ld) + pos(f1) + pos(f2) + pos(st), 1 + 2 + 3);
     }
 
     #[test]

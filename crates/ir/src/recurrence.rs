@@ -49,7 +49,7 @@ const MAX_CIRCUITS: usize = 100_000;
 ///
 /// Uses a Johnson-style search: circuits are only reported from their
 /// smallest operation id, which guarantees each elementary circuit is found
-/// exactly once. The search stops after [`MAX_CIRCUITS`] circuits.
+/// exactly once. The search stops after `MAX_CIRCUITS` circuits.
 #[must_use]
 pub fn elementary_circuits(l: &Loop) -> Vec<Circuit> {
     let n = l.num_ops();

@@ -1,22 +1,24 @@
-//! Property-based tests of the loop IR.
+//! Property-style tests of the loop IR, driven by a seeded RNG sweep
+//! (the workspace builds without `proptest`).
 
 use mvp_ir::{mii, ArrayRef, DimId, Loop, LoopNest};
 use mvp_machine::presets;
-use proptest::prelude::*;
+use mvp_testutil::SplitMix64;
 
-proptest! {
-    /// Affine references are linear: the address difference between two
-    /// iteration vectors equals the dot product of the strides with the
-    /// iteration-vector difference.
-    #[test]
-    fn array_ref_addresses_are_affine(
-        base in 0u64..1_000_000,
-        offset in 0i64..4096,
-        s0 in -64i64..64,
-        s1 in -64i64..64,
-        iv_a in (0u64..100, 0u64..100),
-        iv_b in (0u64..100, 0u64..100),
-    ) {
+/// Affine references are linear: the address difference between two
+/// iteration vectors equals the dot product of the strides with the
+/// iteration-vector difference.
+#[test]
+fn array_ref_addresses_are_affine() {
+    let mut rng = SplitMix64::seed_from_u64(0xA11A);
+    for _ in 0..256 {
+        let base = rng.next_u64() % 1_000_000;
+        let offset = rng.gen_index(4096) as i64;
+        let s0 = rng.gen_index(128) as i64 - 64;
+        let s1 = rng.gen_index(128) as i64 - 64;
+        let iv_a = (rng.gen_index(100) as u64, rng.gen_index(100) as u64);
+        let iv_b = (rng.gen_index(100) as u64, rng.gen_index(100) as u64);
+
         let r = ArrayRef::builder(mvp_ir::ArrayId::from_index(0))
             .offset(offset)
             .stride(DimId::from_index(0), s0)
@@ -27,34 +29,48 @@ proptest! {
         let a = r.address(base, &[iv_a.0, iv_a.1]) as i64;
         let b = r.address(base, &[iv_b.0, iv_b.1]) as i64;
         let expected = s0 * (iv_a.0 as i64 - iv_b.0 as i64) + s1 * (iv_a.1 as i64 - iv_b.1 as i64);
-        prop_assert_eq!(a - b, expected);
+        assert_eq!(a - b, expected);
     }
+}
 
-    /// The iteration-vector iterator visits exactly the product of the trip
-    /// counts, in lexicographic order.
-    #[test]
-    fn loop_nest_iteration_space_is_complete(trips in proptest::collection::vec(1u64..6, 1..4)) {
+/// The iteration-vector iterator visits exactly the product of the trip
+/// counts, in lexicographic order.
+#[test]
+fn loop_nest_iteration_space_is_complete() {
+    let mut rng = SplitMix64::seed_from_u64(0xB22B);
+    for _ in 0..64 {
+        let depth = rng.gen_range_inclusive(1, 3);
+        let trips: Vec<u64> = (0..depth)
+            .map(|_| rng.gen_range_inclusive(1, 5) as u64)
+            .collect();
         let mut nest = LoopNest::new();
         for (k, &t) in trips.iter().enumerate() {
             nest.push_dimension(format!("D{k}"), t);
         }
         let points: Vec<Vec<u64>> = nest.iteration_vectors().collect();
-        prop_assert_eq!(points.len() as u64, trips.iter().product::<u64>());
+        assert_eq!(points.len() as u64, trips.iter().product::<u64>());
         // Lexicographic and in-bounds.
         for w in points.windows(2) {
-            prop_assert!(w[0] < w[1]);
+            assert!(w[0] < w[1]);
         }
         for p in &points {
             for (d, &x) in p.iter().enumerate() {
-                prop_assert!(x < trips[d]);
+                assert!(x < trips[d]);
             }
         }
     }
+}
 
-    /// The minimum II never exceeds the sum of all operation latencies and is
-    /// always at least 1; the scheduling order is a permutation.
-    #[test]
-    fn mii_and_ordering_are_well_formed(n_ops in 2usize..12, back_edge in 0usize..8, distance in 1u32..3) {
+/// The minimum II never exceeds the sum of all operation latencies and is
+/// always at least 1; the scheduling order is a permutation.
+#[test]
+fn mii_and_ordering_are_well_formed() {
+    let mut rng = SplitMix64::seed_from_u64(0xC33C);
+    for _ in 0..128 {
+        let n_ops = rng.gen_range_inclusive(2, 11);
+        let back_edge = rng.gen_index(8);
+        let distance = rng.gen_range_inclusive(1, 2) as u32;
+
         let mut b = Loop::builder("chain");
         let ops: Vec<_> = (0..n_ops).map(|k| b.fp_op(format!("F{k}"))).collect();
         for w in 0..n_ops - 1 {
@@ -66,11 +82,13 @@ proptest! {
         let l = b.build().unwrap();
         let machine = presets::unified();
         let bound = mii::minimum_ii(&l, &machine);
-        prop_assert!(bound >= 1);
-        prop_assert!(bound <= 2 * n_ops as u32);
-        let order = mvp_ir::ordering::schedule_order(&l, |op| l.op(op).kind.hit_latency(&machine.latencies));
+        assert!(bound >= 1);
+        assert!(bound <= 2 * n_ops as u32);
+        let order = mvp_ir::ordering::schedule_order(&l, |op| {
+            l.op(op).kind.hit_latency(&machine.latencies)
+        });
         let mut seen: Vec<usize> = order.iter().map(|o| o.index()).collect();
         seen.sort_unstable();
-        prop_assert_eq!(seen, (0..n_ops).collect::<Vec<_>>());
+        assert_eq!(seen, (0..n_ops).collect::<Vec<_>>());
     }
 }

@@ -5,11 +5,10 @@
 //! cache-miss traffic and coherence transactions under hardware control.
 
 use crate::error::MachineError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which set of buses a configuration refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BusKind {
     /// Compiler-managed register buses.
     Register,
@@ -30,7 +29,7 @@ impl fmt::Display for BusKind {
 ///
 /// The paper evaluates both realistic bus counts and an *unbounded* number of
 /// buses (Section 5.2) to isolate the effect of bus bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BusCount {
     /// A fixed number of buses shared by all clusters.
     Finite(usize),
@@ -65,7 +64,7 @@ impl fmt::Display for BusCount {
 }
 
 /// Configuration of one set of buses (register or memory).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BusConfig {
     /// How many buses are available.
     pub count: BusCount,

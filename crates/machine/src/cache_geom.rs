@@ -1,14 +1,13 @@
 //! Geometry of a local L1 data cache.
 
 use crate::error::MachineError;
-use serde::{Deserialize, Serialize};
 
 /// Geometry of a (set-associative) data cache.
 ///
 /// The paper's local caches are direct-mapped, non-blocking and hold an equal
 /// share of an 8 KB total L1 capacity; the geometry is nevertheless kept
 /// general so that associativity and capacity studies are possible.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -81,7 +80,10 @@ impl CacheGeometry {
         if self.associativity == 0 {
             return Err(err("associativity is zero"));
         }
-        if self.capacity_bytes % (self.block_bytes * self.associativity) != 0 {
+        if !self
+            .capacity_bytes
+            .is_multiple_of(self.block_bytes * self.associativity)
+        {
             return Err(err(
                 "capacity is not a multiple of block size times associativity",
             ));

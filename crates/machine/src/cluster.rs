@@ -3,7 +3,6 @@
 use crate::cache_geom::CacheGeometry;
 use crate::error::MachineError;
 use crate::fu::{FuKind, FunctionalUnit};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one cluster of the multiVLIWprocessor.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// slice of the L1 data cache (plus a local instruction cache which is not
 /// modelled further since instruction fetch never stalls in the paper's
 /// experiments).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ClusterConfig {
     /// Number of functional units of each kind, indexed by [`FuKind::index`].
     fu_counts: [usize; 3],
@@ -25,7 +24,13 @@ impl ClusterConfig {
     /// Creates a cluster with `int`/`float`/`memory` functional units, a
     /// register file of `registers` entries and the given local cache.
     #[must_use]
-    pub fn new(int: usize, float: usize, memory: usize, registers: usize, cache: CacheGeometry) -> Self {
+    pub fn new(
+        int: usize,
+        float: usize,
+        memory: usize,
+        registers: usize,
+        cache: CacheGeometry,
+    ) -> Self {
         Self {
             fu_counts: [int, float, memory],
             register_file_size: registers,
@@ -47,9 +52,9 @@ impl ClusterConfig {
 
     /// Iterator over all functional units of the cluster.
     pub fn functional_units(&self) -> impl Iterator<Item = FunctionalUnit> + '_ {
-        FuKind::ALL
-            .into_iter()
-            .flat_map(move |kind| (0..self.fu_count(kind)).map(move |i| FunctionalUnit::new(kind, i)))
+        FuKind::ALL.into_iter().flat_map(move |kind| {
+            (0..self.fu_count(kind)).map(move |i| FunctionalUnit::new(kind, i))
+        })
     }
 
     /// Validates the cluster: it must contain at least one functional unit, a
@@ -106,7 +111,10 @@ mod tests {
     #[test]
     fn empty_cluster_is_rejected() {
         let c = ClusterConfig::new(0, 0, 0, 32, cache());
-        assert_eq!(c.validate(5), Err(MachineError::EmptyCluster { cluster: 5 }));
+        assert_eq!(
+            c.validate(5),
+            Err(MachineError::EmptyCluster { cluster: 5 })
+        );
     }
 
     #[test]

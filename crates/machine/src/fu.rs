@@ -3,12 +3,11 @@
 //! The paper assumes three kinds of functional units per cluster: integer
 //! arithmetic, floating-point arithmetic and memory ports (Section 2.1).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Kind of a functional unit (and, by extension, of the operation classes it
 /// can execute).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FuKind {
     /// Integer arithmetic / logic unit.
     Integer,
@@ -61,7 +60,7 @@ impl fmt::Display for FuKind {
 /// Units are fully pipelined: a new operation can be issued every cycle and
 /// the only resource conflict is on the issue slot itself, which matches the
 /// resource model used by modulo scheduling reservation tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FunctionalUnit {
     /// Kind of operations this unit executes.
     pub kind: FuKind,
@@ -109,7 +108,10 @@ mod tests {
         assert_eq!(FuKind::Integer.to_string(), "integer");
         assert_eq!(FuKind::Float.to_string(), "float");
         assert_eq!(FuKind::Memory.to_string(), "memory");
-        assert_eq!(FunctionalUnit::new(FuKind::Memory, 1).to_string(), "memory[1]");
+        assert_eq!(
+            FunctionalUnit::new(FuKind::Memory, 1).to_string(),
+            "memory[1]"
+        );
     }
 
     #[test]

@@ -14,7 +14,6 @@
 //! no hardware arbitration is needed for register buses.
 
 use crate::fu::FuKind;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of an architectural register within a cluster's local register file.
@@ -24,7 +23,7 @@ pub type RegisterIndex = u16;
 pub type BusIndex = usize;
 
 /// An operation placed in a functional-unit slot of a cluster word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SlotOp {
     /// Identifier of the operation in the scheduled loop (opaque to the ISA).
     pub op: u32,
@@ -36,7 +35,7 @@ pub struct SlotOp {
 }
 
 /// `OUT BUS` field: drive a local value onto a register bus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OutBusField {
     /// Local register whose value is driven (possibly bypassed from a
     /// functional-unit output being written this cycle).
@@ -44,14 +43,14 @@ pub struct OutBusField {
 }
 
 /// `IN BUS` field: store the value latched in the IRV into a local register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InBusField {
     /// Local register that receives the IRV contents.
     pub dest: RegisterIndex,
 }
 
 /// The part of a VLIW instruction executed by one cluster in one cycle.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterWord {
     /// One slot per functional unit of the cluster (index = unit index in
     /// [`crate::ClusterConfig::functional_units`] order); `None` is a no-op.
@@ -98,7 +97,7 @@ impl ClusterWord {
 
 /// A full VLIW instruction: one [`ClusterWord`] per cluster, all issued in
 /// lockstep.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VliwInstruction {
     /// Per-cluster words, indexed by cluster id.
     pub clusters: Vec<ClusterWord>,
@@ -137,7 +136,7 @@ impl VliwInstruction {
         for (c, word) in self.clusters.iter().enumerate() {
             for (s, slot) in word.fu_slots.iter().enumerate() {
                 if let Some(op) = slot {
-                    let dest = op.dest.map_or(-1i32, |d| i32::from(d));
+                    let dest = op.dest.map_or(-1i32, i32::from);
                     out.push_str(&format!("F {c} {s} {} {} {dest}\n", op.op, op.kind.index()));
                 }
             }
@@ -187,7 +186,11 @@ impl VliwInstruction {
                     let kind = FuKind::from_index(parse(fields[4])? as usize)
                         .ok_or_else(|| format!("line {}: bad FU kind", lineno + 1))?;
                     let dest = parse(fields[5])?;
-                    let dest = if dest < 0 { None } else { Some(dest as RegisterIndex) };
+                    let dest = if dest < 0 {
+                        None
+                    } else {
+                        Some(dest as RegisterIndex)
+                    };
                     let word = inst
                         .clusters
                         .get_mut(c)

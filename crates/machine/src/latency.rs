@@ -6,14 +6,13 @@
 //! exact values are configurable so that sensitivity studies are possible.
 
 use crate::error::MachineError;
-use serde::{Deserialize, Serialize};
 
 /// Latencies (in cycles) of the operation classes executed by the machine.
 ///
 /// All latencies are *defined* latencies as seen by the static scheduler: the
 /// number of cycles between the issue of an operation and the first cycle in
 /// which a dependent operation may issue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OperationLatencies {
     /// Integer arithmetic / logic operations.
     pub int_op: u32,
@@ -95,7 +94,10 @@ mod tests {
 
     #[test]
     fn default_equals_paper_defaults() {
-        assert_eq!(OperationLatencies::default(), OperationLatencies::paper_defaults());
+        assert_eq!(
+            OperationLatencies::default(),
+            OperationLatencies::paper_defaults()
+        );
     }
 
     #[test]

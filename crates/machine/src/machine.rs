@@ -6,7 +6,6 @@ use crate::cluster::ClusterConfig;
 use crate::error::MachineError;
 use crate::fu::FuKind;
 use crate::latency::OperationLatencies;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a cluster within a [`MachineConfig`].
@@ -18,7 +17,7 @@ pub type ClusterId = usize;
 /// buses, a set of memory buses and the operation latencies of Table 1. The
 /// *Unified* configuration of the paper is simply a machine with a single
 /// cluster holding all resources.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineConfig {
     /// Human-readable name (used in result tables, e.g. `"2-cluster"`).
     pub name: String,
@@ -331,7 +330,10 @@ mod tests {
     #[test]
     fn invalid_cluster_propagates() {
         let bad = ClusterConfig::new(0, 0, 0, 16, CacheGeometry::direct_mapped(2048));
-        let err = MachineConfig::builder("bad").cluster(bad).build().unwrap_err();
+        let err = MachineConfig::builder("bad")
+            .cluster(bad)
+            .build()
+            .unwrap_err();
         assert_eq!(err, MachineError::EmptyCluster { cluster: 0 });
     }
 

@@ -18,8 +18,8 @@
 use crate::bus::BusConfig;
 use crate::cache_geom::CacheGeometry;
 use crate::cluster::ClusterConfig;
-use crate::machine::{split_cache, MachineConfig};
 use crate::latency::OperationLatencies;
+use crate::machine::{split_cache, MachineConfig};
 
 /// Total L1 data cache capacity shared by every Table-1 configuration (8 KB).
 pub const TOTAL_L1_BYTES: u64 = 8 * 1024;
@@ -30,12 +30,23 @@ pub const TOTAL_ISSUE_WIDTH: usize = 12;
 /// Total number of architectural registers of every Table-1 configuration.
 pub const TOTAL_REGISTERS: usize = 64;
 
-fn preset(name: &str, num_clusters: usize, fus_per_kind: usize, regs_per_cluster: usize) -> MachineConfig {
+fn preset(
+    name: &str,
+    num_clusters: usize,
+    fus_per_kind: usize,
+    regs_per_cluster: usize,
+) -> MachineConfig {
     let cache = split_cache(CacheGeometry::direct_mapped(TOTAL_L1_BYTES), num_clusters);
     MachineConfig::builder(name)
         .homogeneous_clusters(
             num_clusters,
-            ClusterConfig::new(fus_per_kind, fus_per_kind, fus_per_kind, regs_per_cluster, cache),
+            ClusterConfig::new(
+                fus_per_kind,
+                fus_per_kind,
+                fus_per_kind,
+                regs_per_cluster,
+                cache,
+            ),
         )
         .register_buses(BusConfig::finite(2, 1))
         .memory_buses(BusConfig::finite(1, 1))

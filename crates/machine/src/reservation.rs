@@ -10,7 +10,6 @@ use crate::bus::BusCount;
 use crate::error::MachineError;
 use crate::fu::FuKind;
 use crate::machine::{ClusterId, MachineConfig};
-use serde::{Deserialize, Serialize};
 
 /// Token recorded in an MRT slot: the identifier of the operation (or
 /// communication) occupying the slot. Purely informational; the MRT only
@@ -19,7 +18,7 @@ pub type SlotToken = u32;
 
 /// A reserved functional-unit issue slot, returned by
 /// [`ModuloReservationTable::reserve_fu`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FuSlot {
     /// Cluster the slot belongs to.
     pub cluster: ClusterId,
@@ -33,7 +32,7 @@ pub struct FuSlot {
 
 /// A reserved register-bus transfer, returned by
 /// [`ModuloReservationTable::reserve_register_bus`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BusSlot {
     /// Bus index (0 when the bus set is unbounded).
     pub bus: usize,
@@ -47,7 +46,7 @@ pub struct BusSlot {
 }
 
 /// The modulo reservation table for one (machine, II) pair.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModuloReservationTable {
     ii: u32,
     /// `fu[cluster][kind][row * units + unit]`
@@ -118,7 +117,13 @@ impl ModuloReservationTable {
         cycle % self.ii
     }
 
-    fn fu_cell(&self, cluster: ClusterId, kind: FuKind, row: u32, unit: usize) -> &Option<SlotToken> {
+    fn fu_cell(
+        &self,
+        cluster: ClusterId,
+        kind: FuKind,
+        row: u32,
+        unit: usize,
+    ) -> &Option<SlotToken> {
         &self.fu[cluster][kind.index()][row as usize * self.fu_units[cluster][kind.index()] + unit]
     }
 
@@ -359,8 +364,7 @@ mod tests {
 
     #[test]
     fn unbounded_register_buses_never_conflict() {
-        let machine = presets::two_cluster()
-            .with_register_buses(crate::BusConfig::unbounded(2));
+        let machine = presets::two_cluster().with_register_buses(crate::BusConfig::unbounded(2));
         let mut mrt = ModuloReservationTable::new(&machine, 2).unwrap();
         for i in 0..100 {
             assert!(mrt.can_reserve_register_bus(i));

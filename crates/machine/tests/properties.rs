@@ -1,37 +1,49 @@
-//! Property-based tests of the machine-model data structures.
+//! Property-style tests of the machine-model data structures, driven by a
+//! seeded RNG sweep (the workspace builds without `proptest`).
 
 use mvp_machine::{presets, CacheGeometry, FuKind, ModuloReservationTable};
-use proptest::prelude::*;
+use mvp_testutil::SplitMix64;
 
-proptest! {
-    /// Set indices always stay inside the set array, and addresses within the
-    /// same block map to the same set.
-    #[test]
-    fn cache_set_mapping_is_total_and_block_consistent(
-        capacity_exp in 8u32..16,     // 256 B .. 32 KB
-        block_exp in 4u32..7,         // 16 .. 64 B blocks
-        address in 0u64..(1 << 40),
-        offset in 0u64..16,
-    ) {
+/// Set indices always stay inside the set array, and addresses within the
+/// same block map to the same set.
+#[test]
+fn cache_set_mapping_is_total_and_block_consistent() {
+    let mut rng = SplitMix64::seed_from_u64(0xD44D);
+    for _ in 0..256 {
+        let capacity_exp = rng.gen_range_inclusive(8, 15) as u32; // 256 B .. 32 KB
+        let block_exp = rng.gen_range_inclusive(4, 6) as u32; // 16 .. 64 B blocks
+        let address = rng.next_u64() % (1 << 40);
+        let offset = rng.gen_index(16) as u64;
+
         let geometry = CacheGeometry {
             capacity_bytes: 1 << capacity_exp,
             block_bytes: 1 << block_exp,
             associativity: 1,
             mshr_entries: 10,
         };
-        prop_assume!(geometry.validate().is_ok());
+        if geometry.validate().is_err() {
+            continue;
+        }
         let set = geometry.set_of(address);
-        prop_assert!(set < geometry.num_sets());
+        assert!(set < geometry.num_sets());
         // An address in the same block maps to the same set and block.
-        let same_block = address - (address % geometry.block_bytes) + (offset % geometry.block_bytes);
-        prop_assert_eq!(geometry.set_of(same_block), set);
-        prop_assert_eq!(geometry.block_of(same_block), geometry.block_of(address));
+        let same_block =
+            address - (address % geometry.block_bytes) + (offset % geometry.block_bytes);
+        assert_eq!(geometry.set_of(same_block), set);
+        assert_eq!(geometry.block_of(same_block), geometry.block_of(address));
     }
+}
 
-    /// A functional-unit row never accepts more reservations than the cluster
-    /// has units of that kind, and releasing restores the capacity.
-    #[test]
-    fn mrt_fu_capacity_is_respected(ii in 1u32..12, cycle in 0u32..200, extra in 1u32..4) {
+/// A functional-unit row never accepts more reservations than the cluster
+/// has units of that kind, and releasing restores the capacity.
+#[test]
+fn mrt_fu_capacity_is_respected() {
+    let mut rng = SplitMix64::seed_from_u64(0xE55E);
+    for _ in 0..128 {
+        let ii = rng.gen_range_inclusive(1, 11) as u32;
+        let cycle = rng.gen_index(200) as u32;
+        let extra = rng.gen_range_inclusive(1, 3) as u32;
+
         let machine = presets::two_cluster();
         let mut mrt = ModuloReservationTable::new(&machine, ii).unwrap();
         let kind = FuKind::Memory;
@@ -42,21 +54,27 @@ proptest! {
         while let Some(slot) = mrt.reserve_fu(0, kind, cycle, token) {
             slots.push(slot);
             token += 1;
-            prop_assert!(slots.len() <= capacity);
+            assert!(slots.len() <= capacity);
         }
-        prop_assert_eq!(slots.len(), capacity);
+        assert_eq!(slots.len(), capacity);
         // Any cycle mapping to the same row is also full.
-        prop_assert!(!mrt.has_free_fu(0, kind, cycle + extra * ii));
+        assert!(!mrt.has_free_fu(0, kind, cycle + extra * ii));
         // Releasing one slot frees exactly one reservation.
         mrt.release_fu(slots.pop().unwrap());
-        prop_assert!(mrt.has_free_fu(0, kind, cycle));
-        prop_assert_eq!(mrt.free_fu_slots(0, kind, cycle), 1);
+        assert!(mrt.has_free_fu(0, kind, cycle));
+        assert_eq!(mrt.free_fu_slots(0, kind, cycle), 1);
     }
+}
 
-    /// Register-bus transfers never overlap on the same bus and releasing
-    /// them restores full capacity.
-    #[test]
-    fn mrt_register_bus_reservations_round_trip(ii in 2u32..10, start in 0u32..40) {
+/// Register-bus transfers never overlap on the same bus and releasing
+/// them restores full capacity.
+#[test]
+fn mrt_register_bus_reservations_round_trip() {
+    let mut rng = SplitMix64::seed_from_u64(0xF66F);
+    for _ in 0..128 {
+        let ii = rng.gen_range_inclusive(2, 9) as u32;
+        let start = rng.gen_index(40) as u32;
+
         let machine = presets::two_cluster(); // 2 buses, latency 1
         let mut mrt = ModuloReservationTable::new(&machine, ii).unwrap();
         let mut reserved = Vec::new();
@@ -64,14 +82,14 @@ proptest! {
         while let Some(slot) = mrt.reserve_register_bus(cycle, cycle) {
             reserved.push(slot);
             cycle += 1;
-            prop_assert!(reserved.len() <= 2 * ii as usize);
+            assert!(reserved.len() <= 2 * ii as usize);
         }
         // With 2 buses of latency 1 the table holds exactly 2 * II transfers.
-        prop_assert_eq!(reserved.len(), 2 * ii as usize);
+        assert_eq!(reserved.len(), 2 * ii as usize);
         for slot in reserved {
             mrt.release_register_bus(slot);
         }
-        prop_assert_eq!(mrt.num_transfers(), 0);
-        prop_assert!(mrt.can_reserve_register_bus(start));
+        assert_eq!(mrt.num_transfers(), 0);
+        assert!(mrt.can_reserve_register_bus(start));
     }
 }

@@ -98,9 +98,8 @@ pub fn simulate(
                 // Issue time: the static position of the operation plus every
                 // stall the lockstep machine has suffered since this
                 // execution of the loop started.
-                let mut issue = base
-                    + u64::from(place.cycle)
-                    + (stall_cycles - stalls_at_exec_start);
+                let mut issue =
+                    base + u64::from(place.cycle) + (stall_cycles - stalls_at_exec_start);
 
                 // Wait for operands produced by loads that are still in
                 // flight (the scheduler assumed a shorter latency).
@@ -185,7 +184,10 @@ mod tests {
         let machine = presets::two_cluster();
         let s = BaselineScheduler::new().schedule(&l, &machine).unwrap();
         let stats = simulate(&l, &s, &machine, &SimOptions::new());
-        assert_eq!(stats.total_cycles(), stats.compute_cycles + stats.stall_cycles);
+        assert_eq!(
+            stats.total_cycles(),
+            stats.compute_cycles + stats.stall_cycles
+        );
         assert_eq!(stats.iterations, 200);
         assert_eq!(stats.executions, 1);
         assert_eq!(stats.compute_cycles, s.compute_cycles(1, 200));
@@ -203,7 +205,9 @@ mod tests {
         assert!(hit_stats.stall_cycles > 0, "{hit_stats}");
 
         let opts = SchedulerOptions::new().with_threshold(0.0);
-        let miss = BaselineScheduler::with_options(opts).schedule(&l, &machine).unwrap();
+        let miss = BaselineScheduler::with_options(opts)
+            .schedule(&l, &machine)
+            .unwrap();
         let miss_stats = simulate(&l, &miss, &machine, &SimOptions::new());
         // Binding prefetching hides (almost) the whole miss latency.
         assert!(

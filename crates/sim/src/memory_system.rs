@@ -18,10 +18,9 @@ use crate::bus::MemoryBuses;
 use crate::mshr::Mshr;
 use crate::msi::{CoherentCache, HitKind, MsiState};
 use mvp_machine::{ClusterId, MachineConfig};
-use serde::{Deserialize, Serialize};
 
 /// Which level of the memory hierarchy served an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServiceLevel {
     /// Hit in the local cache.
     LocalHit,
@@ -37,7 +36,7 @@ pub enum ServiceLevel {
 }
 
 /// Timing and classification of one memory access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessOutcome {
     /// Total latency of the access as seen by the issuing cluster.
     pub latency: u64,
@@ -50,7 +49,7 @@ pub struct AccessOutcome {
 }
 
 /// Aggregate counters of the memory system.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryCounters {
     /// Total accesses.
     pub accesses: u64,
@@ -79,6 +78,35 @@ impl MemoryCounters {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.remote_fills + self.memory_fills
+    }
+
+    /// Adds every counter of `other` into `self` (used to aggregate the
+    /// per-loop counters of a batch run).
+    pub fn accumulate(&mut self, other: &MemoryCounters) {
+        // Exhaustive destructuring: adding a counter field without
+        // aggregating it here becomes a compile error.
+        let MemoryCounters {
+            accesses,
+            local_hits,
+            merges,
+            upgrades,
+            remote_fills,
+            memory_fills,
+            invalidations,
+            bus_wait_cycles,
+            mshr_wait_cycles,
+            bus_transactions,
+        } = *other;
+        self.accesses += accesses;
+        self.local_hits += local_hits;
+        self.merges += merges;
+        self.upgrades += upgrades;
+        self.remote_fills += remote_fills;
+        self.memory_fills += memory_fills;
+        self.invalidations += invalidations;
+        self.bus_wait_cycles += bus_wait_cycles;
+        self.mshr_wait_cycles += mshr_wait_cycles;
+        self.bus_transactions += bus_transactions;
     }
 
     /// Local miss ratio (misses plus merges and upgrades over accesses).
@@ -232,7 +260,11 @@ impl MemorySystem {
             .iter()
             .enumerate()
             .any(|(c, cache)| c != cluster && cache.contains(block));
-        let fill_latency = if remote { self.lat_cache } else { self.lat_memory };
+        let fill_latency = if remote {
+            self.lat_cache
+        } else {
+            self.lat_memory
+        };
         let level = if remote {
             self.counters.remote_fills += 1;
             ServiceLevel::RemoteCache
@@ -254,8 +286,7 @@ impl MemorySystem {
             }
         }
 
-        let latency =
-            self.lat_cache + mshr_wait + bus_wait + self.buses.latency() + fill_latency;
+        let latency = self.lat_cache + mshr_wait + bus_wait + self.buses.latency() + fill_latency;
         let completion = now + latency;
         self.mshrs[cluster].insert(block, completion, mshr_wait);
 
@@ -367,8 +398,8 @@ mod tests {
     #[test]
     fn bus_contention_adds_wait_cycles() {
         // Single memory bus with 4-cycle latency.
-        let machine = presets::two_cluster()
-            .with_memory_buses(mvp_machine::BusConfig::finite(1, 4));
+        let machine =
+            presets::two_cluster().with_memory_buses(mvp_machine::BusConfig::finite(1, 4));
         let mut m = MemorySystem::new(&machine);
         let a = m.access(0, 0x5000, false, 0);
         let b = m.access(1, 0x9000, false, 1);

@@ -6,10 +6,9 @@
 //! latency consequences.
 
 use mvp_machine::CacheGeometry;
-use serde::{Deserialize, Serialize};
 
 /// MSI coherence state of a cache line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MsiState {
     /// The line is valid and possibly dirty; no other cache holds it.
     Modified,
@@ -20,7 +19,7 @@ pub enum MsiState {
 }
 
 /// Where a local cache lookup was satisfied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HitKind {
     /// Present locally with a state sufficient for the request.
     Hit,

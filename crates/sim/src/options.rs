@@ -1,9 +1,7 @@
 //! Simulation options.
 
-use serde::{Deserialize, Serialize};
-
 /// Options controlling a simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimOptions {
     /// Upper bound on the total number of innermost-loop iterations simulated
     /// (across all executions of the loop). The paper runs SPECfp95 until 100

@@ -1,11 +1,10 @@
 //! Simulation statistics.
 
 use crate::memory_system::MemoryCounters;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Result of simulating one schedule on one machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimStats {
     /// `NCYCLE_compute`: cycles the processor spends executing scheduled work
     /// for the simulated iterations.

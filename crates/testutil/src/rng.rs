@@ -1,0 +1,93 @@
+//! Small deterministic pseudo-random number generator.
+//!
+//! The workspace builds without external dependencies, so the loop generator
+//! and the property tests use this SplitMix64 generator instead of `rand`.
+//! SplitMix64 passes BigCrush for the statistics that matter here (uniform
+//! index and Bernoulli draws) and is trivially reproducible from a `u64`
+//! seed.
+
+/// SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Returns a uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index needs a non-empty range");
+        // Multiply-shift; the bias for n << 2^64 is negligible for tests.
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
+    }
+
+    /// Returns a uniform value in the inclusive range `lo..=hi`.
+    pub fn gen_range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "gen_range_inclusive needs lo <= hi");
+        lo + self.gen_index(hi - lo + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SplitMix64::seed_from_u64(9);
+        let mut b = SplitMix64::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = SplitMix64::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range_inclusive(3, 7);
+            assert!((3..=7).contains(&v));
+            assert!(r.gen_index(5) < 5);
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = SplitMix64::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+}

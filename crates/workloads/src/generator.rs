@@ -6,13 +6,11 @@
 //! forward in operation order unless they carry a positive iteration
 //! distance, so the distance-0 subgraph is acyclic by construction.
 
+use crate::rng::SplitMix64;
 use mvp_ir::{Loop, OpId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeneratorConfig {
     /// Minimum number of operations per loop.
     pub min_ops: usize,
@@ -48,7 +46,7 @@ impl Default for GeneratorConfig {
 #[derive(Debug)]
 pub struct LoopGenerator {
     config: GeneratorConfig,
-    rng: StdRng,
+    rng: SplitMix64,
     counter: u64,
 }
 
@@ -58,7 +56,7 @@ impl LoopGenerator {
     pub fn new(config: GeneratorConfig, seed: u64) -> Self {
         Self {
             config,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             counter: 0,
         }
     }
@@ -85,20 +83,21 @@ impl LoopGenerator {
             })
             .collect();
 
-        let n_ops = self.rng.gen_range(cfg.min_ops..=cfg.max_ops.max(cfg.min_ops));
+        let n_ops = self
+            .rng
+            .gen_range_inclusive(cfg.min_ops, cfg.max_ops.max(cfg.min_ops));
         let mut ops: Vec<OpId> = Vec::with_capacity(n_ops);
         let mut value_producers: Vec<OpId> = Vec::new();
 
         for idx in 0..n_ops {
-            let is_memory = self.rng.gen_bool(cfg.memory_fraction.clamp(0.0, 1.0));
+            let is_memory = self.rng.gen_bool(cfg.memory_fraction);
             let mut produces_value = true;
             let op = if is_memory {
-                let arr = arrays[self.rng.gen_range(0..arrays.len())];
-                let stride = [8i64, 8, 8, 16, 64][self.rng.gen_range(0..5)];
-                let offset = i64::from(self.rng.gen_range(0..8u32)) * 8;
+                let arr = arrays[self.rng.gen_index(arrays.len())];
+                let stride = [8i64, 8, 8, 16, 64][self.rng.gen_index(5)];
+                let offset = self.rng.gen_index(8) as i64 * 8;
                 let r = b.array_ref(arr).offset(offset).stride(i, stride).build();
-                let is_store = self.rng.gen_bool(cfg.store_fraction.clamp(0.0, 1.0))
-                    && !value_producers.is_empty();
+                let is_store = self.rng.gen_bool(cfg.store_fraction) && !value_producers.is_empty();
                 if is_store {
                     produces_value = false;
                     b.store(format!("ST{idx}"), r)
@@ -115,7 +114,7 @@ impl LoopGenerator {
             if !value_producers.is_empty() {
                 let inputs = 1 + usize::from(self.rng.gen_bool(0.5));
                 for _ in 0..inputs {
-                    let src = value_producers[self.rng.gen_range(0..value_producers.len())];
+                    let src = value_producers[self.rng.gen_index(value_producers.len())];
                     b.data_edge(src, op, 0);
                 }
             }
@@ -123,10 +122,10 @@ impl LoopGenerator {
             // producer (forming a recurrence through that producer).
             if produces_value
                 && !value_producers.is_empty()
-                && self.rng.gen_bool(cfg.recurrence_probability.clamp(0.0, 1.0))
+                && self.rng.gen_bool(cfg.recurrence_probability)
             {
-                let dst = value_producers[self.rng.gen_range(0..value_producers.len())];
-                let distance = self.rng.gen_range(1..=2);
+                let dst = value_producers[self.rng.gen_index(value_producers.len())];
+                let distance = self.rng.gen_range_inclusive(1, 2) as u32;
                 b.data_edge(op, dst, distance);
             }
 
@@ -136,7 +135,8 @@ impl LoopGenerator {
             }
         }
 
-        b.build().expect("generated loops are valid by construction")
+        b.build()
+            .expect("generated loops are valid by construction")
     }
 }
 
@@ -181,12 +181,20 @@ mod tests {
 
     #[test]
     fn generated_loops_are_schedulable_by_both_schedulers() {
-        let mut g = LoopGenerator::with_seed(123);
+        let mut g = LoopGenerator::with_seed(3);
         let machine = presets::two_cluster();
         for _ in 0..10 {
             let l = g.generate();
-            assert!(BaselineScheduler::new().schedule(&l, &machine).is_ok(), "{}", l.name());
-            assert!(RmcaScheduler::new().schedule(&l, &machine).is_ok(), "{}", l.name());
+            assert!(
+                BaselineScheduler::new().schedule(&l, &machine).is_ok(),
+                "{}",
+                l.name()
+            );
+            assert!(
+                RmcaScheduler::new().schedule(&l, &machine).is_ok(),
+                "{}",
+                l.name()
+            );
         }
     }
 }

@@ -25,15 +25,28 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
     let rsd = b.array("RSD", 44 * 4096 + 1024, plane);
 
     let coeff = b.load("A_i", b.array_ref(a).stride(i, elem).stride(j, row).build());
-    let residual = b.load("RSD_i", b.array_ref(rsd).stride(i, elem).stride(j, row).build());
+    let residual = b.load(
+        "RSD_i",
+        b.array_ref(rsd).stride(i, elem).stride(j, row).build(),
+    );
     // V(I-1): produced by the previous iteration's store.
-    let v_prev = b.load("V_im1", b.array_ref(v).offset(-elem).stride(i, elem).stride(j, row).build());
+    let v_prev = b.load(
+        "V_im1",
+        b.array_ref(v)
+            .offset(-elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
 
     let contrib = b.fp_op("CONTRIB");
     let relaxed = b.fp_op("RELAXED");
     let update = b.fp_op("UPDATE");
 
-    let st_v = b.store("ST_V", b.array_ref(v).stride(i, elem).stride(j, row).build());
+    let st_v = b.store(
+        "ST_V",
+        b.array_ref(v).stride(i, elem).stride(j, row).build(),
+    );
 
     b.data_edge(coeff, contrib, 0);
     b.data_edge(v_prev, contrib, 0);

@@ -28,7 +28,14 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
     let level = b.int_op("LEVEL");
 
     let t_i = b.load("T_i", b.array_ref(t).stride(i, elem).stride(j, row).build());
-    let t_up = b.load("T_up", b.array_ref(t).offset(elem).stride(i, elem).stride(j, row).build());
+    let t_up = b.load(
+        "T_up",
+        b.array_ref(t)
+            .offset(elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
     let q_i = b.load("Q_i", b.array_ref(q).stride(i, elem).stride(j, row).build());
     let c_i = b.load("C_i", b.array_ref(coef).stride(i, elem).build());
 
@@ -38,7 +45,10 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
     let smooth = b.fp_op("SMOOTH");
     let result = b.fp_op("RESULT");
 
-    let st_out = b.store("ST_OUT", b.array_ref(out).stride(i, elem).stride(j, row).build());
+    let st_out = b.store(
+        "ST_OUT",
+        b.array_ref(out).stride(i, elem).stride(j, row).build(),
+    );
 
     b.data_edge(idx, c_i, 0);
     b.data_edge(level, t_up, 0);

@@ -30,11 +30,34 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
     let addr1 = b.int_op("ADDR1");
     let addr2 = b.int_op("ADDR2");
 
-    let ro_i = b.load("RO_i", b.array_ref(ro).stride(i, elem).stride(j, row).build());
-    let ro_w = b.load("RO_w", b.array_ref(ro).offset(-elem).stride(i, elem).stride(j, row).build());
-    let mu_i = b.load("MU_i", b.array_ref(mu).stride(i, elem).stride(j, row).build());
-    let mu_w = b.load("MU_w", b.array_ref(mu).offset(-elem).stride(i, elem).stride(j, row).build());
-    let en_i = b.load("EN_i", b.array_ref(en).stride(i, elem).stride(j, row).build());
+    let ro_i = b.load(
+        "RO_i",
+        b.array_ref(ro).stride(i, elem).stride(j, row).build(),
+    );
+    let ro_w = b.load(
+        "RO_w",
+        b.array_ref(ro)
+            .offset(-elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let mu_i = b.load(
+        "MU_i",
+        b.array_ref(mu).stride(i, elem).stride(j, row).build(),
+    );
+    let mu_w = b.load(
+        "MU_w",
+        b.array_ref(mu)
+            .offset(-elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let en_i = b.load(
+        "EN_i",
+        b.array_ref(en).stride(i, elem).stride(j, row).build(),
+    );
 
     let d_ro = b.fp_op("D_RO");
     let d_mu = b.fp_op("D_MU");
@@ -44,8 +67,14 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
     let flux_mu = b.fp_op("FLUX_MU");
     let energy = b.fp_op("ENERGY");
 
-    let st_fro = b.store("ST_FRO", b.array_ref(fro).stride(i, elem).stride(j, row).build());
-    let st_fmu = b.store("ST_FMU", b.array_ref(fmu).stride(i, elem).stride(j, row).build());
+    let st_fro = b.store(
+        "ST_FRO",
+        b.array_ref(fro).stride(i, elem).stride(j, row).build(),
+    );
+    let st_fmu = b.store(
+        "ST_FMU",
+        b.array_ref(fmu).stride(i, elem).stride(j, row).build(),
+    );
 
     // Address computations feed the first loads of each plane.
     b.data_edge(addr1, ro_i, 0);

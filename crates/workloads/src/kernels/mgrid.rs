@@ -27,12 +27,54 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
     let r = b.array("R", 128 * 4096 + 1024, volume);
 
     let centre = b.load("U_c", b.array_ref(u).stride(i, elem).stride(j, row).build());
-    let west = b.load("U_w", b.array_ref(u).offset(-elem).stride(i, elem).stride(j, row).build());
-    let east = b.load("U_e", b.array_ref(u).offset(elem).stride(i, elem).stride(j, row).build());
-    let north = b.load("U_n", b.array_ref(u).offset(row).stride(i, elem).stride(j, row).build());
-    let south = b.load("U_s", b.array_ref(u).offset(-row).stride(i, elem).stride(j, row).build());
-    let up = b.load("U_up", b.array_ref(u).offset(plane_stride).stride(i, elem).stride(j, row).build());
-    let down = b.load("U_dn", b.array_ref(u).offset(-plane_stride).stride(i, elem).stride(j, row).build());
+    let west = b.load(
+        "U_w",
+        b.array_ref(u)
+            .offset(-elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let east = b.load(
+        "U_e",
+        b.array_ref(u)
+            .offset(elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let north = b.load(
+        "U_n",
+        b.array_ref(u)
+            .offset(row)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let south = b.load(
+        "U_s",
+        b.array_ref(u)
+            .offset(-row)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let up = b.load(
+        "U_up",
+        b.array_ref(u)
+            .offset(plane_stride)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let down = b.load(
+        "U_dn",
+        b.array_ref(u)
+            .offset(-plane_stride)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
     let rhs = b.load("V_c", b.array_ref(v).stride(i, elem).stride(j, row).build());
 
     let s_we = b.fp_op("S_WE");
@@ -43,7 +85,10 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
     let scaled = b.fp_op("SCALED");
     let resid = b.fp_op("RESID");
 
-    let st_r = b.store("ST_R", b.array_ref(r).stride(i, elem).stride(j, row).build());
+    let st_r = b.store(
+        "ST_R",
+        b.array_ref(r).stride(i, elem).stride(j, row).build(),
+    );
 
     b.data_edge(west, s_we, 0);
     b.data_edge(east, s_we, 0);

@@ -16,10 +16,8 @@ pub mod swim;
 pub mod tomcatv;
 pub mod turb3d;
 
-use serde::{Deserialize, Serialize};
-
 /// Common sizing parameters of the synthetic kernels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelParams {
     /// Trip count of the pipelined innermost loop.
     pub inner_trip: u64,
@@ -87,7 +85,11 @@ mod tests {
             assert!(!loops.is_empty(), "{name} has no loops");
             for l in &loops {
                 assert!(l.num_ops() >= 5, "{name}/{} is too small", l.name());
-                assert!(l.memory_ops().count() >= 2, "{name}/{} has no memory mix", l.name());
+                assert!(
+                    l.memory_ops().count() >= 2,
+                    "{name}/{} has no memory mix",
+                    l.name()
+                );
                 assert!(l.iterations() >= 2);
             }
         }
@@ -100,9 +102,19 @@ mod tests {
             for (name, loops) in every_kernel(&params) {
                 for l in &loops {
                     let b = BaselineScheduler::new().schedule(l, &machine);
-                    assert!(b.is_ok(), "baseline failed on {name}/{} for {}", l.name(), machine.name);
+                    assert!(
+                        b.is_ok(),
+                        "baseline failed on {name}/{} for {}",
+                        l.name(),
+                        machine.name
+                    );
                     let r = RmcaScheduler::new().schedule(l, &machine);
-                    assert!(r.is_ok(), "rmca failed on {name}/{} for {}", l.name(), machine.name);
+                    assert!(
+                        r.is_ok(),
+                        "rmca failed on {name}/{} for {}",
+                        l.name(),
+                        machine.name
+                    );
                 }
             }
         }

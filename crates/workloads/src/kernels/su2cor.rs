@@ -23,10 +23,30 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
     let a = b.array("GA", 0, 2 * plane);
     let w = b.array("W", 12 * 4096 + 1024, 2 * plane);
 
-    let a_re = b.load("A_re", b.array_ref(a).stride(i, 2 * elem).stride(k, 256).build());
-    let a_im = b.load("A_im", b.array_ref(a).offset(elem).stride(i, 2 * elem).stride(k, 256).build());
-    let w_re = b.load("W_re", b.array_ref(w).stride(i, 2 * elem).stride(k, 256).build());
-    let w_im = b.load("W_im", b.array_ref(w).offset(elem).stride(i, 2 * elem).stride(k, 256).build());
+    let a_re = b.load(
+        "A_re",
+        b.array_ref(a).stride(i, 2 * elem).stride(k, 256).build(),
+    );
+    let a_im = b.load(
+        "A_im",
+        b.array_ref(a)
+            .offset(elem)
+            .stride(i, 2 * elem)
+            .stride(k, 256)
+            .build(),
+    );
+    let w_re = b.load(
+        "W_re",
+        b.array_ref(w).stride(i, 2 * elem).stride(k, 256).build(),
+    );
+    let w_im = b.load(
+        "W_im",
+        b.array_ref(w)
+            .offset(elem)
+            .stride(i, 2 * elem)
+            .stride(k, 256)
+            .build(),
+    );
 
     let m_rr = b.fp_op("M_rr");
     let m_ii = b.fp_op("M_ii");

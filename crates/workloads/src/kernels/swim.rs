@@ -39,13 +39,58 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
     let cv = b.array("CV", 56 * 4096 + 3072, plane);
     let z = b.array("Z", 72 * 4096 + 512, plane);
 
-    let p_ij = b.load("P_ij", b.array_ref(p).stride(i, elem).stride(j, row).build());
-    let p_ip1 = b.load("P_ip1", b.array_ref(p).offset(elem).stride(i, elem).stride(j, row).build());
-    let p_jp1 = b.load("P_jp1", b.array_ref(p).offset(row).stride(i, elem).stride(j, row).build());
-    let u_ip1 = b.load("U_ip1", b.array_ref(u).offset(elem).stride(i, elem).stride(j, row).build());
-    let u_jp1 = b.load("U_jp1", b.array_ref(u).offset(row).stride(i, elem).stride(j, row).build());
-    let v_jp1 = b.load("V_jp1", b.array_ref(v).offset(row).stride(i, elem).stride(j, row).build());
-    let v_ip1 = b.load("V_ip1", b.array_ref(v).offset(elem).stride(i, elem).stride(j, row).build());
+    let p_ij = b.load(
+        "P_ij",
+        b.array_ref(p).stride(i, elem).stride(j, row).build(),
+    );
+    let p_ip1 = b.load(
+        "P_ip1",
+        b.array_ref(p)
+            .offset(elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let p_jp1 = b.load(
+        "P_jp1",
+        b.array_ref(p)
+            .offset(row)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let u_ip1 = b.load(
+        "U_ip1",
+        b.array_ref(u)
+            .offset(elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let u_jp1 = b.load(
+        "U_jp1",
+        b.array_ref(u)
+            .offset(row)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let v_jp1 = b.load(
+        "V_jp1",
+        b.array_ref(v)
+            .offset(row)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let v_ip1 = b.load(
+        "V_ip1",
+        b.array_ref(v)
+            .offset(elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
 
     let psum1 = b.fp_op("PSUM1");
     let cu_val = b.fp_op("CU_val");
@@ -57,9 +102,30 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
     let pden = b.fp_op("PDEN");
     let z_val = b.fp_op("Z_val");
 
-    let st_cu = b.store("ST_CU", b.array_ref(cu).offset(elem).stride(i, elem).stride(j, row).build());
-    let st_cv = b.store("ST_CV", b.array_ref(cv).offset(row).stride(i, elem).stride(j, row).build());
-    let st_z = b.store("ST_Z", b.array_ref(z).offset(elem + row).stride(i, elem).stride(j, row).build());
+    let st_cu = b.store(
+        "ST_CU",
+        b.array_ref(cu)
+            .offset(elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let st_cv = b.store(
+        "ST_CV",
+        b.array_ref(cv)
+            .offset(row)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let st_z = b.store(
+        "ST_Z",
+        b.array_ref(z)
+            .offset(elem + row)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
 
     b.data_edge(p_ij, psum1, 0);
     b.data_edge(p_ip1, psum1, 0);

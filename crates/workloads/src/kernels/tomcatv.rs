@@ -42,14 +42,70 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
     let rx = b.array("RX", 32 * 4096 + 1024, plane);
     let ry = b.array("RY", 48 * 4096 + 2048, plane);
 
-    let x_ip1 = b.load("X_ip1", b.array_ref(x).offset(elem).stride(i, elem).stride(j, row).build());
-    let x_im1 = b.load("X_im1", b.array_ref(x).offset(-elem).stride(i, elem).stride(j, row).build());
-    let x_jp1 = b.load("X_jp1", b.array_ref(x).offset(row).stride(i, elem).stride(j, row).build());
-    let x_jm1 = b.load("X_jm1", b.array_ref(x).offset(-row).stride(i, elem).stride(j, row).build());
-    let y_ip1 = b.load("Y_ip1", b.array_ref(y).offset(elem).stride(i, elem).stride(j, row).build());
-    let y_im1 = b.load("Y_im1", b.array_ref(y).offset(-elem).stride(i, elem).stride(j, row).build());
-    let y_jp1 = b.load("Y_jp1", b.array_ref(y).offset(row).stride(i, elem).stride(j, row).build());
-    let y_jm1 = b.load("Y_jm1", b.array_ref(y).offset(-row).stride(i, elem).stride(j, row).build());
+    let x_ip1 = b.load(
+        "X_ip1",
+        b.array_ref(x)
+            .offset(elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let x_im1 = b.load(
+        "X_im1",
+        b.array_ref(x)
+            .offset(-elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let x_jp1 = b.load(
+        "X_jp1",
+        b.array_ref(x)
+            .offset(row)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let x_jm1 = b.load(
+        "X_jm1",
+        b.array_ref(x)
+            .offset(-row)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let y_ip1 = b.load(
+        "Y_ip1",
+        b.array_ref(y)
+            .offset(elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let y_im1 = b.load(
+        "Y_im1",
+        b.array_ref(y)
+            .offset(-elem)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let y_jp1 = b.load(
+        "Y_jp1",
+        b.array_ref(y)
+            .offset(row)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
+    let y_jm1 = b.load(
+        "Y_jm1",
+        b.array_ref(y)
+            .offset(-row)
+            .stride(i, elem)
+            .stride(j, row)
+            .build(),
+    );
 
     let xx = b.fp_op("XX");
     let xy = b.fp_op("XY");
@@ -60,8 +116,14 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
     let ry_a = b.fp_op("RY_a");
     let ry_sum = b.fp_op("RY_sum");
 
-    let st_rx = b.store("ST_RX", b.array_ref(rx).stride(i, elem).stride(j, row).build());
-    let st_ry = b.store("ST_RY", b.array_ref(ry).stride(i, elem).stride(j, row).build());
+    let st_rx = b.store(
+        "ST_RX",
+        b.array_ref(rx).stride(i, elem).stride(j, row).build(),
+    );
+    let st_ry = b.store(
+        "ST_RY",
+        b.array_ref(ry).stride(i, elem).stride(j, row).build(),
+    );
 
     b.data_edge(x_ip1, xx, 0);
     b.data_edge(x_im1, xx, 0);

@@ -28,9 +28,22 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
 
     // Stride of two cache blocks per iteration: no spatial reuse.
     let stride = 8 * elem;
-    let x_lo = b.load("X_lo", b.array_ref(x).stride(i, stride).stride(k, 64).build());
-    let x_hi = b.load("X_hi", b.array_ref(x).offset(half).stride(i, stride).stride(k, 64).build());
-    let y_lo = b.load("Y_lo", b.array_ref(y).stride(i, stride).stride(k, 64).build());
+    let x_lo = b.load(
+        "X_lo",
+        b.array_ref(x).stride(i, stride).stride(k, 64).build(),
+    );
+    let x_hi = b.load(
+        "X_hi",
+        b.array_ref(x)
+            .offset(half)
+            .stride(i, stride)
+            .stride(k, 64)
+            .build(),
+    );
+    let y_lo = b.load(
+        "Y_lo",
+        b.array_ref(y).stride(i, stride).stride(k, 64).build(),
+    );
     let twiddle = b.load("TW_i", b.array_ref(tw).stride(i, elem).build());
 
     let scaled = b.fp_op("SCALED");
@@ -38,8 +51,18 @@ pub fn loops(params: &KernelParams) -> Vec<Loop> {
     let diff = b.fp_op("DIFF");
     let out_hi = b.fp_op("OUT_HI");
 
-    let st_lo = b.store("ST_lo", b.array_ref(x).stride(i, stride).stride(k, 64).build());
-    let st_hi = b.store("ST_hi", b.array_ref(x).offset(half).stride(i, stride).stride(k, 64).build());
+    let st_lo = b.store(
+        "ST_lo",
+        b.array_ref(x).stride(i, stride).stride(k, 64).build(),
+    );
+    let st_hi = b.store(
+        "ST_hi",
+        b.array_ref(x)
+            .offset(half)
+            .stride(i, stride)
+            .stride(k, 64)
+            .build(),
+    );
 
     b.data_edge(x_hi, scaled, 0);
     b.data_edge(twiddle, scaled, 0);

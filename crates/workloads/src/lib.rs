@@ -17,7 +17,7 @@
 //!
 //! * [`motivating`] — the exact loop of the paper's Figure 3,
 //! * [`generator`] — a seeded random-loop generator used by property tests,
-//! * [`suite`] — the eight named kernels packaged for the benchmark harness.
+//! * [`suite`](mod@suite) — the eight named kernels packaged for the benchmark harness.
 //!
 //! # Example
 //!
@@ -35,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod generator;
+pub use mvp_testutil::rng;
 pub mod kernels;
 pub mod motivating;
 pub mod suite;

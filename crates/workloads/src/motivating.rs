@@ -16,10 +16,9 @@
 //! reference in the same local cache makes every access miss.
 
 use mvp_ir::{Loop, OpId};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the motivating loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MotivatingParams {
     /// Trip count of the pipelined loop (the paper's `N/2`, since the source
     /// loop steps by 2).
@@ -82,11 +81,17 @@ pub fn motivating_loop(params: &MotivatingParams) -> (Loop, MotivatingOps) {
     let ld2 = b.load("LD2", b.array_ref(arr_c).stride(i, iter_stride).build());
     let ld3 = b.load(
         "LD3",
-        b.array_ref(arr_b).offset(elem).stride(i, iter_stride).build(),
+        b.array_ref(arr_b)
+            .offset(elem)
+            .stride(i, iter_stride)
+            .build(),
     );
     let ld4 = b.load(
         "LD4",
-        b.array_ref(arr_c).offset(elem).stride(i, iter_stride).build(),
+        b.array_ref(arr_c)
+            .offset(elem)
+            .stride(i, iter_stride)
+            .build(),
     );
     let mul1 = b.fp_op("MUL1");
     let mul2 = b.fp_op("MUL2");
@@ -101,7 +106,9 @@ pub fn motivating_loop(params: &MotivatingParams) -> (Loop, MotivatingOps) {
     b.data_edge(mul2, add, 0);
     b.data_edge(add, store, 0);
 
-    let l = b.build().expect("the motivating loop is valid by construction");
+    let l = b
+        .build()
+        .expect("the motivating loop is valid by construction");
     (
         l,
         MotivatingOps {

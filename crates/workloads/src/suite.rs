@@ -3,7 +3,6 @@
 use crate::kernels::{self, KernelParams};
 use crate::motivating::{motivating_loop, MotivatingParams};
 use mvp_ir::Loop;
-use serde::{Deserialize, Serialize};
 
 /// One benchmark of the suite: a named set of modulo-scheduled loops.
 #[derive(Debug, Clone)]
@@ -23,7 +22,7 @@ impl Workload {
 }
 
 /// Parameters of the whole suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SuiteParams {
     /// Sizing of every kernel.
     pub kernel: KernelParams,
@@ -96,7 +95,10 @@ mod tests {
 
     #[test]
     fn suite_has_the_papers_eight_benchmarks_in_order() {
-        let names: Vec<&str> = suite(&SuiteParams::default()).iter().map(|w| w.name).collect();
+        let names: Vec<&str> = suite(&SuiteParams::default())
+            .iter()
+            .map(|w| w.name)
+            .collect();
         assert_eq!(
             names,
             vec!["tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d", "apsi"]

@@ -3,17 +3,18 @@
 //!
 //! Run with `cargo run --release --example benchmark_suite`.
 
-use multivliw::core::{BaselineScheduler, ModuloScheduler, RmcaScheduler, SchedulerOptions};
 use multivliw::machine::presets;
-use multivliw::sim::{simulate, SimOptions};
+use multivliw::pipeline::{Pipeline, SchedulerChoice};
 use multivliw::workloads::suite::{suite, SuiteParams};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> multivliw::Result<()> {
     let workloads = suite(&SuiteParams::default());
-    // Threshold 0.00: every load that can hide the miss latency does so.
-    let options = SchedulerOptions::new().with_threshold(0.0);
 
-    for machine in [presets::unified(), presets::two_cluster(), presets::four_cluster()] {
+    for machine in [
+        presets::unified(),
+        presets::two_cluster(),
+        presets::four_cluster(),
+    ] {
         println!("=== {machine} ===");
         println!(
             "{:<12} {:>14} {:>14} {:>9}",
@@ -21,18 +22,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         for w in &workloads {
             let mut totals = [0u64; 2];
-            for (slot, scheduler) in [
-                Box::new(BaselineScheduler::with_options(options)) as Box<dyn ModuloScheduler>,
-                Box::new(RmcaScheduler::with_options(options)),
-            ]
-            .iter()
-            .enumerate()
-            {
-                for l in &w.loops {
-                    let schedule = scheduler.schedule(l, &machine)?;
-                    let stats = simulate(l, &schedule, &machine, &SimOptions::new());
-                    totals[slot] += stats.total_cycles();
-                }
+            for (slot, choice) in SchedulerChoice::ALL.into_iter().enumerate() {
+                // Threshold 0.00: every load that can hide the miss latency
+                // does so.
+                let report = Pipeline::builder()
+                    .scheduler(choice)
+                    .machine(machine.clone())
+                    .threshold(0.0)
+                    .build()?
+                    .run_batch(&w.loops)?;
+                totals[slot] = report.total_cycles();
             }
             println!(
                 "{:<12} {:>14} {:>14} {:>8.2}x",

@@ -3,12 +3,13 @@
 //!
 //! Run with `cargo run --example custom_machine`.
 
-use multivliw::core::{ModuloScheduler, RmcaScheduler, SchedulerOptions};
-use multivliw::machine::{BusConfig, CacheGeometry, ClusterConfig, MachineConfig, OperationLatencies};
-use multivliw::sim::{simulate, SimOptions};
+use multivliw::machine::{
+    BusConfig, CacheGeometry, ClusterConfig, MachineConfig, OperationLatencies,
+};
+use multivliw::pipeline::{Pipeline, SchedulerChoice};
 use multivliw::workloads::suite::{suite, SuiteParams};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> multivliw::Result<()> {
     // An 8-cluster machine with tiny per-cluster caches: not evaluated in the
     // paper, but directly expressible with the machine builder.
     let cache = CacheGeometry::direct_mapped(1024);
@@ -20,25 +21,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     let workloads = suite(&SuiteParams::small());
-    let scheduler = RmcaScheduler::with_options(SchedulerOptions::new().with_threshold(0.0));
 
     println!("{base}\n");
-    println!("{:<22} {:>14} {:>12} {:>12}", "memory buses", "total cycles", "stall", "bus wait");
-    for buses in [BusConfig::finite(1, 2), BusConfig::finite(2, 2), BusConfig::unbounded(2)] {
-        let machine = base.with_memory_buses(buses);
-        let mut total = 0u64;
-        let mut stall = 0u64;
-        let mut bus_wait = 0u64;
-        for w in &workloads {
-            for l in &w.loops {
-                let schedule = scheduler.schedule(l, &machine)?;
-                let stats = simulate(l, &schedule, &machine, &SimOptions::new());
-                total += stats.total_cycles();
-                stall += stats.stall_cycles;
-                bus_wait += stats.memory.bus_wait_cycles;
-            }
-        }
-        println!("{:<22} {:>14} {:>12} {:>12}", buses.to_string(), total, stall, bus_wait);
+    println!(
+        "{:<22} {:>14} {:>12} {:>12}",
+        "memory buses", "total cycles", "stall", "bus wait"
+    );
+    for buses in [
+        BusConfig::finite(1, 2),
+        BusConfig::finite(2, 2),
+        BusConfig::unbounded(2),
+    ] {
+        let report = Pipeline::builder()
+            .scheduler(SchedulerChoice::Rmca)
+            .machine(base.with_memory_buses(buses))
+            .threshold(0.0)
+            .build()?
+            .run_workloads(&workloads)?;
+        println!(
+            "{:<22} {:>14} {:>12} {:>12}",
+            buses.to_string(),
+            report.total_cycles(),
+            report.stall_cycles,
+            report.memory.bus_wait_cycles
+        );
     }
     Ok(())
 }

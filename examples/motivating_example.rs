@@ -7,12 +7,11 @@
 //!
 //! Run with `cargo run --example motivating_example`.
 
-use multivliw::core::{BaselineScheduler, ModuloScheduler, RmcaScheduler};
 use multivliw::machine::presets;
-use multivliw::sim::{simulate, SimOptions};
+use multivliw::pipeline::{Pipeline, SchedulerChoice};
 use multivliw::workloads::motivating::{motivating_loop, MotivatingParams};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> multivliw::Result<()> {
     let params = MotivatingParams::default();
     let (l, ops) = motivating_loop(&params);
     let machine = presets::motivating_example_machine();
@@ -21,24 +20,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("machine: {machine}\n");
 
     let mut totals = Vec::new();
-    for (label, scheduler) in [
-        ("baseline (register-aware only)", Box::new(BaselineScheduler::new()) as Box<dyn ModuloScheduler>),
-        ("rmca (register + memory aware)", Box::new(RmcaScheduler::new())),
+    for (label, choice) in [
+        ("baseline (register-aware only)", SchedulerChoice::Baseline),
+        ("rmca (register + memory aware)", SchedulerChoice::Rmca),
     ] {
-        let schedule = scheduler.schedule(&l, &machine)?;
-        let stats = simulate(&l, &schedule, &machine, &SimOptions::new());
+        let report = Pipeline::builder()
+            .scheduler(choice)
+            .machine(machine.clone())
+            .build()?
+            .run(&l)?;
         println!("{label}:");
-        println!("  II = {}, SC = {}, communications/iteration = {}",
-            schedule.ii(), schedule.stage_count(), schedule.num_communications());
+        println!(
+            "  II = {}, SC = {}, communications/iteration = {}",
+            report.ii, report.stage_count, report.communications
+        );
         println!(
             "  cluster of LD1/LD2/LD3/LD4 = {}/{}/{}/{}",
-            schedule.placement(ops.ld1).cluster,
-            schedule.placement(ops.ld2).cluster,
-            schedule.placement(ops.ld3).cluster,
-            schedule.placement(ops.ld4).cluster
+            report.schedule.placement(ops.ld1).cluster,
+            report.schedule.placement(ops.ld2).cluster,
+            report.schedule.placement(ops.ld3).cluster,
+            report.schedule.placement(ops.ld4).cluster
         );
-        println!("  {stats}\n");
-        totals.push(stats.total_cycles());
+        println!("  {}\n", report.stats);
+        totals.push(report.total_cycles());
     }
     println!(
         "speedup of RMCA over the baseline: {:.2}x (paper's hand analysis: ~1.5x)",

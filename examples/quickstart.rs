@@ -1,14 +1,14 @@
-//! Quickstart: build a small loop, schedule it with both schedulers on the
-//! 2-cluster machine and simulate the result.
+//! Quickstart: build a small loop, then run it through the end-to-end
+//! pipeline with both schedulers on the 2-cluster machine.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use multivliw::core::{BaselineScheduler, ModuloScheduler, RmcaScheduler, ScheduleMetrics};
+use multivliw::core::ScheduleMetrics;
 use multivliw::ir::Loop;
 use multivliw::machine::presets;
-use multivliw::sim::{simulate, SimOptions};
+use multivliw::pipeline::{Pipeline, SchedulerChoice};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> multivliw::Result<()> {
     // DO I = 1, N:  A(I) = B(I) * C(I) + s
     let mut builder = Loop::builder("quickstart");
     let i = builder.dimension("I", 256);
@@ -30,15 +30,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("machine: {machine}");
     println!("loop:    {l}\n");
 
-    for scheduler in [
-        Box::new(BaselineScheduler::new()) as Box<dyn ModuloScheduler>,
-        Box::new(RmcaScheduler::new()),
-    ] {
-        let schedule = scheduler.schedule(&l, &machine)?;
-        let metrics = ScheduleMetrics::collect(&l, &machine, &schedule);
-        let stats = simulate(&l, &schedule, &machine, &SimOptions::new());
+    for choice in SchedulerChoice::ALL {
+        let pipeline = Pipeline::builder()
+            .scheduler(choice)
+            .machine(machine.clone())
+            .build()?;
+        let report = pipeline.run(&l)?;
+        let metrics = ScheduleMetrics::collect(&l, &machine, &report.schedule);
         println!("{metrics}");
-        println!("  simulated: {stats}\n");
+        println!("  simulated: {}\n", report.stats);
     }
     Ok(())
 }

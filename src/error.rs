@@ -1,0 +1,113 @@
+//! The unified error hierarchy of the `multivliw` facade.
+//!
+//! Each workspace crate reports failures with its own error enum
+//! ([`MachineError`] from `mvp-machine`, [`IrError`] from `mvp-ir`,
+//! [`ScheduleError`] from `mvp-core`). Applications driving the whole
+//! pipeline would otherwise juggle all of them; [`enum@Error`] wraps every
+//! one behind `From` impls so `?` works uniformly, and adds the
+//! configuration errors of the [`Pipeline`](crate::pipeline::Pipeline)
+//! itself.
+
+use mvp_core::ScheduleError;
+use mvp_ir::IrError;
+use mvp_machine::MachineError;
+use std::fmt;
+
+/// Convenience alias used throughout the facade.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Any error the end-to-end pipeline can produce.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An invalid machine configuration (from `mvp-machine`).
+    Machine(MachineError),
+    /// An invalid loop: cycles in the distance-0 dependence subgraph,
+    /// references to undeclared dimensions, ... (from `mvp-ir`; this is
+    /// also what workload construction reports, since workloads build
+    /// loops through the same builder).
+    Ir(IrError),
+    /// Modulo scheduling failed (from `mvp-core`).
+    Schedule(ScheduleError),
+    /// The pipeline itself was misconfigured (e.g. the Unified reference
+    /// scheduler paired with a clustered machine, or an empty batch).
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Machine(e) => write!(f, "machine configuration error: {e}"),
+            Error::Ir(e) => write!(f, "loop construction error: {e}"),
+            Error::Schedule(e) => write!(f, "scheduling error: {e}"),
+            Error::Config(reason) => write!(f, "pipeline configuration error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Machine(e) => Some(e),
+            Error::Ir(e) => Some(e),
+            Error::Schedule(e) => Some(e),
+            Error::Config(_) => None,
+        }
+    }
+}
+
+impl From<MachineError> for Error {
+    fn from(e: MachineError) -> Self {
+        Error::Machine(e)
+    }
+}
+
+impl From<IrError> for Error {
+    fn from(e: IrError) -> Self {
+        Error::Ir(e)
+    }
+}
+
+impl From<ScheduleError> for Error {
+    fn from(e: ScheduleError) -> Self {
+        // A schedule error that is really a machine error keeps its
+        // sharper classification.
+        match e {
+            ScheduleError::Machine(m) => Error::Machine(m),
+            other => Error::Schedule(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_machine_errors_collapse_to_machine() {
+        let e: Error = ScheduleError::Machine(MachineError::NoClusters).into();
+        assert_eq!(e, Error::Machine(MachineError::NoClusters));
+    }
+
+    #[test]
+    fn display_prefixes_each_layer() {
+        let e: Error = MachineError::NoClusters.into();
+        assert!(e.to_string().starts_with("machine configuration error"));
+        let e: Error = ScheduleError::NoFeasibleIi {
+            min_ii: 2,
+            max_ii: 66,
+        }
+        .into();
+        assert!(e.to_string().starts_with("scheduling error"));
+        let e = Error::Config("empty batch".into());
+        assert!(e.to_string().contains("empty batch"));
+    }
+
+    #[test]
+    fn sources_chain_to_the_wrapped_error() {
+        use std::error::Error as _;
+        let e: Error = MachineError::NoClusters.into();
+        assert!(e.source().is_some());
+        assert!(Error::Config("x".into()).source().is_none());
+    }
+}

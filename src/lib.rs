@@ -15,25 +15,40 @@
 //! * [`workloads`] — the synthetic SPECfp95-modelled kernels and the
 //!   Figure-3 motivating example.
 //!
+//! On top of the re-exports, the facade adds the two pieces that tie the
+//! crates together:
+//!
+//! * [`pipeline`] — the builder-style [`Pipeline`], the single place the
+//!   schedule → simulate → report sequence lives,
+//! * [`error`] — the unified [`enum@Error`] every layer's failure converts
+//!   into.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use multivliw::core::{ModuloScheduler, RmcaScheduler};
 //! use multivliw::machine::presets;
-//! use multivliw::sim::{simulate, SimOptions};
+//! use multivliw::pipeline::{Pipeline, SchedulerChoice};
 //! use multivliw::workloads::motivating::{motivating_loop, MotivatingParams};
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> multivliw::Result<()> {
 //! let (l, _) = motivating_loop(&MotivatingParams::default());
-//! let machine = presets::two_cluster();
-//! let schedule = RmcaScheduler::new().schedule(&l, &machine)?;
-//! let stats = simulate(&l, &schedule, &machine, &SimOptions::new());
-//! println!("II = {}, total cycles = {}", schedule.ii(), stats.total_cycles());
+//! let pipeline = Pipeline::builder()
+//!     .scheduler(SchedulerChoice::Rmca)
+//!     .machine(presets::two_cluster())
+//!     .build()?;
+//! let report = pipeline.run(&l)?;
+//! println!("II = {}, total cycles = {}", report.ii, report.total_cycles());
 //! # Ok(())
 //! # }
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod error;
+pub mod pipeline;
+
+pub use error::{Error, Result};
+pub use pipeline::{LoopReport, Pipeline, PipelineBuilder, PipelineReport, SchedulerChoice};
 
 pub use mvp_cache as cache;
 pub use mvp_core as core;

@@ -1,0 +1,493 @@
+//! The end-to-end schedule → simulate → report pipeline.
+//!
+//! Every experiment in this workspace runs the same sequence: pick a
+//! scheduler, pick a machine, modulo-schedule one or more loops, simulate
+//! each schedule on the cycle-level simulator, and collect the II / SC /
+//! miss-rate / cycle metrics. [`Pipeline`] is the single place that
+//! sequence lives; the integration tests, the examples and the `mvp-bench`
+//! experiment drivers all go through it.
+//!
+//! # Example
+//!
+//! ```
+//! use multivliw::pipeline::{Pipeline, SchedulerChoice};
+//! use multivliw::workloads::motivating::{motivating_loop, MotivatingParams};
+//!
+//! # fn main() -> multivliw::Result<()> {
+//! let (l, _) = motivating_loop(&MotivatingParams::default());
+//! let report = Pipeline::builder()
+//!     .scheduler(SchedulerChoice::Rmca)
+//!     .build()?
+//!     .run(&l)?;
+//! println!("II = {}, total cycles = {}", report.ii, report.total_cycles());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{Error, Result};
+use mvp_core::{BaselineScheduler, ModuloScheduler, RmcaScheduler, Schedule, SchedulerOptions};
+use mvp_ir::Loop;
+use mvp_machine::{presets, MachineConfig};
+use mvp_sim::memory_system::MemoryCounters;
+use mvp_sim::{simulate, SimOptions, SimStats};
+use mvp_workloads::Workload;
+use std::fmt;
+
+/// Which scheduler configuration a [`Pipeline`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerChoice {
+    /// The register-communication-aware baseline of the authors' earlier
+    /// work \[22\].
+    Baseline,
+    /// The paper's Register and Memory Communication-Aware scheduler.
+    Rmca,
+    /// The paper's *Unified* reference: the baseline scheduler on a
+    /// single-cluster (non-distributed) machine.
+    Unified,
+}
+
+impl SchedulerChoice {
+    /// The two schedulers the paper's figures compare bar-by-bar
+    /// ([`Unified`](SchedulerChoice::Unified) is the normalisation
+    /// reference, not a bar).
+    pub const ALL: [SchedulerChoice; 2] = [SchedulerChoice::Baseline, SchedulerChoice::Rmca];
+
+    /// Short display name (used in result tables).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerChoice::Baseline => "baseline",
+            SchedulerChoice::Rmca => "rmca",
+            SchedulerChoice::Unified => "unified",
+        }
+    }
+
+    /// Builds the scheduler implementation with the given options.
+    #[must_use]
+    pub fn build(self, options: SchedulerOptions) -> Box<dyn ModuloScheduler + Send + Sync> {
+        match self {
+            SchedulerChoice::Baseline | SchedulerChoice::Unified => {
+                Box::new(BaselineScheduler::with_options(options))
+            }
+            SchedulerChoice::Rmca => Box::new(RmcaScheduler::with_options(options)),
+        }
+    }
+
+    /// The machine preset this choice runs on when none is given
+    /// explicitly.
+    #[must_use]
+    pub fn default_machine(self) -> MachineConfig {
+        match self {
+            SchedulerChoice::Unified => presets::unified(),
+            _ => presets::two_cluster(),
+        }
+    }
+}
+
+impl fmt::Display for SchedulerChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builder for a [`Pipeline`].
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    scheduler: SchedulerChoice,
+    machine: Option<MachineConfig>,
+    scheduler_options: SchedulerOptions,
+    sim_options: SimOptions,
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        Self {
+            scheduler: SchedulerChoice::Rmca,
+            machine: None,
+            scheduler_options: SchedulerOptions::new(),
+            sim_options: SimOptions::new(),
+        }
+    }
+}
+
+impl PipelineBuilder {
+    /// Picks the scheduler (default: [`SchedulerChoice::Rmca`]).
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: SchedulerChoice) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Picks the machine configuration. Defaults to the Table-1 2-cluster
+    /// preset (or the unified preset for [`SchedulerChoice::Unified`]).
+    #[must_use]
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// Replaces all scheduler options at once.
+    #[must_use]
+    pub fn scheduler_options(mut self, options: SchedulerOptions) -> Self {
+        self.scheduler_options = options;
+        self
+    }
+
+    /// Sets the cache-miss threshold (shortcut for the most commonly swept
+    /// scheduler option).
+    #[must_use]
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.scheduler_options = self.scheduler_options.with_threshold(threshold);
+        self
+    }
+
+    /// Replaces the simulation options.
+    #[must_use]
+    pub fn sim_options(mut self, options: SimOptions) -> Self {
+        self.sim_options = options;
+        self
+    }
+
+    /// Validates the configuration and builds the [`Pipeline`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Machine`] when the machine configuration is
+    /// invalid, and [`Error::Config`] when the Unified reference scheduler
+    /// is paired with a clustered machine.
+    pub fn build(self) -> Result<Pipeline> {
+        let machine = self
+            .machine
+            .unwrap_or_else(|| self.scheduler.default_machine());
+        machine.validate()?;
+        if self.scheduler == SchedulerChoice::Unified && machine.num_clusters() != 1 {
+            return Err(Error::Config(format!(
+                "the Unified reference runs on a single-cluster machine, got {} clusters",
+                machine.num_clusters()
+            )));
+        }
+        Ok(Pipeline {
+            choice: self.scheduler,
+            scheduler: self.scheduler.build(self.scheduler_options),
+            machine,
+            sim_options: self.sim_options,
+        })
+    }
+}
+
+/// The end-to-end schedule → simulate → report driver.
+///
+/// Build one with [`Pipeline::builder`], then [`run`](Pipeline::run) a
+/// single loop, [`run_batch`](Pipeline::run_batch) a slice of loops, or
+/// [`run_workloads`](Pipeline::run_workloads) a whole suite (in parallel
+/// across workloads).
+pub struct Pipeline {
+    choice: SchedulerChoice,
+    scheduler: Box<dyn ModuloScheduler + Send + Sync>,
+    machine: MachineConfig,
+    sim_options: SimOptions,
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("scheduler", &self.choice)
+            .field("machine", &self.machine.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pipeline {
+    /// Starts building a pipeline.
+    #[must_use]
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+
+    /// The scheduler configuration this pipeline runs.
+    #[must_use]
+    pub fn scheduler(&self) -> SchedulerChoice {
+        self.choice
+    }
+
+    /// The machine this pipeline schedules for and simulates on.
+    #[must_use]
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Schedules and simulates one loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures as [`Error::Schedule`] (or
+    /// [`Error::Machine`] when the root cause is the machine model).
+    pub fn run(&self, l: &Loop) -> Result<LoopReport> {
+        let schedule = self.scheduler.schedule(l, &self.machine)?;
+        let stats = simulate(l, &schedule, &self.machine, &self.sim_options);
+        Ok(LoopReport {
+            loop_name: l.name().to_string(),
+            scheduler: self.choice,
+            ii: schedule.ii(),
+            stage_count: schedule.stage_count(),
+            communications: schedule.num_communications(),
+            miss_scheduled_loads: schedule.miss_scheduled_loads().count(),
+            schedule,
+            stats,
+        })
+    }
+
+    /// Schedules and simulates a batch of loops, sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-loop error, or [`Error::Config`] for an empty
+    /// batch.
+    pub fn run_batch<'a, I>(&self, loops: I) -> Result<PipelineReport>
+    where
+        I: IntoIterator<Item = &'a Loop>,
+    {
+        let runs: Vec<LoopReport> = loops
+            .into_iter()
+            .map(|l| self.run(l))
+            .collect::<Result<_>>()?;
+        PipelineReport::from_runs(self.choice, runs)
+    }
+
+    /// Schedules and simulates every loop of every workload, in parallel
+    /// across workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-loop error, or [`Error::Config`] when the
+    /// suite contains no loops at all.
+    pub fn run_workloads(&self, workloads: &[Workload]) -> Result<PipelineReport> {
+        let results: Vec<Result<Vec<LoopReport>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workloads
+                .iter()
+                .map(|w| scope.spawn(move || w.loops.iter().map(|l| self.run(l)).collect()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pipeline worker thread panicked"))
+                .collect()
+        });
+        let mut runs = Vec::new();
+        for r in results {
+            runs.extend(r?);
+        }
+        PipelineReport::from_runs(self.choice, runs)
+    }
+}
+
+/// Report of running one loop through the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopReport {
+    /// Name of the loop.
+    pub loop_name: String,
+    /// Which scheduler produced the schedule.
+    pub scheduler: SchedulerChoice,
+    /// Initiation interval of the schedule.
+    pub ii: u32,
+    /// Stage count of the schedule.
+    pub stage_count: u32,
+    /// Inter-cluster register communications per iteration.
+    pub communications: usize,
+    /// Loads scheduled with the miss latency.
+    pub miss_scheduled_loads: usize,
+    /// The schedule itself (placements, communications).
+    pub schedule: Schedule,
+    /// Simulated cycle breakdown and memory counters.
+    pub stats: SimStats,
+}
+
+impl LoopReport {
+    /// Total simulated cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.stats.total_cycles()
+    }
+
+    /// Simulated local miss ratio of the memory system.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        self.stats.memory.miss_ratio()
+    }
+}
+
+impl fmt::Display for LoopReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: II={}, SC={}, comms/iter={}, miss-rate={:.1}%, cycles={} (compute={} + stall={})",
+            self.loop_name,
+            self.scheduler,
+            self.ii,
+            self.stage_count,
+            self.communications,
+            100.0 * self.miss_rate(),
+            self.total_cycles(),
+            self.stats.compute_cycles,
+            self.stats.stall_cycles,
+        )
+    }
+}
+
+/// Aggregated report of running a batch of loops through the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Which scheduler produced every run.
+    pub scheduler: SchedulerChoice,
+    /// Per-loop reports.
+    pub runs: Vec<LoopReport>,
+    /// Sum of compute cycles across the batch.
+    pub compute_cycles: u64,
+    /// Sum of stall cycles across the batch.
+    pub stall_cycles: u64,
+    /// Memory-system counters summed across the batch.
+    pub memory: MemoryCounters,
+}
+
+impl PipelineReport {
+    /// Aggregates per-loop reports into a batch report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when `runs` is empty: every figure of the
+    /// paper normalises against these totals, and a silently-zero total
+    /// would poison the ratios downstream.
+    pub fn from_runs(scheduler: SchedulerChoice, runs: Vec<LoopReport>) -> Result<Self> {
+        if runs.is_empty() {
+            return Err(Error::Config("pipeline batch contains no loops".into()));
+        }
+        let compute_cycles = runs.iter().map(|r| r.stats.compute_cycles).sum();
+        let stall_cycles = runs.iter().map(|r| r.stats.stall_cycles).sum();
+        let mut memory = MemoryCounters::default();
+        for r in &runs {
+            memory.accumulate(&r.stats.memory);
+        }
+        Ok(Self {
+            scheduler,
+            runs,
+            compute_cycles,
+            stall_cycles,
+            memory,
+        })
+    }
+
+    /// Total cycles across the batch.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.stall_cycles
+    }
+
+    /// Aggregate local miss ratio across the batch.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        self.memory.miss_ratio()
+    }
+
+    /// Total cycles normalised against a reference run (e.g. the Unified
+    /// configuration), the y-axis of Figures 5 and 6.
+    #[must_use]
+    pub fn normalized_to(&self, reference: &PipelineReport) -> f64 {
+        if reference.total_cycles() == 0 {
+            0.0
+        } else {
+            self.total_cycles() as f64 / reference.total_cycles() as f64
+        }
+    }
+
+    /// Compute cycles normalised against a reference run's total.
+    #[must_use]
+    pub fn normalized_compute(&self, reference: &PipelineReport) -> f64 {
+        if reference.total_cycles() == 0 {
+            0.0
+        } else {
+            self.compute_cycles as f64 / reference.total_cycles() as f64
+        }
+    }
+
+    /// Stall cycles normalised against a reference run's total.
+    #[must_use]
+    pub fn normalized_stall(&self, reference: &PipelineReport) -> f64 {
+        if reference.total_cycles() == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / reference.total_cycles() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_workloads::motivating::{motivating_loop, MotivatingParams};
+    use mvp_workloads::suite::{suite, SuiteParams};
+
+    #[test]
+    fn run_reports_the_figure3_loop() {
+        let (l, _) = motivating_loop(&MotivatingParams::default());
+        let machine = presets::motivating_example_machine();
+        let report = Pipeline::builder()
+            .scheduler(SchedulerChoice::Rmca)
+            .machine(machine)
+            .build()
+            .unwrap()
+            .run(&l)
+            .unwrap();
+        assert_eq!(report.loop_name, l.name());
+        assert!(report.ii >= 1);
+        assert_eq!(report.schedule.ii(), report.ii);
+        assert_eq!(
+            report.total_cycles(),
+            report.stats.compute_cycles + report.stats.stall_cycles
+        );
+        assert!(report.to_string().contains("II="));
+    }
+
+    #[test]
+    fn unified_rejects_clustered_machines() {
+        let err = Pipeline::builder()
+            .scheduler(SchedulerChoice::Unified)
+            .machine(presets::two_cluster())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+        // ...and defaults to the unified preset when no machine is given.
+        let p = Pipeline::builder()
+            .scheduler(SchedulerChoice::Unified)
+            .build()
+            .unwrap();
+        assert_eq!(p.machine().num_clusters(), 1);
+    }
+
+    #[test]
+    fn empty_batches_are_config_errors() {
+        let p = Pipeline::builder().build().unwrap();
+        assert!(matches!(p.run_batch([]), Err(Error::Config(_))));
+        assert!(matches!(p.run_workloads(&[]), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn workload_suites_aggregate_consistently() {
+        let workloads = suite(&SuiteParams::small());
+        let p = Pipeline::builder()
+            .scheduler(SchedulerChoice::Baseline)
+            .build()
+            .unwrap();
+        let report = p.run_workloads(&workloads).unwrap();
+        let loops: usize = workloads.iter().map(|w| w.loops.len()).sum();
+        assert_eq!(report.runs.len(), loops);
+        assert_eq!(
+            report.total_cycles(),
+            report.compute_cycles + report.stall_cycles
+        );
+        let per_loop_total: u64 = report.runs.iter().map(|r| r.total_cycles()).sum();
+        assert_eq!(report.total_cycles(), per_loop_total);
+        assert!((report.normalized_to(&report) - 1.0).abs() < 1e-12);
+        let parts = report.normalized_compute(&report) + report.normalized_stall(&report);
+        assert!((parts - 1.0).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&report.miss_rate()));
+    }
+}

@@ -1,0 +1,54 @@
+//! Integration test for the facade [`Pipeline`]: Baseline vs RMCA on the
+//! Figure-3 motivating loop.
+//!
+//! The paper's headline claim is that memory-communication-aware cluster
+//! assignment removes the conflict misses the register-only partition
+//! causes; running both schedulers through the same pipeline must therefore
+//! show RMCA missing no more than the baseline.
+
+use multivliw::machine::presets;
+use multivliw::pipeline::{Pipeline, SchedulerChoice};
+use multivliw::workloads::motivating::{motivating_loop, MotivatingParams};
+
+#[test]
+fn rmca_misses_no_more_than_the_baseline_on_the_motivating_loop() {
+    let (l, _) = motivating_loop(&MotivatingParams::default());
+    let mut misses = Vec::new();
+    for choice in SchedulerChoice::ALL {
+        let report = Pipeline::builder()
+            .scheduler(choice)
+            .machine(presets::motivating_example_machine())
+            .build()
+            .expect("valid pipeline")
+            .run(&l)
+            .expect("the motivating loop is schedulable by construction");
+        assert_eq!(report.scheduler, choice);
+        misses.push(report.stats.memory.misses());
+    }
+    let (baseline, rmca) = (misses[0], misses[1]);
+    assert!(
+        rmca <= baseline,
+        "RMCA misses {rmca} should not exceed baseline misses {baseline}"
+    );
+    // The paper's point is stronger than a tie: the ping-pong conflict
+    // misses disappear almost entirely.
+    assert!(
+        rmca * 2 <= baseline,
+        "expected RMCA to remove at least half the conflict misses: {rmca} vs {baseline}"
+    );
+}
+
+#[test]
+fn batch_and_single_runs_agree() {
+    let (l, _) = motivating_loop(&MotivatingParams::default());
+    let pipeline = Pipeline::builder()
+        .scheduler(SchedulerChoice::Rmca)
+        .machine(presets::motivating_example_machine())
+        .build()
+        .expect("valid pipeline");
+    let single = pipeline.run(&l).expect("schedulable");
+    let batch = pipeline.run_batch([&l, &l]).expect("schedulable");
+    assert_eq!(batch.runs.len(), 2);
+    assert_eq!(batch.runs[0], single);
+    assert_eq!(batch.total_cycles(), 2 * single.total_cycles());
+}

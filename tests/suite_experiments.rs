@@ -1,27 +1,26 @@
 //! Integration test: the qualitative shape of the paper's evaluation
-//! (Figures 5 and 6) on the bundled workload suite.
+//! (Figures 5 and 6) on the bundled workload suite, run end to end through
+//! the facade [`Pipeline`].
 
-use multivliw::core::{BaselineScheduler, ModuloScheduler, RmcaScheduler, SchedulerOptions};
+use multivliw::core::{ModuloScheduler, RmcaScheduler};
 use multivliw::ir::mii;
-use multivliw::machine::{presets, BusConfig};
-use multivliw::sim::{simulate, SimOptions};
+use multivliw::machine::{presets, BusConfig, MachineConfig};
+use multivliw::pipeline::{Pipeline, PipelineReport, SchedulerChoice};
 use multivliw::workloads::suite::{suite, SuiteParams};
 
-fn suite_cycles(
-    machine: &multivliw::machine::MachineConfig,
-    scheduler: &dyn ModuloScheduler,
-) -> (u64, u64) {
-    let mut compute = 0;
-    let mut stall = 0;
-    for w in suite(&SuiteParams::small()) {
-        for l in &w.loops {
-            let schedule = scheduler.schedule(l, machine).unwrap();
-            let stats = simulate(l, &schedule, machine, &SimOptions::new());
-            compute += stats.compute_cycles;
-            stall += stats.stall_cycles;
-        }
-    }
-    (compute, stall)
+fn run_suite(
+    machine: &MachineConfig,
+    scheduler: SchedulerChoice,
+    threshold: f64,
+) -> PipelineReport {
+    Pipeline::builder()
+        .scheduler(scheduler)
+        .machine(machine.clone())
+        .threshold(threshold)
+        .build()
+        .expect("valid pipeline")
+        .run_workloads(&suite(&SuiteParams::small()))
+        .expect("the bundled suite is schedulable")
 }
 
 #[test]
@@ -54,14 +53,13 @@ fn rmca_never_loses_to_the_baseline_with_scarce_memory_buses() {
         let machine = presets::by_cluster_count(clusters)
             .with_register_buses(BusConfig::finite(2, 1))
             .with_memory_buses(BusConfig::finite(1, 4));
-        let opts = SchedulerOptions::new().with_threshold(0.0);
-        let (bc, bs) = suite_cycles(&machine, &BaselineScheduler::with_options(opts));
-        let (rc, rs) = suite_cycles(&machine, &RmcaScheduler::with_options(opts));
-        let baseline_total = bc + bs;
-        let rmca_total = rc + rs;
+        let baseline = run_suite(&machine, SchedulerChoice::Baseline, 0.0);
+        let rmca = run_suite(&machine, SchedulerChoice::Rmca, 0.0);
         assert!(
-            rmca_total as f64 <= baseline_total as f64 * 1.02,
-            "{clusters}-cluster: RMCA {rmca_total} vs baseline {baseline_total}"
+            rmca.total_cycles() as f64 <= baseline.total_cycles() as f64 * 1.02,
+            "{clusters}-cluster: RMCA {} vs baseline {}",
+            rmca.total_cycles(),
+            baseline.total_cycles()
         );
     }
 }
@@ -73,9 +71,8 @@ fn lowering_the_threshold_trades_stall_for_compute() {
     let machine = presets::two_cluster();
     let mut stalls = Vec::new();
     for threshold in [1.0, 0.75, 0.25, 0.0] {
-        let opts = SchedulerOptions::new().with_threshold(threshold);
-        let (_, stall) = suite_cycles(&machine, &RmcaScheduler::with_options(opts));
-        stalls.push(stall);
+        let report = run_suite(&machine, SchedulerChoice::Rmca, threshold);
+        stalls.push(report.stall_cycles);
     }
     assert!(
         stalls.last().unwrap() < stalls.first().unwrap(),
@@ -93,16 +90,13 @@ fn lowering_the_threshold_trades_stall_for_compute() {
 fn clustered_machines_with_unbounded_buses_approach_the_unified_machine() {
     // Figure 5, threshold 0.00: the clustered configurations come close to
     // the Unified one once stalls are hidden.
-    let opts = SchedulerOptions::new().with_threshold(0.0);
-    let (uc, us) = suite_cycles(&presets::unified(), &BaselineScheduler::with_options(opts));
-    let unified_total = uc + us;
+    let unified = run_suite(&presets::unified(), SchedulerChoice::Unified, 0.0);
     for clusters in [2usize, 4] {
         let machine = presets::by_cluster_count(clusters)
             .with_register_buses(BusConfig::unbounded(1))
             .with_memory_buses(BusConfig::unbounded(1));
-        let (cc, cs) = suite_cycles(&machine, &RmcaScheduler::with_options(opts));
-        let clustered_total = cc + cs;
-        let ratio = clustered_total as f64 / unified_total as f64;
+        let clustered = run_suite(&machine, SchedulerChoice::Rmca, 0.0);
+        let ratio = clustered.normalized_to(&unified);
         assert!(
             ratio < 1.6,
             "{clusters}-cluster with unbounded buses should stay within 60% of unified, got {ratio:.2}"
