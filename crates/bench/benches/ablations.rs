@@ -16,7 +16,7 @@ use mvp_workloads::suite::{suite, SuiteParams};
 
 fn bench_threshold_sweep(c: &mut Criterion) {
     let workloads = suite(&SuiteParams::small());
-    let machine = presets::four_cluster();
+    let machine = std::sync::Arc::new(presets::four_cluster());
     let mut group = c.benchmark_group("ablation_threshold");
     group.sample_size(10);
     for threshold in [1.0f64, 0.25, 0.0] {

@@ -10,7 +10,7 @@ use mvp_workloads::motivating::{motivating_loop, MotivatingParams};
 fn bench_fig3(c: &mut Criterion) {
     let params = MotivatingParams::default();
     let (l, _) = motivating_loop(&params);
-    let machine = presets::motivating_example_machine();
+    let machine = std::sync::Arc::new(presets::motivating_example_machine());
 
     let mut group = c.benchmark_group("fig3_motivating");
     group.sample_size(20);

@@ -5,7 +5,7 @@
 //! the Baseline and RMCA schedulers over the whole workload suite on the
 //! 2- and 4-cluster machines.
 
-use mvp_core::{BaselineScheduler, ModuloScheduler, RmcaScheduler};
+use mvp_core::{BaselineScheduler, ListScheduler, ModuloScheduler, RmcaScheduler};
 use mvp_machine::presets;
 use mvp_testutil::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvp_workloads::suite::{suite, SuiteParams};
@@ -16,34 +16,26 @@ fn bench_schedulers(c: &mut Criterion) {
     group.sample_size(10);
     for clusters in [2usize, 4] {
         let machine = presets::by_cluster_count(clusters);
-        group.bench_with_input(
-            BenchmarkId::new("baseline", clusters),
-            &machine,
-            |b, machine| {
-                let sched = BaselineScheduler::new();
-                b.iter(|| {
-                    for w in &workloads {
-                        for l in &w.loops {
-                            sched.schedule(l, machine).expect("schedulable");
+        let schedulers: [Box<dyn ModuloScheduler>; 3] = [
+            Box::new(BaselineScheduler::new()),
+            Box::new(RmcaScheduler::new()),
+            Box::new(ListScheduler::new()),
+        ];
+        for sched in schedulers {
+            group.bench_with_input(
+                BenchmarkId::new(sched.name(), clusters),
+                &machine,
+                |b, machine| {
+                    b.iter(|| {
+                        for w in &workloads {
+                            for l in &w.loops {
+                                sched.schedule(l, machine).expect("schedulable");
+                            }
                         }
-                    }
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("rmca", clusters),
-            &machine,
-            |b, machine| {
-                let sched = RmcaScheduler::new();
-                b.iter(|| {
-                    for w in &workloads {
-                        for l in &w.loops {
-                            sched.schedule(l, machine).expect("schedulable");
-                        }
-                    }
-                });
-            },
-        );
+                    });
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -40,7 +40,7 @@ impl Fig3Output {
 #[must_use]
 pub fn run(params: &MotivatingParams) -> Fig3Output {
     let (l, _) = motivating_loop(params);
-    let machine = presets::motivating_example_machine();
+    let machine = std::sync::Arc::new(presets::motivating_example_machine());
     let baseline = run_loop(&l, &machine, &RunConfig::new(SchedulerKind::Baseline))
         .expect("the motivating loop is schedulable by construction");
     let rmca = run_loop(&l, &machine, &RunConfig::new(SchedulerKind::Rmca))

@@ -97,7 +97,7 @@ fn run_with(
     thresholds: &[f64],
 ) -> Result<SweepOutput, Error> {
     let workloads = suite(params);
-    let unified_machine = presets::unified();
+    let unified_machine = std::sync::Arc::new(presets::unified());
     let reference = run_suite(
         &workloads,
         &unified_machine,
@@ -125,10 +125,14 @@ fn run_with(
     let mut points = Vec::new();
     for &lrb in lrbs {
         for &lmb in lmbs {
-            let machine = presets::by_cluster_count(clusters)
-                .with_register_buses(BusConfig::unbounded(lrb))
-                .with_memory_buses(BusConfig::unbounded(lmb))
-                .with_name(format!("{clusters}-cluster LRB={lrb} LMB={lmb}"));
+            // One shared handle per grid point; the 8 (scheduler, threshold)
+            // pipelines below all reuse it instead of cloning the config.
+            let machine = std::sync::Arc::new(
+                presets::by_cluster_count(clusters)
+                    .with_register_buses(BusConfig::unbounded(lrb))
+                    .with_memory_buses(BusConfig::unbounded(lmb))
+                    .with_name(format!("{clusters}-cluster LRB={lrb} LMB={lmb}")),
+            );
             for scheduler in SchedulerKind::ALL {
                 for &threshold in thresholds {
                     let cfg = RunConfig::new(scheduler).with_threshold(threshold);

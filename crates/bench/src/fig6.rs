@@ -40,7 +40,7 @@ fn run_with(
     thresholds: &[f64],
 ) -> Result<SweepOutput, Error> {
     let workloads = suite(params);
-    let unified_machine = presets::unified();
+    let unified_machine = std::sync::Arc::new(presets::unified());
     let reference = run_suite(
         &workloads,
         &unified_machine,
@@ -69,10 +69,14 @@ fn run_with(
     let mut points = Vec::new();
     for &nmb in nmbs {
         for &lmb in lmbs {
-            let machine = presets::by_cluster_count(clusters)
-                .with_register_buses(BusConfig::finite(2, 1))
-                .with_memory_buses(BusConfig::finite(nmb, lmb))
-                .with_name(format!("{clusters}-cluster NMB={nmb} LMB={lmb}"));
+            // One shared handle per grid point (see fig5): the inner
+            // (scheduler, threshold) pipelines reuse it.
+            let machine = std::sync::Arc::new(
+                presets::by_cluster_count(clusters)
+                    .with_register_buses(BusConfig::finite(2, 1))
+                    .with_memory_buses(BusConfig::finite(nmb, lmb))
+                    .with_name(format!("{clusters}-cluster NMB={nmb} LMB={lmb}")),
+            );
             for scheduler in SchedulerKind::ALL {
                 for &threshold in thresholds {
                     let cfg = RunConfig::new(scheduler).with_threshold(threshold);

@@ -14,6 +14,7 @@ use mvp_ir::Loop;
 use mvp_machine::MachineConfig;
 use mvp_sim::SimOptions;
 use mvp_workloads::Workload;
+use std::sync::Arc;
 
 pub use multivliw::pipeline::{
     LoopReport as RunResult, PipelineReport as SuiteResult, SchedulerChoice as SchedulerKind,
@@ -50,14 +51,18 @@ impl RunConfig {
 
     /// Builds the end-to-end pipeline for this point on the given machine.
     ///
+    /// The machine is passed as a shared handle: experiment grids build one
+    /// `Arc` per machine and every (scheduler, threshold) point of the grid
+    /// reuses it, instead of deep-cloning the configuration per point.
+    ///
     /// # Errors
     ///
     /// Propagates pipeline-construction errors (invalid machine, Unified
     /// paired with a clustered machine).
-    pub fn pipeline(&self, machine: &MachineConfig) -> Result<Pipeline, Error> {
+    pub fn pipeline(&self, machine: &Arc<MachineConfig>) -> Result<Pipeline, Error> {
         Pipeline::builder()
             .scheduler(self.scheduler)
-            .machine(machine.clone())
+            .machine(Arc::clone(machine))
             .scheduler_options(SchedulerOptions::new().with_threshold(self.threshold))
             .sim_options(self.sim)
             .build()
@@ -69,7 +74,11 @@ impl RunConfig {
 /// # Errors
 ///
 /// Propagates any [`Error`] from the pipeline.
-pub fn run_loop(l: &Loop, machine: &MachineConfig, config: &RunConfig) -> Result<RunResult, Error> {
+pub fn run_loop(
+    l: &Loop,
+    machine: &Arc<MachineConfig>,
+    config: &RunConfig,
+) -> Result<RunResult, Error> {
     config.pipeline(machine)?.run(l)
 }
 
@@ -81,7 +90,7 @@ pub fn run_loop(l: &Loop, machine: &MachineConfig, config: &RunConfig) -> Result
 /// Returns the first scheduling error encountered.
 pub fn run_suite(
     workloads: &[Workload],
-    machine: &MachineConfig,
+    machine: &Arc<MachineConfig>,
     config: &RunConfig,
 ) -> Result<SuiteResult, Error> {
     config.pipeline(machine)?.run_workloads(workloads)
@@ -96,7 +105,7 @@ mod tests {
     #[test]
     fn run_loop_produces_consistent_results() {
         let workloads = suite(&SuiteParams::small());
-        let machine = presets::two_cluster();
+        let machine = Arc::new(presets::two_cluster());
         let cfg = RunConfig::new(SchedulerKind::Rmca).with_threshold(0.0);
         let r = run_loop(&workloads[0].loops[0], &machine, &cfg).unwrap();
         assert_eq!(r.loop_name, workloads[0].loops[0].name());
@@ -110,7 +119,7 @@ mod tests {
     #[test]
     fn run_suite_aggregates_all_loops() {
         let workloads = suite(&SuiteParams::small());
-        let machine = presets::unified();
+        let machine = Arc::new(presets::unified());
         let cfg = RunConfig::new(SchedulerKind::Baseline);
         let result = run_suite(&workloads, &machine, &cfg).unwrap();
         let loops: usize = workloads.iter().map(|w| w.loops.len()).sum();

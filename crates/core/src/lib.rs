@@ -19,6 +19,13 @@
 //! * [`Schedule`] — the result: placements (cluster, cycle, stage), the
 //!   register-bus transfers of the kernel and the derived II / SC / compute
 //!   cycle metrics used by the evaluation.
+//! * [`validate_schedule`] — an independent legality oracle that re-checks
+//!   any schedule against its loop and machine (modulo resource conflicts,
+//!   dependence distances, bus windows, register pressure) and reports
+//!   structured [`Violation`]s.
+//! * [`ListScheduler`] / [`FallbackScheduler`] — an always-succeeding
+//!   non-pipelined list scheduler and the wrapper that falls back to it when
+//!   a primary scheduler exhausts its II search.
 //!
 //! # Example
 //!
@@ -58,18 +65,22 @@ pub mod display;
 pub mod engine;
 pub mod error;
 pub mod lifetime;
+pub mod list_schedule;
 pub mod metrics;
 pub mod options;
 pub mod rmca;
 pub mod schedule;
+pub mod validate;
 
 pub use baseline::BaselineScheduler;
 pub use display::render_kernel;
 pub use error::ScheduleError;
+pub use list_schedule::{FallbackScheduler, ListScheduler};
 pub use metrics::ScheduleMetrics;
 pub use options::SchedulerOptions;
 pub use rmca::RmcaScheduler;
 pub use schedule::{Communication, PlacedOp, Schedule};
+pub use validate::{is_legal, validate_schedule, Violation};
 
 use mvp_ir::Loop;
 use mvp_machine::MachineConfig;

@@ -1,0 +1,614 @@
+//! Non-pipelined list scheduling and the modulo→list fallback.
+//!
+//! The modulo schedulers give up with [`ScheduleError::NoFeasibleIi`] when no
+//! initiation interval in the search range admits a schedule — which is
+//! correct for an evaluation, but terrible for randomized testing: a loop
+//! generator seed that happens to exhaust the II search makes an end-to-end
+//! run impossible. A production compiler falls back to plain (non-pipelined)
+//! list scheduling in that situation, and so does this module:
+//!
+//! * [`ListScheduler`] — an acyclic list scheduler that places one iteration
+//!   of the loop in absolute cycles and then publishes the result as a
+//!   degenerate modulo schedule whose II equals the schedule length (so the
+//!   stage count is 1 and no resource ever wraps around the modulo table).
+//!   It **always succeeds** on any loop/machine pair whose operation kinds
+//!   the machine provides, by construction: absolute time is unbounded, so a
+//!   free functional-unit slot and a free bus window always exist.
+//! * [`FallbackScheduler`] — wraps any primary [`ModuloScheduler`] and
+//!   reruns the loop through a [`ListScheduler`] if (and only if) the
+//!   primary fails with `NoFeasibleIi`. Errors that list scheduling cannot
+//!   fix (invalid machine, missing functional-unit kinds) are passed
+//!   through.
+//!
+//! The resulting schedules pass the exact same legality oracle
+//! ([`crate::validate::validate_schedule`]) as the pipelined ones: the II is
+//! chosen large enough that every loop-carried dependence and every
+//! register-bus transfer is satisfied even across iterations.
+
+use crate::error::ScheduleError;
+use crate::lifetime;
+use crate::options::SchedulerOptions;
+use crate::schedule::{Communication, PlacedOp, Schedule};
+use crate::ModuloScheduler;
+use mvp_ir::{EdgeKind, Loop, OpId};
+use mvp_machine::{BusCount, ClusterId, FuKind, MachineConfig};
+
+/// Absolute-cycle functional-unit occupancy (one counter per cluster, unit
+/// kind and cycle; grows on demand).
+#[derive(Debug, Clone)]
+struct FuOccupancy {
+    counts: Vec<[usize; 3]>,
+    used: Vec<[Vec<usize>; 3]>,
+}
+
+impl FuOccupancy {
+    fn new(machine: &MachineConfig) -> Self {
+        let counts: Vec<[usize; 3]> = machine
+            .clusters()
+            .map(|(_, c)| FuKind::ALL.map(|k| c.fu_count(k)))
+            .collect();
+        let used = vec![[Vec::new(), Vec::new(), Vec::new()]; machine.num_clusters()];
+        Self { counts, used }
+    }
+
+    /// First cycle `>= from` with a free unit of `kind` in `cluster`.
+    fn first_free(&self, cluster: ClusterId, kind: FuKind, from: u32) -> u32 {
+        let capacity = self.counts[cluster][kind.index()];
+        let used = &self.used[cluster][kind.index()];
+        let mut t = from;
+        while (t as usize) < used.len() && used[t as usize] >= capacity {
+            t += 1;
+        }
+        t
+    }
+
+    fn reserve(&mut self, cluster: ClusterId, kind: FuKind, cycle: u32) {
+        let used = &mut self.used[cluster][kind.index()];
+        if used.len() <= cycle as usize {
+            used.resize(cycle as usize + 1, 0);
+        }
+        used[cycle as usize] += 1;
+    }
+}
+
+/// Absolute-cycle register-bus occupancy (grows on demand; a no-op for
+/// unbounded bus sets).
+#[derive(Debug, Clone)]
+struct BusOccupancy {
+    latency: u32,
+    /// Per bus, per absolute cycle. Empty when the bus set is unbounded.
+    busy: Vec<Vec<bool>>,
+    unbounded: bool,
+}
+
+impl BusOccupancy {
+    fn new(machine: &MachineConfig) -> Self {
+        let latency = machine.register_buses.latency;
+        match machine.register_buses.count {
+            BusCount::Finite(n) => Self {
+                latency,
+                busy: vec![Vec::new(); n],
+                unbounded: false,
+            },
+            BusCount::Unbounded => Self {
+                latency,
+                busy: Vec::new(),
+                unbounded: true,
+            },
+        }
+    }
+
+    fn window_free(&self, bus: usize, start: u32) -> bool {
+        (0..self.latency).all(|d| {
+            !self.busy[bus]
+                .get((start + d) as usize)
+                .copied()
+                .unwrap_or(false)
+        })
+    }
+
+    /// Reserves the earliest transfer window starting at or after `earliest`
+    /// on any bus; returns `(bus, start_cycle)`. Always succeeds: absolute
+    /// time beyond the current occupancy is free.
+    fn reserve_earliest(&mut self, earliest: u32) -> (usize, u32) {
+        if self.unbounded {
+            return (0, earliest);
+        }
+        let mut start = earliest;
+        loop {
+            for bus in 0..self.busy.len() {
+                if self.window_free(bus, start) {
+                    let end = (start + self.latency) as usize;
+                    if self.busy[bus].len() < end {
+                        self.busy[bus].resize(end, false);
+                    }
+                    for d in 0..self.latency {
+                        self.busy[bus][(start + d) as usize] = true;
+                    }
+                    return (bus, start);
+                }
+            }
+            start += 1;
+        }
+    }
+}
+
+/// Deterministic topological order of the distance-0 dependence subgraph
+/// (Kahn's algorithm, smallest operation id first). Always exists: loops
+/// validate the distance-0 subgraph to be acyclic at build time.
+fn topological_order(l: &Loop) -> Vec<OpId> {
+    let n = l.num_ops();
+    let mut in_degree = vec![0usize; n];
+    for e in l.edges() {
+        if e.distance == 0 {
+            in_degree[e.dst.index()] += 1;
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| in_degree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let pos = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &v)| v)
+            .map(|(i, _)| i)
+            .expect("ready set is non-empty");
+        let next = ready.swap_remove(pos);
+        order.push(OpId::from_index(next));
+        for e in l.succs(OpId::from_index(next)) {
+            if e.distance == 0 {
+                in_degree[e.dst.index()] -= 1;
+                if in_degree[e.dst.index()] == 0 {
+                    ready.push(e.dst.index());
+                }
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "distance-0 subgraph is acyclic");
+    order
+}
+
+fn ceil_div_nonneg(numerator: i64, denominator: i64) -> i64 {
+    if numerator <= 0 {
+        0
+    } else {
+        (numerator + denominator - 1) / denominator
+    }
+}
+
+/// The always-succeeding non-pipelined list scheduler.
+///
+/// Operations are visited in a topological order of the intra-iteration
+/// dependence graph; each picks the cluster that lets it start earliest
+/// (ties: the less-loaded cluster, then the lower index), reserving
+/// register-bus transfers for cross-cluster values on the way. Loop-carried
+/// dependences and their transfers are accounted afterwards by raising the
+/// published II high enough that each of them is satisfied, so the result is
+/// a *legal modulo schedule* with stage count 1 — one iteration in flight at
+/// a time, exactly what "not software-pipelined" means in the cycle model
+/// (`compute_cycles = ntimes · niter · II`).
+///
+/// Loads are always scheduled with the hit latency; the cache-miss-latency
+/// scheme of Section 4.3 only pays off when iterations overlap.
+///
+/// # Example
+///
+/// ```
+/// use mvp_core::{ListScheduler, ModuloScheduler};
+/// use mvp_ir::Loop;
+/// use mvp_machine::presets;
+///
+/// # fn main() -> Result<(), mvp_core::ScheduleError> {
+/// let mut b = Loop::builder("demo");
+/// let x = b.fp_op("X");
+/// let y = b.fp_op("Y");
+/// b.data_edge(x, y, 0);
+/// let l = b.build().expect("valid loop");
+/// let s = ListScheduler::new().schedule(&l, &presets::two_cluster())?;
+/// assert_eq!(s.stage_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ListScheduler {
+    options: SchedulerOptions,
+}
+
+impl ListScheduler {
+    /// Creates a list scheduler with default options.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            options: SchedulerOptions::new(),
+        }
+    }
+
+    /// Creates a list scheduler with the given options (only
+    /// `enforce_register_pressure` is consulted; the II-search and
+    /// miss-latency options are meaningless without pipelining).
+    #[must_use]
+    pub fn with_options(options: SchedulerOptions) -> Self {
+        Self { options }
+    }
+}
+
+impl ModuloScheduler for ListScheduler {
+    fn name(&self) -> &'static str {
+        "list"
+    }
+
+    fn schedule(&self, l: &Loop, machine: &MachineConfig) -> Result<Schedule, ScheduleError> {
+        machine.validate()?;
+        for op in l.ops() {
+            if machine.total_fu_count(op.kind.fu_kind()) == 0 {
+                return Err(ScheduleError::MissingResources {
+                    reason: "the loop needs a functional-unit kind the machine does not provide"
+                        .into(),
+                });
+            }
+        }
+
+        let bus_latency = machine.register_buses.latency;
+        let mut fu = FuOccupancy::new(machine);
+        let mut bus = BusOccupancy::new(machine);
+        let mut cluster_load = vec![0usize; machine.num_clusters()];
+        let mut placements: Vec<Option<(ClusterId, u32, u32)>> = vec![None; l.num_ops()];
+        let mut comms: Vec<Communication> = Vec::new();
+
+        for op in topological_order(l) {
+            let kind = l.op(op).kind.fu_kind();
+            let hit_lat = l.op(op).kind.hit_latency(&machine.latencies);
+
+            // Evaluate every cluster that can execute the operation; book the
+            // incoming transfers each candidate needs on a scratch copy of
+            // the bus table and keep the cheapest candidate's copy.
+            let mut best: Option<(u32, usize, ClusterId, BusOccupancy, Vec<Communication>)> = None;
+            for c in machine.cluster_ids() {
+                if machine.cluster(c).fu_count(kind) == 0 {
+                    continue;
+                }
+                let mut candidate_bus = bus.clone();
+                let mut candidate_comms = Vec::new();
+                let mut ready = 0u32;
+                for e in l.preds(op) {
+                    if e.distance != 0 {
+                        continue; // covered by the final II adjustment
+                    }
+                    let (p_cluster, p_cycle, p_lat) =
+                        placements[e.src.index()].expect("topological order places preds first");
+                    let arrival = if e.kind == EdgeKind::Data && p_cluster != c {
+                        let (bus_idx, start) = candidate_bus.reserve_earliest(p_cycle + p_lat);
+                        candidate_comms.push(Communication {
+                            src: e.src,
+                            dst: op,
+                            from_cluster: p_cluster,
+                            to_cluster: c,
+                            start_cycle: start,
+                            bus: bus_idx,
+                        });
+                        start + bus_latency
+                    } else if e.kind == EdgeKind::Data {
+                        p_cycle + p_lat
+                    } else {
+                        p_cycle + 1
+                    };
+                    ready = ready.max(arrival);
+                }
+                let t = fu.first_free(c, kind, ready);
+                let better = match &best {
+                    None => true,
+                    Some((bt, bload, bc, _, _)) => (t, cluster_load[c], c) < (*bt, *bload, *bc),
+                };
+                if better {
+                    best = Some((t, cluster_load[c], c, candidate_bus, candidate_comms));
+                }
+            }
+            let (t, _, c, chosen_bus, chosen_comms) =
+                best.expect("some cluster provides the unit kind");
+            bus = chosen_bus;
+            comms.extend(chosen_comms);
+            fu.reserve(c, kind, t);
+            cluster_load[c] += 1;
+            placements[op.index()] = Some((c, t, hit_lat));
+        }
+
+        let placements: Vec<(ClusterId, u32, u32)> =
+            placements.into_iter().map(|p| p.expect("placed")).collect();
+        let max_cycle = placements.iter().map(|p| p.1).max().unwrap_or(0);
+        let mut min_ii = i64::from(max_cycle) + 1;
+
+        // Loop-carried dependences: book the transfers their cross-cluster
+        // values need and raise the II until every carried edge (and the
+        // completion of every transfer) fits inside one kernel iteration.
+        for e in l.edges() {
+            if e.distance == 0 {
+                continue;
+            }
+            let (src_cluster, src_cycle, src_lat) = placements[e.src.index()];
+            let (dst_cluster, dst_cycle, _) = placements[e.dst.index()];
+            let d = i64::from(e.distance);
+            if e.kind == EdgeKind::Data && src_cluster != dst_cluster {
+                let (bus_idx, start) = bus.reserve_earliest(src_cycle + src_lat);
+                comms.push(Communication {
+                    src: e.src,
+                    dst: e.dst,
+                    from_cluster: src_cluster,
+                    to_cluster: dst_cluster,
+                    start_cycle: start,
+                    bus: bus_idx,
+                });
+                let arrival = i64::from(start) + i64::from(bus_latency);
+                min_ii = min_ii.max(ceil_div_nonneg(arrival - i64::from(dst_cycle), d));
+            } else {
+                let lat = if e.kind == EdgeKind::Data {
+                    i64::from(src_lat)
+                } else {
+                    1
+                };
+                min_ii = min_ii.max(ceil_div_nonneg(
+                    i64::from(src_cycle) + lat - i64::from(dst_cycle),
+                    d,
+                ));
+            }
+        }
+        // No transfer may wrap around the modulo table.
+        for c in &comms {
+            min_ii = min_ii.max(i64::from(c.start_cycle) + i64::from(bus_latency));
+        }
+        let ii = u32::try_from(min_ii).expect("list-schedule II fits in u32");
+
+        let ops: Vec<PlacedOp> = placements
+            .iter()
+            .enumerate()
+            .map(|(i, &(cluster, cycle, lat))| PlacedOp {
+                op: OpId::from_index(i),
+                cluster,
+                cycle,
+                stage: cycle / ii,
+                row: cycle % ii,
+                assumed_latency: lat,
+                miss_scheduled: false,
+            })
+            .collect();
+
+        let pressure = lifetime::register_pressure(l, &ops, ii, machine.num_clusters());
+        if self.options.enforce_register_pressure {
+            for (cluster, &p) in pressure.iter().enumerate() {
+                let capacity = machine.cluster(cluster).register_file_size;
+                if p > capacity as u32 {
+                    return Err(ScheduleError::MissingResources {
+                        reason: format!(
+                            "non-pipelined schedule needs {p} registers in cluster {cluster} \
+                             but the file holds {capacity}"
+                        ),
+                    });
+                }
+            }
+        }
+
+        Ok(Schedule::new(
+            machine.name.clone(),
+            self.name(),
+            ii,
+            ops,
+            comms,
+            pressure,
+        ))
+    }
+}
+
+/// A modulo scheduler with a list-scheduling safety net.
+///
+/// Runs the primary scheduler first; if — and only if — the primary exhausts
+/// its II search ([`ScheduleError::NoFeasibleIi`]), the loop is list-scheduled
+/// instead, so every well-formed loop the machine can execute at all gets
+/// *some* legal schedule. The [`Schedule::scheduler_name`] of the result
+/// tells which path produced it (`"list"` for the fallback).
+///
+/// # Example
+///
+/// ```
+/// use mvp_core::{FallbackScheduler, ModuloScheduler, RmcaScheduler};
+/// use mvp_ir::Loop;
+/// use mvp_machine::presets;
+///
+/// # fn main() -> Result<(), mvp_core::ScheduleError> {
+/// let mut b = Loop::builder("demo");
+/// let x = b.fp_op("X");
+/// let y = b.fp_op("Y");
+/// b.data_edge(x, y, 0);
+/// let l = b.build().expect("valid loop");
+/// let scheduler = FallbackScheduler::new(RmcaScheduler::new());
+/// let s = scheduler.schedule(&l, &presets::two_cluster())?;
+/// assert_eq!(s.scheduler_name, "rmca"); // the primary succeeded
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FallbackScheduler<P> {
+    primary: P,
+    fallback: ListScheduler,
+}
+
+impl<P: ModuloScheduler> FallbackScheduler<P> {
+    /// Wraps `primary` with a default-option list-scheduling fallback.
+    #[must_use]
+    pub fn new(primary: P) -> Self {
+        Self {
+            primary,
+            fallback: ListScheduler::new(),
+        }
+    }
+
+    /// Wraps `primary` with a fallback running under the given options.
+    #[must_use]
+    pub fn with_options(primary: P, options: SchedulerOptions) -> Self {
+        Self {
+            primary,
+            fallback: ListScheduler::with_options(options),
+        }
+    }
+
+    /// The wrapped primary scheduler.
+    #[must_use]
+    pub fn primary(&self) -> &P {
+        &self.primary
+    }
+}
+
+impl<P: ModuloScheduler> ModuloScheduler for FallbackScheduler<P> {
+    fn name(&self) -> &'static str {
+        "list-fallback"
+    }
+
+    fn schedule(&self, l: &Loop, machine: &MachineConfig) -> Result<Schedule, ScheduleError> {
+        match self.primary.schedule(l, machine) {
+            Ok(schedule) => Ok(schedule),
+            Err(ScheduleError::NoFeasibleIi { .. }) => self.fallback.schedule(l, machine),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_schedule;
+    use crate::{BaselineScheduler, RmcaScheduler};
+    use mvp_machine::presets;
+
+    fn chain() -> Loop {
+        let mut b = Loop::builder("chain");
+        let i = b.dimension("I", 64);
+        let a = b.auto_array("A", 4096);
+        let c = b.auto_array("C", 4096);
+        let ld = b.load("LD", b.array_ref(a).stride(i, 8).build());
+        let f1 = b.fp_op("F1");
+        let f2 = b.fp_op("F2");
+        let st = b.store("ST", b.array_ref(c).stride(i, 8).build());
+        b.data_edge(ld, f1, 0);
+        b.data_edge(f1, f2, 0);
+        b.data_edge(f2, st, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn list_schedules_are_single_stage_and_legal() {
+        let l = chain();
+        for machine in [
+            presets::unified(),
+            presets::two_cluster(),
+            presets::four_cluster(),
+            presets::motivating_example_machine(),
+        ] {
+            let s = ListScheduler::new().schedule(&l, &machine).unwrap();
+            assert_eq!(s.stage_count(), 1, "{}", machine.name);
+            let v = validate_schedule(&l, &machine, &s);
+            assert!(v.is_empty(), "{}: {v:?}", machine.name);
+        }
+    }
+
+    #[test]
+    fn list_schedule_is_never_faster_than_the_modulo_schedule() {
+        let l = chain();
+        let machine = presets::two_cluster();
+        let list = ListScheduler::new().schedule(&l, &machine).unwrap();
+        let modulo = RmcaScheduler::new().schedule(&l, &machine).unwrap();
+        assert!(modulo.compute_cycles_of(&l) <= list.compute_cycles_of(&l));
+    }
+
+    #[test]
+    fn recurrences_raise_the_published_ii() {
+        // X -> X with distance 1 and a 2-cycle fp latency: one iteration per
+        // 2 cycles at best, so the degenerate II must be >= 2 even though the
+        // flat schedule is a single cycle long.
+        let mut b = Loop::builder("acc");
+        let x = b.fp_op("X");
+        b.data_edge(x, x, 1);
+        let l = b.build().unwrap();
+        let machine = presets::unified();
+        let s = ListScheduler::new().schedule(&l, &machine).unwrap();
+        assert!(s.ii() >= 2, "II {} does not cover the recurrence", s.ii());
+        assert!(validate_schedule(&l, &machine, &s).is_empty());
+    }
+
+    #[test]
+    fn carried_cross_cluster_values_get_transfers() {
+        // Force both clusters into play: 8 parallel fp chains on the
+        // 2-cluster machine (4 fp units total) with a carried edge between
+        // the chains' heads.
+        let mut b = Loop::builder("wide");
+        let mut heads = Vec::new();
+        for k in 0..8 {
+            let x = b.fp_op(format!("X{k}"));
+            let y = b.fp_op(format!("Y{k}"));
+            b.data_edge(x, y, 0);
+            heads.push(x);
+        }
+        b.data_edge(heads[7], heads[0], 1);
+        let l = b.build().unwrap();
+        let machine = presets::two_cluster();
+        let s = ListScheduler::new().schedule(&l, &machine).unwrap();
+        let v = validate_schedule(&l, &machine, &s);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn missing_unit_kinds_are_not_masked() {
+        use mvp_machine::{BusConfig, CacheGeometry, ClusterConfig, MachineConfig};
+        let machine = MachineConfig::builder("no-mem")
+            .homogeneous_clusters(
+                1,
+                ClusterConfig::new(1, 1, 0, 8, CacheGeometry::direct_mapped(1024)),
+            )
+            .register_buses(BusConfig::finite(1, 1))
+            .memory_buses(BusConfig::finite(1, 1))
+            .build()
+            .unwrap();
+        let l = chain();
+        for scheduler in [
+            Box::new(ListScheduler::new()) as Box<dyn ModuloScheduler>,
+            Box::new(FallbackScheduler::new(RmcaScheduler::new())),
+        ] {
+            let err = scheduler.schedule(&l, &machine).unwrap_err();
+            assert!(matches!(err, ScheduleError::MissingResources { .. }));
+        }
+    }
+
+    #[test]
+    fn fallback_defers_to_the_primary_when_it_succeeds() {
+        let l = chain();
+        let machine = presets::two_cluster();
+        let s = FallbackScheduler::new(BaselineScheduler::new())
+            .schedule(&l, &machine)
+            .unwrap();
+        assert_eq!(s.scheduler_name, "baseline");
+        let direct = BaselineScheduler::new().schedule(&l, &machine).unwrap();
+        assert_eq!(s.ii(), direct.ii());
+    }
+
+    #[test]
+    fn fallback_rescues_exhausted_ii_searches() {
+        // A primary that always reports an exhausted II search.
+        struct AlwaysExhausted;
+        impl ModuloScheduler for AlwaysExhausted {
+            fn name(&self) -> &'static str {
+                "exhausted"
+            }
+            fn schedule(&self, _: &Loop, _: &MachineConfig) -> Result<Schedule, ScheduleError> {
+                Err(ScheduleError::NoFeasibleIi {
+                    min_ii: 1,
+                    max_ii: 65,
+                })
+            }
+        }
+        let l = chain();
+        let machine = presets::two_cluster();
+        let scheduler = FallbackScheduler::new(AlwaysExhausted);
+        assert_eq!(scheduler.name(), "list-fallback");
+        assert_eq!(scheduler.primary().name(), "exhausted");
+        let s = scheduler.schedule(&l, &machine).unwrap();
+        assert_eq!(s.scheduler_name, "list");
+        assert!(validate_schedule(&l, &machine, &s).is_empty());
+    }
+}

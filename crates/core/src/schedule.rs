@@ -249,6 +249,67 @@ mod tests {
     }
 
     #[test]
+    fn ii_of_one_packs_one_stage_per_cycle() {
+        // II=1 is the densest possible kernel: every cycle is its own stage
+        // and `compute_cycles` degenerates to `ntimes * (niter + SC - 1)`.
+        let ii = 1;
+        let ops = vec![placed(0, 0, 0, ii), placed(1, 0, 3, ii)];
+        let s = Schedule::new("m", "test", ii, ops, vec![], vec![1]);
+        assert_eq!(s.stage_count(), 4);
+        assert_eq!(s.placement(OpId::from_index(1)).stage, 3);
+        assert_eq!(s.placement(OpId::from_index(1)).row, 0);
+        assert_eq!(s.compute_cycles(1, 100), 103);
+        assert_eq!(s.compute_cycles(7, 1), 7 * 4);
+    }
+
+    #[test]
+    fn single_op_single_cluster_is_the_degenerate_schedule() {
+        // One operation at cycle 0: SC=1, so every execution costs exactly
+        // niter * II and the balance convention for one cluster is 1.0.
+        let ii = 2;
+        let s = Schedule::new("m", "test", ii, vec![placed(0, 0, 0, ii)], vec![], vec![0]);
+        assert_eq!(s.stage_count(), 1);
+        assert_eq!(s.compute_cycles(3, 50), 3 * 50 * 2);
+        assert_eq!(s.balance(1), 1.0);
+        assert_eq!(s.ops_in_cluster(0), 1);
+        assert_eq!(s.ops_in_cluster(1), 0);
+    }
+
+    #[test]
+    fn balance_handles_empty_and_unused_clusters() {
+        let ii = 2;
+        // Zero-communication schedule concentrated in cluster 0 of a
+        // 4-cluster machine: min/max over *all* clusters is 0.
+        let ops = vec![placed(0, 0, 0, ii), placed(1, 0, 1, ii)];
+        let s = Schedule::new("m", "test", ii, ops, vec![], vec![2, 0, 0, 0]);
+        assert_eq!(s.num_communications(), 0);
+        assert_eq!(s.balance(4), 0.0);
+        // Convention: single-cluster machines and empty schedules are
+        // perfectly balanced.
+        let empty = Schedule::new("m", "test", ii, vec![], vec![], vec![0]);
+        assert_eq!(empty.balance(4), 1.0);
+        assert_eq!(empty.balance(1), 1.0);
+        assert_eq!(empty.stage_count(), 1);
+    }
+
+    #[test]
+    fn miss_scheduled_loads_are_filtered_from_placements() {
+        let ii = 3;
+        let mut hit = placed(0, 0, 0, ii);
+        hit.miss_scheduled = false;
+        let mut missed = placed(1, 1, 1, ii);
+        missed.miss_scheduled = true;
+        missed.assumed_latency = 12;
+        let s = Schedule::new("m", "test", ii, vec![hit, missed], vec![], vec![1, 1]);
+        let missed_ops: Vec<OpId> = s.miss_scheduled_loads().collect();
+        assert_eq!(missed_ops, vec![OpId::from_index(1)]);
+        assert_eq!(s.placement(OpId::from_index(1)).assumed_latency, 12);
+        // Zero-communication loop: nothing to report.
+        assert_eq!(s.num_communications(), 0);
+        assert!(s.communications().is_empty());
+    }
+
+    #[test]
     fn communications_are_reported() {
         let ii = 4;
         let ops = vec![placed(0, 0, 0, ii), placed(1, 1, 6, ii)];

@@ -8,24 +8,112 @@
 //! [`std::time::Instant`] timing loop, so `cargo bench` works
 //! without network access. Results (min / median / mean per sample) are
 //! printed to stdout.
+//!
+//! # Machine-readable output
+//!
+//! Setting the `MVP_MICROBENCH_CSV` environment variable (or calling
+//! [`Criterion::with_csv_path`]) additionally appends one CSV row per
+//! benchmark to the given file:
+//!
+//! ```csv
+//! group,benchmark,min_ns,median_ns,mean_ns,samples
+//! sched_throughput,rmca/tomcatv,81234,83012,83977,30
+//! ```
+//!
+//! The header is written once, when the file is created or empty; repeated
+//! runs append, so CI can collect one artifact per run and diff scheduler
+//! throughput across commits.
 
 use std::fmt::Display;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
 use std::time::{Duration, Instant};
+
+/// Environment variable naming the CSV file benchmark results are appended
+/// to (in addition to the stdout report).
+pub const CSV_ENV_VAR: &str = "MVP_MICROBENCH_CSV";
+
+#[derive(Debug)]
+struct CsvSink {
+    file: File,
+}
+
+impl CsvSink {
+    fn open(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut sink = Self { file };
+        if sink.file.metadata()?.len() == 0 {
+            writeln!(
+                sink.file,
+                "group,benchmark,min_ns,median_ns,mean_ns,samples"
+            )?;
+        }
+        Ok(sink)
+    }
+
+    fn row(
+        &mut self,
+        group: &str,
+        benchmark: &str,
+        min: Duration,
+        median: Duration,
+        mean: Duration,
+        samples: usize,
+    ) {
+        writeln!(
+            self.file,
+            "{group},{benchmark},{},{},{},{samples}",
+            min.as_nanos(),
+            median.as_nanos(),
+            mean.as_nanos()
+        )
+        .expect("benchmark CSV row is writable");
+    }
+}
 
 /// Entry point of a benchmark run; create one per `main` (the
 /// [`criterion_main!`](crate::criterion_main) macro does this for you).
-#[derive(Debug, Default)]
+///
+/// When the [`CSV_ENV_VAR`] environment variable is set, every benchmark
+/// result is also appended to that CSV file (see the
+/// [module documentation](self)).
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    csv: Option<CsvSink>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        match std::env::var_os(CSV_ENV_VAR) {
+            Some(path) => Self::with_csv_path(Path::new(&path)),
+            None => Self { csv: None },
+        }
+    }
 }
 
 impl Criterion {
+    /// Creates a harness that appends every result to the CSV file at
+    /// `path` (creating it, with a header row, if needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file cannot be opened for appending — CSV output is
+    /// an explicit opt-in for CI tracking, and silently dropping it would
+    /// defeat the purpose.
+    #[must_use]
+    pub fn with_csv_path(path: &Path) -> Self {
+        let sink = CsvSink::open(path)
+            .unwrap_or_else(|e| panic!("cannot open benchmark CSV {}: {e}", path.display()));
+        Self { csv: Some(sink) }
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n== group: {name}");
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name,
             sample_size: 30,
         }
@@ -35,7 +123,7 @@ impl Criterion {
 /// A named group of benchmarks sharing a sample size.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -78,6 +166,9 @@ impl BenchmarkGroup<'_> {
             mean,
             samples.len()
         );
+        if let Some(sink) = &mut self.criterion.csv {
+            sink.row(&self.name, &id.label, min, median, mean, samples.len());
+        }
         self
     }
 
@@ -167,5 +258,37 @@ mod tests {
     fn benchmark_ids_render_function_and_parameter() {
         let id = BenchmarkId::new("sweep", 42);
         assert_eq!(id.label, "sweep/42");
+    }
+
+    #[test]
+    fn csv_sink_writes_header_once_and_appends_rows() {
+        let path = std::env::temp_dir().join(format!(
+            "mvp-microbench-{}-{:?}.csv",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        for _ in 0..2 {
+            let mut c = Criterion::with_csv_path(&path);
+            let mut group = c.benchmark_group("csv_smoke");
+            group.sample_size(2);
+            group.bench_with_input(BenchmarkId::new("noop", 1), &1u64, |b, &one| {
+                b.iter(|| one + 1);
+            });
+            group.finish();
+        }
+
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        // One header plus one row per run: the header is not repeated on
+        // append.
+        assert_eq!(lines.len(), 3, "{contents}");
+        assert_eq!(lines[0], "group,benchmark,min_ns,median_ns,mean_ns,samples");
+        for row in &lines[1..] {
+            assert!(row.starts_with("csv_smoke,noop/1,"), "{row}");
+            assert!(row.ends_with(",2"), "{row}");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

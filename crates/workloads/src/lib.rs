@@ -40,6 +40,6 @@ pub mod kernels;
 pub mod motivating;
 pub mod suite;
 
-pub use generator::{GeneratorConfig, LoopGenerator};
+pub use generator::{is_modulo_schedulable, GeneratorConfig, GeneratorMode, LoopGenerator};
 pub use motivating::{motivating_loop, MotivatingParams};
 pub use suite::{suite, SuiteParams, Workload};

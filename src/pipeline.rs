@@ -25,13 +25,17 @@
 //! ```
 
 use crate::error::{Error, Result};
-use mvp_core::{BaselineScheduler, ModuloScheduler, RmcaScheduler, Schedule, SchedulerOptions};
+use mvp_core::{
+    BaselineScheduler, FallbackScheduler, ModuloScheduler, RmcaScheduler, Schedule,
+    SchedulerOptions,
+};
 use mvp_ir::Loop;
 use mvp_machine::{presets, MachineConfig};
 use mvp_sim::memory_system::MemoryCounters;
 use mvp_sim::{simulate, SimOptions, SimStats};
 use mvp_workloads::Workload;
 use std::fmt;
+use std::sync::Arc;
 
 /// Which scheduler configuration a [`Pipeline`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,6 +48,12 @@ pub enum SchedulerChoice {
     /// The paper's *Unified* reference: the baseline scheduler on a
     /// single-cluster (non-distributed) machine.
     Unified,
+    /// The RMCA scheduler with a non-pipelined list-scheduling safety net:
+    /// loops whose II search exhausts still get a legal (stage-count-1)
+    /// schedule instead of an error. This is what makes arbitrary
+    /// [`LoopGenerator`](mvp_workloads::LoopGenerator) seeds runnable end to
+    /// end.
+    ListFallback,
 }
 
 impl SchedulerChoice {
@@ -52,6 +62,15 @@ impl SchedulerChoice {
     /// reference, not a bar).
     pub const ALL: [SchedulerChoice; 2] = [SchedulerChoice::Baseline, SchedulerChoice::Rmca];
 
+    /// Every scheduler configuration, as exercised by the differential fuzz
+    /// harness.
+    pub const EVERY: [SchedulerChoice; 4] = [
+        SchedulerChoice::Baseline,
+        SchedulerChoice::Rmca,
+        SchedulerChoice::Unified,
+        SchedulerChoice::ListFallback,
+    ];
+
     /// Short display name (used in result tables).
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -59,6 +78,7 @@ impl SchedulerChoice {
             SchedulerChoice::Baseline => "baseline",
             SchedulerChoice::Rmca => "rmca",
             SchedulerChoice::Unified => "unified",
+            SchedulerChoice::ListFallback => "list-fallback",
         }
     }
 
@@ -70,6 +90,10 @@ impl SchedulerChoice {
                 Box::new(BaselineScheduler::with_options(options))
             }
             SchedulerChoice::Rmca => Box::new(RmcaScheduler::with_options(options)),
+            SchedulerChoice::ListFallback => Box::new(FallbackScheduler::with_options(
+                RmcaScheduler::with_options(options),
+                options,
+            )),
         }
     }
 
@@ -94,7 +118,7 @@ impl fmt::Display for SchedulerChoice {
 #[derive(Debug, Clone)]
 pub struct PipelineBuilder {
     scheduler: SchedulerChoice,
-    machine: Option<MachineConfig>,
+    machine: Option<Arc<MachineConfig>>,
     scheduler_options: SchedulerOptions,
     sim_options: SimOptions,
 }
@@ -120,9 +144,14 @@ impl PipelineBuilder {
 
     /// Picks the machine configuration. Defaults to the Table-1 2-cluster
     /// preset (or the unified preset for [`SchedulerChoice::Unified`]).
+    ///
+    /// Accepts either an owned [`MachineConfig`] or an
+    /// [`Arc<MachineConfig>`]: experiment grids that build many pipelines
+    /// for the same machine (the Figure-5/6 sweeps) share one `Arc` instead
+    /// of cloning the whole configuration per pipeline.
     #[must_use]
-    pub fn machine(mut self, machine: MachineConfig) -> Self {
-        self.machine = Some(machine);
+    pub fn machine(mut self, machine: impl Into<Arc<MachineConfig>>) -> Self {
+        self.machine = Some(machine.into());
         self
     }
 
@@ -158,7 +187,7 @@ impl PipelineBuilder {
     pub fn build(self) -> Result<Pipeline> {
         let machine = self
             .machine
-            .unwrap_or_else(|| self.scheduler.default_machine());
+            .unwrap_or_else(|| Arc::new(self.scheduler.default_machine()));
         machine.validate()?;
         if self.scheduler == SchedulerChoice::Unified && machine.num_clusters() != 1 {
             return Err(Error::Config(format!(
@@ -184,7 +213,7 @@ impl PipelineBuilder {
 pub struct Pipeline {
     choice: SchedulerChoice,
     scheduler: Box<dyn ModuloScheduler + Send + Sync>,
-    machine: MachineConfig,
+    machine: Arc<MachineConfig>,
     sim_options: SimOptions,
 }
 
@@ -214,6 +243,13 @@ impl Pipeline {
     #[must_use]
     pub fn machine(&self) -> &MachineConfig {
         &self.machine
+    }
+
+    /// The machine as a shareable handle (cheap to clone into further
+    /// pipelines or worker threads).
+    #[must_use]
+    pub fn shared_machine(&self) -> Arc<MachineConfig> {
+        Arc::clone(&self.machine)
     }
 
     /// Schedules and simulates one loop.
@@ -460,6 +496,30 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(p.machine().num_clusters(), 1);
+    }
+
+    #[test]
+    fn list_fallback_runs_and_machines_are_shared() {
+        let machine = std::sync::Arc::new(presets::two_cluster());
+        let p = Pipeline::builder()
+            .scheduler(SchedulerChoice::ListFallback)
+            .machine(std::sync::Arc::clone(&machine))
+            .build()
+            .unwrap();
+        // The builder keeps the caller's Arc instead of cloning the config.
+        assert!(std::sync::Arc::ptr_eq(&p.shared_machine(), &machine));
+        let (l, _) = motivating_loop(&MotivatingParams::default());
+        let report = p.run(&l).unwrap();
+        assert_eq!(report.scheduler, SchedulerChoice::ListFallback);
+        // The primary (RMCA) handles the motivating loop; the fallback only
+        // engages on exhausted II searches.
+        assert_eq!(report.schedule.scheduler_name, "rmca");
+        assert_eq!(SchedulerChoice::EVERY.len(), 4);
+        assert_eq!(SchedulerChoice::ListFallback.name(), "list-fallback");
+        assert_eq!(
+            SchedulerChoice::ListFallback.default_machine().name,
+            "2-cluster"
+        );
     }
 
     #[test]

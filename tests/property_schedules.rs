@@ -3,13 +3,22 @@
 //! register-bus latency for cross-cluster values), never beat the minimum
 //! II, and never exceed the register files.
 
-use multivliw::core::{BaselineScheduler, ModuloScheduler, RmcaScheduler, Schedule};
+use multivliw::core::{
+    validate_schedule, BaselineScheduler, ModuloScheduler, RmcaScheduler, Schedule,
+};
 use multivliw::ir::{mii, EdgeKind, Loop};
 use multivliw::machine::{presets, MachineConfig};
 use multivliw::workloads::generator::{GeneratorConfig, LoopGenerator};
 use multivliw::workloads::rng::SplitMix64;
 
 fn check_schedule(l: &Loop, machine: &MachineConfig, schedule: &Schedule) {
+    // The independent legality oracle agrees first.
+    let violations = validate_schedule(l, machine, schedule);
+    assert!(
+        violations.is_empty(),
+        "validator rejects {}: {violations:?}",
+        l.name()
+    );
     // Every operation placed exactly once.
     assert_eq!(schedule.ops().len(), l.num_ops());
     // The II is at least the machine-independent lower bound.
