@@ -1,0 +1,55 @@
+//! Optimality-gap table: heuristic II vs the exact scheduler's certified
+//! bound on every machine preset.
+//!
+//! Usage: `gap [--loops N] [--max-ops N] [--seed S] [--budget NODES]`
+//!
+//! With `MVP_GAP_CSV=<path>` the rows are additionally written as CSV (the
+//! CI bench job uploads this as the `optimality-gap` artifact).
+
+use mvp_bench::gap::{render, run, write_csv, GapParams};
+
+fn arg<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let pos = args.iter().position(|a| a == name)?;
+    let Some(value) = args.get(pos + 1) else {
+        eprintln!("missing value for {name}");
+        std::process::exit(2);
+    };
+    match value.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("invalid value for {name}: {value}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut params = GapParams::default();
+    if let Some(n) = arg(&args, "--loops") {
+        params.generated_loops = n;
+    }
+    if let Some(n) = arg(&args, "--max-ops") {
+        params.max_ops = n;
+    }
+    if let Some(s) = arg(&args, "--seed") {
+        params.seed = s;
+    }
+    if let Some(b) = arg(&args, "--budget") {
+        params.node_budget = b;
+    }
+
+    let rows = run(&params);
+    print!("{}", render(&rows));
+
+    if let Ok(path) = std::env::var("MVP_GAP_CSV") {
+        let path = std::path::PathBuf::from(path);
+        match write_csv(&rows, &path) {
+            Ok(()) => println!("wrote {} rows to {}", rows.len(), path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

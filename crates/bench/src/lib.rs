@@ -6,6 +6,8 @@
 //! * `fig3`  — the motivating example of Section 3 (Figure 3),
 //! * `fig5`  — the unbounded-bus sweep (Figure 5a/5b),
 //! * `fig6`  — the realistic-bus sweep (Figure 6a/6b),
+//! * `gap`   — heuristic II vs the exact scheduler's certified bound
+//!   (optimality-gap tables, `MVP_GAP_CSV` for the CI artifact),
 //!
 //! and the Criterion benches in `benches/` measure scheduler / simulator
 //! throughput plus the ablations called out in `DESIGN.md`.
@@ -21,6 +23,7 @@
 pub mod fig3;
 pub mod fig5;
 pub mod fig6;
+pub mod gap;
 pub mod report;
 pub mod runner;
 pub mod table1;

@@ -14,6 +14,12 @@
 //! structured [`Vec<Violation>`] instead of a bool, so a failing fuzz case
 //! reports *which* rule broke and where.
 //!
+//! The rule list below is also the shared constraint vocabulary of the
+//! exact branch-and-bound scheduler (`mvp-exact`), whose rustdoc maps each
+//! of its search constraints onto the [`Violation`] it rules out: a
+//! schedule it emits is legal by this oracle's definition, and an II it
+//! certifies infeasible admits no schedule this oracle would accept.
+//!
 //! # Legality rules checked
 //!
 //! 1. **Structure** — a positive II, one placement per operation in

@@ -1,0 +1,269 @@
+//! The constraint model: everything the branch-and-bound search needs,
+//! precomputed once per (loop, machine) pair.
+//!
+//! The model deliberately mirrors the rule set of
+//! [`mvp_core::validate::validate_schedule`] — the independent legality
+//! oracle — rather than the internals of any heuristic scheduler: a schedule
+//! found by the search is legal *by the validator's definition*, and an II
+//! the search certifies as infeasible admits no schedule the validator would
+//! accept (within the documented search horizon).
+
+use crate::options::ExactOptions;
+use mvp_core::error::ScheduleError;
+use mvp_ir::{EdgeKind, Loop, OpId};
+use mvp_machine::{BusCount, FuKind, MachineConfig};
+
+/// Preprocessed instance shared by every fixed-II probe.
+#[derive(Debug)]
+pub struct Problem<'l, 'm> {
+    /// The loop being scheduled.
+    pub l: &'l Loop,
+    /// The target machine.
+    pub machine: &'m MachineConfig,
+    /// Per-operation assumed latency. The exact scheduler always uses the
+    /// cache-hit latency (it proves bounds on the II; the miss-latency scheme
+    /// of Section 4.3 trades II for stall cycles and is a heuristic-only
+    /// concern), so placements carry `miss_scheduled = false` and satisfy the
+    /// validator's `LatencyMismatch` rule by construction.
+    pub latency: Vec<u32>,
+    /// Per-operation functional-unit kind.
+    pub fu_kind: Vec<FuKind>,
+    /// Functional units of each kind per cluster (`fu_count[cluster][kind]`).
+    pub fu_count: Vec<[usize; 3]>,
+    /// Register-file capacity per cluster.
+    pub register_file: Vec<u32>,
+    /// Register-bus latency in cycles.
+    pub bus_latency: u32,
+    /// Number of register buses, or `None` for an unbounded bus set (on
+    /// which the validator never reports a conflict).
+    pub num_buses: Option<usize>,
+    /// Whether all clusters are identical, which makes cluster labels
+    /// interchangeable and enables symmetry breaking in the search.
+    pub homogeneous: bool,
+    /// Number of operations of each functional-unit kind, for the
+    /// resource-count infeasibility certificate.
+    pub ops_per_kind: [usize; 3],
+}
+
+impl<'l, 'm> Problem<'l, 'm> {
+    /// Builds the model, validating the machine and checking that every
+    /// operation kind has at least one unit somewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::Machine`] for an invalid machine and
+    /// [`ScheduleError::MissingResources`] when the loop uses a
+    /// functional-unit kind the machine lacks (no II can ever work).
+    pub fn new(l: &'l Loop, machine: &'m MachineConfig) -> Result<Self, ScheduleError> {
+        machine.validate()?;
+        let latency: Vec<u32> = l
+            .ops()
+            .iter()
+            .map(|o| o.kind.hit_latency(&machine.latencies))
+            .collect();
+        let fu_kind: Vec<FuKind> = l.ops().iter().map(|o| o.kind.fu_kind()).collect();
+        let fu_count: Vec<[usize; 3]> = machine
+            .clusters()
+            .map(|(_, c)| FuKind::ALL.map(|k| c.fu_count(k)))
+            .collect();
+        let register_file: Vec<u32> = machine
+            .clusters()
+            .map(|(_, c)| c.register_file_size as u32)
+            .collect();
+        let mut ops_per_kind = [0usize; 3];
+        for k in &fu_kind {
+            ops_per_kind[k.index()] += 1;
+        }
+        for kind in FuKind::ALL {
+            if ops_per_kind[kind.index()] > 0 && machine.total_fu_count(kind) == 0 {
+                return Err(ScheduleError::MissingResources {
+                    reason: "the loop needs a functional-unit kind the machine does not provide"
+                        .into(),
+                });
+            }
+        }
+        let homogeneous = machine
+            .clusters()
+            .map(|(_, c)| c)
+            .all(|c| c == machine.cluster(0));
+        Ok(Self {
+            l,
+            machine,
+            latency,
+            fu_kind,
+            fu_count,
+            register_file,
+            bus_latency: machine.register_buses.latency,
+            num_buses: match machine.register_buses.count {
+                BusCount::Finite(n) => Some(n),
+                BusCount::Unbounded => None,
+            },
+            homogeneous,
+            ops_per_kind,
+        })
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.l.num_ops()
+    }
+
+    /// Dependence weight of edge `e` at initiation interval `ii`, *without*
+    /// the register-bus term: `t_dst − t_src ≥ weight`. This is the
+    /// cluster-independent relaxation used for window propagation; the search
+    /// re-checks each edge exactly (adding the bus latency when the endpoints
+    /// land in different clusters), matching the validator's
+    /// `DependenceViolated` rule.
+    #[must_use]
+    pub fn edge_weight(&self, e: &mvp_ir::DepEdge, ii: u32) -> i64 {
+        let lat = if e.kind == EdgeKind::Data {
+            i64::from(self.latency[e.src.index()])
+        } else {
+            1
+        };
+        lat - i64::from(ii) * i64::from(e.distance)
+    }
+
+    /// The exact start-to-start requirement of edge `e` when `src` is placed
+    /// in `src_cluster` and `dst` in `dst_cluster` (the validator's
+    /// `value_ready − consumer_iteration_base`): latency plus the bus latency
+    /// for cross-cluster data edges, minus the iteration offset.
+    #[must_use]
+    pub fn exact_edge_weight(
+        &self,
+        e: &mvp_ir::DepEdge,
+        ii: u32,
+        src_cluster: usize,
+        dst_cluster: usize,
+    ) -> i64 {
+        let mut w = self.edge_weight(e, ii);
+        if e.kind == EdgeKind::Data && src_cluster != dst_cluster {
+            w += i64::from(self.bus_latency);
+        }
+        w
+    }
+
+    /// The resource-count certificate (the `ResMII` bound, per unit kind):
+    /// `ii` is infeasible whenever some kind must issue more operations per
+    /// II than the machine has unit-slots, i.e. `ops > units × ii` — the
+    /// counting argument behind the validator's `FuOversubscribed` rule.
+    #[must_use]
+    pub fn resource_infeasible(&self, ii: u32) -> bool {
+        FuKind::ALL.into_iter().any(|kind| {
+            let units = self.machine.total_fu_count(kind) as u64;
+            self.ops_per_kind[kind.index()] as u64 > units * u64::from(ii)
+        })
+    }
+
+    /// Operation order the search branches in: tightest static window first
+    /// (fail-first), breaking ties towards higher-degree and lower-id
+    /// operations. The order is fixed per probe — conflict-driven backjumping
+    /// relies on stable decision levels.
+    #[must_use]
+    pub fn branch_order(&self, window_width: &[i64]) -> Vec<OpId> {
+        let mut degree = vec![0usize; self.num_ops()];
+        for e in self.l.edges() {
+            degree[e.src.index()] += 1;
+            degree[e.dst.index()] += 1;
+        }
+        let mut order: Vec<OpId> = self.l.op_ids().collect();
+        order.sort_by_key(|op| {
+            (
+                window_width[op.index()],
+                -(degree[op.index()] as i64),
+                op.index(),
+            )
+        });
+        order
+    }
+
+    /// Search horizon for a probe at `ii`: the latest cycle any operation may
+    /// start. See [`ExactOptions::horizon_stages`] for the completeness
+    /// caveat this bound carries.
+    #[must_use]
+    pub fn horizon(&self, asap_max: i64, ii: u32, options: &ExactOptions) -> i64 {
+        asap_max + i64::from(options.horizon_stages.max(1)) * i64::from(ii)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_machine::presets;
+
+    fn chain() -> Loop {
+        let mut b = Loop::builder("chain");
+        let i = b.dimension("I", 64);
+        let a = b.auto_array("A", 4096);
+        let ld = b.load("LD", b.array_ref(a).stride(i, 8).build());
+        let f = b.fp_op("F");
+        let st = b.store("ST", b.array_ref(a).stride(i, 8).build());
+        b.data_edge(ld, f, 0);
+        b.data_edge(f, st, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn model_captures_machine_and_loop_shape() {
+        let l = chain();
+        let machine = presets::two_cluster();
+        let p = Problem::new(&l, &machine).unwrap();
+        assert_eq!(p.num_ops(), 3);
+        assert_eq!(p.latency, vec![2, 2, 1]);
+        assert_eq!(p.num_buses, Some(2));
+        assert_eq!(p.bus_latency, 1);
+        assert!(p.homogeneous);
+        assert_eq!(p.ops_per_kind, [0, 1, 2]);
+        assert_eq!(p.register_file, vec![32, 32]);
+    }
+
+    #[test]
+    fn missing_unit_kinds_fail_fast() {
+        use mvp_machine::{BusConfig, CacheGeometry, ClusterConfig, MachineConfig};
+        let machine = MachineConfig::builder("no-mem")
+            .homogeneous_clusters(
+                1,
+                ClusterConfig::new(2, 2, 0, 32, CacheGeometry::direct_mapped(4096)),
+            )
+            .register_buses(BusConfig::finite(1, 1))
+            .memory_buses(BusConfig::finite(1, 1))
+            .build()
+            .unwrap();
+        let l = chain();
+        assert!(matches!(
+            Problem::new(&l, &machine),
+            Err(ScheduleError::MissingResources { .. })
+        ));
+    }
+
+    #[test]
+    fn resource_certificate_matches_res_mii() {
+        let l = chain();
+        let machine = presets::motivating_example_machine();
+        let p = Problem::new(&l, &machine).unwrap();
+        // 2 memory ops on 2 memory units: infeasible only below II=1.
+        assert!(!p.resource_infeasible(1));
+        let (l8, _) = {
+            use mvp_workloads::motivating::{motivating_loop, MotivatingParams};
+            motivating_loop(&MotivatingParams::default())
+        };
+        let p8 = Problem::new(&l8, &machine).unwrap();
+        // 5 memory ops on 2 units: ResMII = 3.
+        assert!(p8.resource_infeasible(2));
+        assert!(!p8.resource_infeasible(3));
+    }
+
+    #[test]
+    fn edge_weights_follow_the_validator_rules() {
+        let l = chain();
+        let machine = presets::two_cluster();
+        let p = Problem::new(&l, &machine).unwrap();
+        let e = l.edges()[0]; // LD -> F, data, distance 0
+        assert_eq!(p.edge_weight(&e, 3), 2);
+        assert_eq!(p.exact_edge_weight(&e, 3, 0, 0), 2);
+        assert_eq!(p.exact_edge_weight(&e, 3, 0, 1), 3); // + bus latency 1
+        let carried = mvp_ir::DepEdge::data(e.src, e.dst, 2);
+        assert_eq!(p.edge_weight(&carried, 3), 2 - 6);
+    }
+}

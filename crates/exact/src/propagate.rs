@@ -1,0 +1,174 @@
+//! Constraint propagation: static start-cycle windows per operation.
+//!
+//! For a fixed II the dependence edges form a system of difference
+//! constraints `t_dst − t_src ≥ w(e)` with `w(e) = latency − II·distance`
+//! (the bus-free relaxation of the validator's `DependenceViolated` rule).
+//! Longest paths over this system give each operation an earliest (ASAP) and,
+//! against the search horizon, a latest (ALAP) start cycle. Two outcomes
+//! matter beyond the windows themselves:
+//!
+//! * a **positive cycle** in the constraint graph proves the II infeasible
+//!   outright — this is the `RecMII` certificate, independent of any search
+//!   horizon;
+//! * tight windows shrink the branching factor of the search and order the
+//!   operations most-constrained-first.
+
+use crate::model::Problem;
+
+/// Static per-operation start-cycle windows for one candidate II.
+#[derive(Debug, Clone)]
+pub struct Windows {
+    /// Earliest start cycle per operation (longest path from cycle 0).
+    pub earliest: Vec<i64>,
+    /// Latest start cycle per operation (longest path to the horizon).
+    pub latest: Vec<i64>,
+    /// The horizon the latest cycles were computed against.
+    pub horizon: i64,
+}
+
+impl Windows {
+    /// Window width (`latest − earliest + 1`) per operation.
+    #[must_use]
+    pub fn widths(&self) -> Vec<i64> {
+        self.earliest
+            .iter()
+            .zip(&self.latest)
+            .map(|(e, l)| l - e + 1)
+            .collect()
+    }
+}
+
+/// Computes the static windows for `ii`, or `None` when the difference
+/// constraints contain a positive cycle (the II is certified infeasible, no
+/// horizon involved).
+///
+/// `horizon_of` receives the maximum ASAP cycle and returns the horizon to
+/// compute ALAP against (see [`Problem::horizon`]).
+#[must_use]
+pub fn windows(
+    p: &Problem<'_, '_>,
+    ii: u32,
+    horizon_of: impl FnOnce(i64) -> i64,
+) -> Option<Windows> {
+    let n = p.num_ops();
+    // ASAP: longest paths from a virtual source (t ≥ 0 for every op),
+    // Bellman–Ford style. n rounds reach a fixpoint unless a positive cycle
+    // keeps relaxing.
+    let mut earliest = vec![0i64; n];
+    for round in 0..=n {
+        let mut changed = false;
+        for e in p.l.edges() {
+            let bound = earliest[e.src.index()] + p.edge_weight(e, ii);
+            if bound > earliest[e.dst.index()] {
+                earliest[e.dst.index()] = bound;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == n {
+            return None; // positive cycle: II < RecMII
+        }
+    }
+
+    let asap_max = earliest.iter().copied().max().unwrap_or(0);
+    let horizon = horizon_of(asap_max).max(asap_max);
+
+    // ALAP against the horizon: latest[src] ≤ latest[dst] − w(e). The graph
+    // has no positive cycles here, so n rounds converge.
+    let mut latest = vec![horizon; n];
+    for _ in 0..n {
+        let mut changed = false;
+        for e in p.l.edges() {
+            let bound = latest[e.dst.index()] - p.edge_weight(e, ii);
+            if bound < latest[e.src.index()] {
+                latest[e.src.index()] = bound;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // The ASAP assignment satisfies every constraint and fits under the
+    // horizon, so earliest ≤ latest always holds; keep a guard anyway.
+    if earliest.iter().zip(&latest).any(|(e, l)| e > l) {
+        return None;
+    }
+    Some(Windows {
+        earliest,
+        latest,
+        horizon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::ExactOptions;
+    use mvp_ir::Loop;
+    use mvp_machine::presets;
+
+    fn opts() -> ExactOptions {
+        ExactOptions::new()
+    }
+
+    #[test]
+    fn chain_windows_follow_latencies() {
+        let mut b = Loop::builder("chain");
+        let x = b.fp_op("X");
+        let y = b.fp_op("Y");
+        b.data_edge(x, y, 0);
+        let l = b.build().unwrap();
+        let machine = presets::two_cluster();
+        let p = Problem::new(&l, &machine).unwrap();
+        let o = opts();
+        let w = windows(&p, 1, |asap| p.horizon(asap, 1, &o)).unwrap();
+        assert_eq!(w.earliest, vec![0, 2]);
+        assert_eq!(w.latest[0], w.latest[1] - 2);
+        assert_eq!(w.horizon, 2 + i64::from(o.horizon_stages));
+        assert!(w.widths().iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn positive_cycles_certify_infeasibility() {
+        // fp X -> Y -> X (distance 1): circuit latency 4, so II < 4 has a
+        // positive cycle and II = 4 does not.
+        let mut b = Loop::builder("rec");
+        let x = b.fp_op("X");
+        let y = b.fp_op("Y");
+        b.data_edge(x, y, 0);
+        b.data_edge(y, x, 1);
+        let l = b.build().unwrap();
+        let machine = presets::unified();
+        let p = Problem::new(&l, &machine).unwrap();
+        let o = opts();
+        for ii in 1..4 {
+            assert!(
+                windows(&p, ii, |a| p.horizon(a, ii, &o)).is_none(),
+                "II={ii}"
+            );
+        }
+        assert!(windows(&p, 4, |a| p.horizon(a, 4, &o)).is_some());
+    }
+
+    #[test]
+    fn carried_edges_relax_with_larger_ii() {
+        let mut b = Loop::builder("carried");
+        let x = b.fp_op("X");
+        let y = b.fp_op("Y");
+        b.data_edge(x, y, 2);
+        let l = b.build().unwrap();
+        let machine = presets::unified();
+        let p = Problem::new(&l, &machine).unwrap();
+        let o = opts();
+        // At II=1 the carried edge still forces Y no earlier than cycle 0.
+        let w = windows(&p, 1, |a| p.horizon(a, 1, &o)).unwrap();
+        assert_eq!(w.earliest, vec![0, 0]);
+        // At II=2 the edge weight is negative; both ops are unconstrained.
+        let w = windows(&p, 2, |a| p.horizon(a, 2, &o)).unwrap();
+        assert_eq!(w.earliest, vec![0, 0]);
+    }
+}

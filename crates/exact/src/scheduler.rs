@@ -1,0 +1,292 @@
+//! The outer II search and the [`ModuloScheduler`] front-end.
+//!
+//! [`solve`] probes candidate initiation intervals upwards from
+//! `max(ResMII, RecMII)`. Each probe ends in one of three ways
+//! ([`IiVerdict`]): *feasible* (a legal schedule is assembled and the search
+//! stops), *infeasible* (the lower bound advances past this II — but only
+//! while the chain of certificates from the minimum II is unbroken), or
+//! *unknown* (the node budget ran out; the search stops and reports the
+//! bound certified so far). The result is either a provably optimal
+//! schedule, a schedule plus a smaller certified lower bound, or a lower
+//! bound alone.
+
+use crate::model::Problem;
+use crate::options::ExactOptions;
+use crate::outcome::{ExactOutcome, IiProbe, IiVerdict};
+use crate::search::{solve_fixed_ii, FixedIiOutcome};
+use mvp_core::error::ScheduleError;
+use mvp_core::{lifetime, Communication, ModuloScheduler, Schedule, SchedulerOptions};
+use mvp_ir::{mii, Loop};
+use mvp_machine::MachineConfig;
+
+/// Runs the exact II search for `l` on `machine`.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::Machine`] for an invalid machine and
+/// [`ScheduleError::MissingResources`] when the loop uses a functional-unit
+/// kind the machine lacks. An exhausted search range or budget is *not* an
+/// error — the [`ExactOutcome`] reports it as a missing schedule with a
+/// certified lower bound.
+pub fn solve(
+    l: &Loop,
+    machine: &MachineConfig,
+    options: &ExactOptions,
+) -> Result<ExactOutcome, ScheduleError> {
+    let p = Problem::new(l, machine)?;
+    let min_ii = mii::minimum_ii(l, machine);
+    if min_ii == u32::MAX {
+        return Err(ScheduleError::MissingResources {
+            reason: "the loop needs a functional-unit kind the machine does not provide".into(),
+        });
+    }
+    let max_ii = min_ii.saturating_add(options.max_ii_slack);
+
+    let mut nodes = 0u64;
+    let mut probes = Vec::new();
+    let mut lower_bound = min_ii;
+    let mut chain_unbroken = true;
+    let mut schedule = None;
+
+    for ii in min_ii..=max_ii {
+        // The node budget is shared across probes: each gets the remainder.
+        let remaining = options.node_budget.saturating_sub(nodes);
+        if remaining == 0 {
+            break;
+        }
+        let probe_options = options.with_node_budget(remaining);
+        let before = nodes;
+        let outcome = solve_fixed_ii(&p, ii, &probe_options, &mut nodes);
+        let verdict = match outcome {
+            FixedIiOutcome::Feasible { ops, comms } => {
+                schedule = Some(assemble(&p, ii, ops, comms));
+                IiVerdict::Feasible
+            }
+            FixedIiOutcome::Infeasible => IiVerdict::Infeasible,
+            FixedIiOutcome::Budget => IiVerdict::Unknown,
+        };
+        probes.push(IiProbe {
+            ii,
+            verdict,
+            nodes: nodes - before,
+        });
+        match verdict {
+            IiVerdict::Feasible => break,
+            IiVerdict::Infeasible => {
+                if chain_unbroken {
+                    lower_bound = ii + 1;
+                }
+            }
+            IiVerdict::Unknown => {
+                // Budget exhausted: stop probing — further probes would get
+                // no budget either — and keep the bound certified so far.
+                chain_unbroken = false;
+                break;
+            }
+        }
+    }
+
+    let proved_optimal = schedule
+        .as_ref()
+        .is_some_and(|s: &Schedule| s.ii() == lower_bound && chain_unbroken);
+    Ok(ExactOutcome {
+        min_ii,
+        schedule,
+        lower_bound,
+        proved_optimal,
+        nodes,
+        probes,
+    })
+}
+
+/// Assembles the search solution into a public [`Schedule`], computing the
+/// same MaxLive register pressure the validator recomputes.
+fn assemble(
+    p: &Problem<'_, '_>,
+    ii: u32,
+    ops: Vec<mvp_core::PlacedOp>,
+    comms: Vec<Communication>,
+) -> Schedule {
+    let pressure = lifetime::register_pressure(p.l, &ops, ii, p.machine.num_clusters());
+    let schedule = Schedule::new(p.machine.name.clone(), "exact", ii, ops, comms, pressure);
+    debug_assert!(
+        mvp_core::validate_schedule(p.l, p.machine, &schedule).is_empty(),
+        "the exact scheduler produced an illegal schedule for {}: {:?}",
+        p.l.name(),
+        mvp_core::validate_schedule(p.l, p.machine, &schedule)
+    );
+    schedule
+}
+
+/// The exact scheduler as a drop-in [`ModuloScheduler`]: schedules with the
+/// smallest II the branch-and-bound search can find and certify.
+///
+/// Unlike [`solve`] — which exposes bounds and probe logs — this front-end
+/// fits the common pipeline interface: a loop either gets a legal schedule
+/// or a [`ScheduleError::NoFeasibleIi`] when the search range or node budget
+/// is exhausted without finding one.
+///
+/// # Example
+///
+/// ```
+/// use mvp_exact::ExactScheduler;
+/// use mvp_core::ModuloScheduler;
+/// use mvp_ir::Loop;
+/// use mvp_machine::presets;
+///
+/// # fn main() -> Result<(), mvp_core::ScheduleError> {
+/// let mut b = Loop::builder("demo");
+/// let x = b.fp_op("X");
+/// let y = b.fp_op("Y");
+/// b.data_edge(x, y, 0);
+/// let l = b.build().expect("valid loop");
+/// let s = ExactScheduler::new().schedule(&l, &presets::two_cluster())?;
+/// assert_eq!(s.scheduler_name, "exact");
+/// assert_eq!(s.ii(), 1); // one fp op per cluster per cycle: optimal II = 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExactScheduler {
+    options: ExactOptions,
+}
+
+impl ExactScheduler {
+    /// Creates an exact scheduler with default options.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            options: ExactOptions::new(),
+        }
+    }
+
+    /// Creates an exact scheduler with the given options.
+    #[must_use]
+    pub fn with_options(options: ExactOptions) -> Self {
+        Self { options }
+    }
+
+    /// Creates an exact scheduler configured from the shared
+    /// [`SchedulerOptions`] (see [`ExactOptions::from_scheduler_options`]).
+    #[must_use]
+    pub fn from_scheduler_options(options: &SchedulerOptions) -> Self {
+        Self {
+            options: ExactOptions::from_scheduler_options(options),
+        }
+    }
+
+    /// The search options in use.
+    #[must_use]
+    pub fn options(&self) -> &ExactOptions {
+        &self.options
+    }
+
+    /// Full search outcome (schedule, certified lower bound, probe log).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`].
+    pub fn solve(&self, l: &Loop, machine: &MachineConfig) -> Result<ExactOutcome, ScheduleError> {
+        solve(l, machine, &self.options)
+    }
+}
+
+impl ModuloScheduler for ExactScheduler {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn schedule(&self, l: &Loop, machine: &MachineConfig) -> Result<Schedule, ScheduleError> {
+        let outcome = solve(l, machine, &self.options)?;
+        let max_ii = outcome.min_ii.saturating_add(self.options.max_ii_slack);
+        outcome.schedule.ok_or(ScheduleError::NoFeasibleIi {
+            min_ii: outcome.min_ii,
+            max_ii,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_core::validate_schedule;
+    use mvp_machine::presets;
+
+    fn chain() -> Loop {
+        let mut b = Loop::builder("chain");
+        let i = b.dimension("I", 64);
+        let a = b.auto_array("A", 4096);
+        let ld = b.load("LD", b.array_ref(a).stride(i, 8).build());
+        let f = b.fp_op("F");
+        let st = b.store("ST", b.array_ref(a).stride(i, 8).build());
+        b.data_edge(ld, f, 0);
+        b.data_edge(f, st, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chains_are_proved_optimal_at_the_minimum_ii() {
+        let l = chain();
+        for machine in [
+            presets::unified(),
+            presets::two_cluster(),
+            presets::four_cluster(),
+        ] {
+            let outcome = solve(&l, &machine, &ExactOptions::new()).unwrap();
+            let s = outcome.schedule.as_ref().expect("feasible");
+            assert!(outcome.proved_optimal, "{}", machine.name);
+            assert_eq!(s.ii(), mii::minimum_ii(&l, &machine), "{}", machine.name);
+            assert_eq!(outcome.lower_bound, s.ii());
+            assert_eq!(outcome.exact_ii(), Some(s.ii()));
+            assert!(validate_schedule(&l, &machine, s).is_empty());
+            assert_eq!(outcome.probes.len(), 1);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_a_lower_bound_not_a_panic() {
+        let l = chain();
+        let machine = presets::two_cluster();
+        let outcome = solve(&l, &machine, &ExactOptions::new().with_node_budget(1)).unwrap();
+        assert!(outcome.schedule.is_none());
+        assert!(!outcome.proved_optimal);
+        assert_eq!(outcome.lower_bound, mii::minimum_ii(&l, &machine));
+        assert_eq!(outcome.probes.last().unwrap().verdict, IiVerdict::Unknown);
+        // ...and the ModuloScheduler front-end turns it into NoFeasibleIi.
+        let err = ExactScheduler::with_options(ExactOptions::new().with_node_budget(1))
+            .schedule(&l, &machine)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::NoFeasibleIi { .. }));
+    }
+
+    #[test]
+    fn recurrences_raise_the_certified_bound() {
+        // fp X -> Y -> X (distance 1): RecMII = 4; the probes at II 1..3 are
+        // skipped entirely because minimum_ii already starts at 4.
+        let mut b = Loop::builder("rec");
+        let x = b.fp_op("X");
+        let y = b.fp_op("Y");
+        b.data_edge(x, y, 0);
+        b.data_edge(y, x, 1);
+        let l = b.build().unwrap();
+        let machine = presets::unified();
+        let outcome = solve(&l, &machine, &ExactOptions::new()).unwrap();
+        assert_eq!(outcome.min_ii, 4);
+        assert!(outcome.proved_optimal);
+        assert_eq!(outcome.schedule_ii(), Some(4));
+    }
+
+    #[test]
+    fn scheduler_front_end_matches_solve() {
+        let l = chain();
+        let machine = presets::two_cluster();
+        let scheduler = ExactScheduler::new();
+        assert_eq!(scheduler.name(), "exact");
+        assert_eq!(scheduler.options(), &ExactOptions::new());
+        let s = scheduler.schedule(&l, &machine).unwrap();
+        let outcome = scheduler.solve(&l, &machine).unwrap();
+        assert_eq!(Some(s.ii()), outcome.schedule_ii());
+        assert_eq!(s.scheduler_name, "exact");
+        assert_eq!(s.machine_name, machine.name);
+    }
+}

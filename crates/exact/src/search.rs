@@ -1,0 +1,663 @@
+//! The branch-and-bound search for one fixed initiation interval.
+//!
+//! A fixed-II probe is a *satisfaction* problem: find, for every operation, a
+//! (cluster, start cycle) pair — plus a (start cycle, bus) pair for every
+//! cross-cluster register transfer — such that every rule of the legality
+//! oracle holds. The search branches over operations in a
+//! most-constrained-first order and prunes with:
+//!
+//! * **static windows** from [`crate::propagate::windows`] (constraint
+//!   propagation over the dependence difference constraints),
+//! * **dynamic windows** tightened by already-placed neighbours (including
+//!   the register-bus latency once both clusters are known),
+//! * **modulo resource tables** for functional units and register buses,
+//! * a monotone **register-pressure lower bound** over the placed prefix,
+//! * **conflict-driven backjumping**: every dead end records the deepest
+//!   decision level implicated (binding window bounds, functional-unit or
+//!   bus occupants); when a subtree's failure provably does not involve the
+//!   current level's choice, the search jumps straight back to the deepest
+//!   implicated level instead of re-enumerating unrelated siblings. Failures
+//!   whose causes cannot be fully attributed (register pressure, options
+//!   pruned by symmetry breaking) fall back to chronological backtracking,
+//!   which keeps the jump always sound,
+//! * **symmetry breaking** over interchangeable clusters and buses (a
+//!   placement may only open cluster `max-used + 1`; likewise for buses).
+//!
+//! Every placement attempt and bus reservation costs one node from the
+//! shared budget; exceeding it aborts the probe with
+//! [`FixedIiOutcome::Budget`] (an *unknown*, never an infeasibility claim).
+
+use crate::model::Problem;
+use crate::options::ExactOptions;
+use crate::propagate::{windows, Windows};
+use mvp_core::lifetime;
+use mvp_core::schedule::{Communication, PlacedOp};
+use mvp_ir::{EdgeKind, OpId};
+
+/// Result of one fixed-II probe.
+#[derive(Debug)]
+pub(crate) enum FixedIiOutcome {
+    /// A legal schedule exists; the placements and transfers are returned
+    /// for [`crate::scheduler`] to assemble into a `Schedule`.
+    Feasible {
+        /// Per-operation placements, in operation-id order.
+        ops: Vec<PlacedOp>,
+        /// Register-bus transfers.
+        comms: Vec<Communication>,
+    },
+    /// No legal schedule exists at this II (within the search horizon).
+    Infeasible,
+    /// The node budget ran out before the probe was decided.
+    Budget,
+}
+
+/// Result of the subtree rooted at one decision level.
+///
+/// `Fail(t)` carries the backjump contract: *every* choice at this level
+/// fails, and the conflict responsible involves only decision levels `≤ t`
+/// (`t < level`; `-1` means the failure is independent of all decisions, so
+/// the whole probe is infeasible).
+enum Step {
+    Solved,
+    Budget,
+    Fail(i64),
+}
+
+/// Result of the transfer enumeration belonging to one candidate placement.
+enum TransferStep {
+    Solved,
+    Budget,
+    /// This candidate placement fails; the conflict involves the current
+    /// level's choice plus levels `≤ t`.
+    CandidateFail(i64),
+    /// A deeper subtree failed with a conflict that provably does not
+    /// involve the current level (`t < level`): propagate immediately.
+    DeepFail(i64),
+}
+
+/// A complete solution: per-operation placements plus the transfer records.
+type RawSolution = (Vec<PlacedOp>, Vec<Communication>);
+
+struct Searcher<'p, 'l, 'm> {
+    p: &'p Problem<'l, 'm>,
+    ii: u32,
+    win: &'p Windows,
+    /// Operations in branch order; position = decision level.
+    order: Vec<OpId>,
+    /// Decision level of each operation.
+    level_of: Vec<usize>,
+    /// Placement per operation id: (cluster, cycle).
+    placed: Vec<Option<(usize, i64)>>,
+    /// Occupant decision levels per (cluster, fu kind, modulo row).
+    fu_rows: Vec<[Vec<Vec<usize>>; 3]>,
+    /// Occupant decision level per (bus, modulo row); `None` when the bus
+    /// set is unbounded (the validator never reports conflicts there).
+    bus_rows: Option<Vec<Vec<Option<usize>>>>,
+    /// Transfer records with the level that created them (a stack).
+    comms: Vec<(Communication, usize)>,
+    enforce_pressure: bool,
+    nodes: u64,
+    budget: u64,
+    solution: Option<RawSolution>,
+}
+
+/// A pending cross-cluster transfer implied by placing one operation.
+struct Pair {
+    src: OpId,
+    dst: OpId,
+    from: usize,
+    to: usize,
+    /// Earliest legal start cycle (producer completion).
+    lo: i64,
+    /// Latest legal start cycle (consumer start minus the bus latency,
+    /// minimised over parallel edges).
+    hi: i64,
+    /// Decision level of the already-placed neighbour.
+    nb_level: usize,
+}
+
+impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
+    fn new(p: &'p Problem<'l, 'm>, ii: u32, win: &'p Windows, options: &ExactOptions) -> Self {
+        let order = p.branch_order(&win.widths());
+        let mut level_of = vec![0usize; p.num_ops()];
+        for (lvl, op) in order.iter().enumerate() {
+            level_of[op.index()] = lvl;
+        }
+        let rows = ii as usize;
+        Self {
+            p,
+            ii,
+            win,
+            order,
+            level_of,
+            placed: vec![None; p.num_ops()],
+            fu_rows: (0..p.machine.num_clusters())
+                .map(|_| {
+                    [
+                        vec![Vec::new(); rows],
+                        vec![Vec::new(); rows],
+                        vec![Vec::new(); rows],
+                    ]
+                })
+                .collect(),
+            bus_rows: p.num_buses.map(|b| vec![vec![None; rows]; b]),
+            comms: Vec::new(),
+            enforce_pressure: options.enforce_register_pressure,
+            nodes: 0,
+            budget: options.node_budget,
+            solution: None,
+        }
+    }
+
+    fn charge_node(&mut self) -> bool {
+        self.nodes += 1;
+        self.nodes <= self.budget
+    }
+
+    /// Dynamic start-cycle bounds of `op` in `cluster`, tightened by placed
+    /// neighbours with the exact (bus-aware) edge weights. Returns
+    /// `(lo, hi, deepest implicated level)`.
+    fn dynamic_bounds(&self, op: OpId, cluster: usize) -> (i64, i64, i64) {
+        let mut lo = self.win.earliest[op.index()];
+        let mut hi = self.win.latest[op.index()];
+        let mut culprit = -1i64;
+        for e in self.p.l.preds(op) {
+            if e.src == op {
+                continue; // self-loop: already covered by propagation
+            }
+            if let Some((src_cluster, src_cycle)) = self.placed[e.src.index()] {
+                let bound = src_cycle + self.p.exact_edge_weight(e, self.ii, src_cluster, cluster);
+                if bound > lo {
+                    lo = bound;
+                    culprit = culprit.max(self.level_of[e.src.index()] as i64);
+                }
+            }
+        }
+        for e in self.p.l.succs(op) {
+            if e.dst == op {
+                continue;
+            }
+            if let Some((dst_cluster, dst_cycle)) = self.placed[e.dst.index()] {
+                let bound = dst_cycle - self.p.exact_edge_weight(e, self.ii, cluster, dst_cluster);
+                if bound < hi {
+                    hi = bound;
+                    culprit = culprit.max(self.level_of[e.dst.index()] as i64);
+                }
+            }
+        }
+        (lo, hi, culprit)
+    }
+
+    /// Cross-cluster transfers implied by placing `op` in `cluster` at cycle
+    /// `t`: one per (producer, consumer) pair with a placed neighbour in
+    /// another cluster, the start window intersected over parallel edges.
+    /// The windows are non-empty whenever the dynamic bounds admitted `t`.
+    fn transfer_pairs(&self, op: OpId, cluster: usize, t: i64) -> Vec<Pair> {
+        let ii = i64::from(self.ii);
+        let bus_lat = i64::from(self.p.bus_latency);
+        let mut pairs: Vec<Pair> = Vec::new();
+        let merge = |pairs: &mut Vec<Pair>, pair: Pair| {
+            if let Some(existing) = pairs
+                .iter_mut()
+                .find(|x| x.src == pair.src && x.dst == pair.dst)
+            {
+                existing.hi = existing.hi.min(pair.hi);
+            } else {
+                pairs.push(pair);
+            }
+        };
+        for e in self.p.l.preds(op) {
+            if e.kind != EdgeKind::Data || e.src == op {
+                continue;
+            }
+            if let Some((src_cluster, src_cycle)) = self.placed[e.src.index()] {
+                if src_cluster != cluster {
+                    merge(
+                        &mut pairs,
+                        Pair {
+                            src: e.src,
+                            dst: op,
+                            from: src_cluster,
+                            to: cluster,
+                            lo: src_cycle + i64::from(self.p.latency[e.src.index()]),
+                            hi: t + ii * i64::from(e.distance) - bus_lat,
+                            nb_level: self.level_of[e.src.index()],
+                        },
+                    );
+                }
+            }
+        }
+        for e in self.p.l.succs(op) {
+            if e.kind != EdgeKind::Data || e.dst == op {
+                continue;
+            }
+            if let Some((dst_cluster, dst_cycle)) = self.placed[e.dst.index()] {
+                if dst_cluster != cluster {
+                    merge(
+                        &mut pairs,
+                        Pair {
+                            src: op,
+                            dst: e.dst,
+                            from: cluster,
+                            to: dst_cluster,
+                            lo: t + i64::from(self.p.latency[op.index()]),
+                            hi: dst_cycle + ii * i64::from(e.distance) - bus_lat,
+                            nb_level: self.level_of[e.dst.index()],
+                        },
+                    );
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Monotone lower bound on the final per-cluster register pressure,
+    /// computed over placed operations only (placing more operations can
+    /// only lengthen lifetimes and add cross-cluster copies), so exceeding a
+    /// register file here is final for the whole subtree.
+    fn pressure_exceeded(&self) -> bool {
+        let num_clusters = self.p.machine.num_clusters();
+        let mut pressure = vec![0u32; num_clusters];
+        let ii = i64::from(self.ii);
+        for op in self.p.l.op_ids() {
+            let Some((def_cluster, def_cycle)) = self.placed[op.index()] else {
+                continue;
+            };
+            if !self.p.l.op(op).kind.produces_value() {
+                continue;
+            }
+            let mut lifetime: Option<i64> = None;
+            let mut copied_to: Vec<usize> = Vec::new();
+            for e in self.p.l.succs(op) {
+                if e.kind != EdgeKind::Data {
+                    continue;
+                }
+                let Some((use_cluster, use_cycle)) = self.placed[e.dst.index()] else {
+                    continue;
+                };
+                let life = (use_cycle + ii * i64::from(e.distance) - def_cycle).max(0);
+                lifetime = Some(lifetime.map_or(life, |x| x.max(life)));
+                if use_cluster != def_cluster && !copied_to.contains(&use_cluster) {
+                    copied_to.push(use_cluster);
+                    pressure[use_cluster] += 1;
+                }
+            }
+            match lifetime {
+                Some(0) => pressure[def_cluster] += 1,
+                Some(life) => pressure[def_cluster] += ((life + ii - 1) / ii) as u32,
+                None => {}
+            }
+        }
+        pressure
+            .iter()
+            .zip(&self.p.register_file)
+            .any(|(&used, &cap)| used > cap)
+    }
+
+    fn max_used_cluster(&self) -> Option<usize> {
+        self.placed.iter().flatten().map(|&(c, _)| c).max()
+    }
+
+    fn max_used_bus(&self) -> Option<usize> {
+        self.bus_rows.as_ref().and_then(|rows| {
+            rows.iter()
+                .enumerate()
+                .filter(|(_, r)| r.iter().any(Option::is_some))
+                .map(|(b, _)| b)
+                .max()
+        })
+    }
+
+    /// Enumerates (start cycle, bus) choices for `pairs[idx..]`, recursing
+    /// into the next decision level once every transfer is reserved.
+    /// `level` is the decision level the transfers belong to.
+    fn place_transfers(&mut self, level: usize, pairs: &[Pair], idx: usize) -> TransferStep {
+        if idx == pairs.len() {
+            return match self.dfs(level + 1) {
+                Step::Solved => TransferStep::Solved,
+                Step::Budget => TransferStep::Budget,
+                Step::Fail(t) if t < level as i64 => TransferStep::DeepFail(t),
+                Step::Fail(_) => TransferStep::CandidateFail(level as i64 - 1),
+            };
+        }
+        let pair = &pairs[idx];
+        let ii = i64::from(self.ii);
+
+        let Some(num_buses) = self.p.num_buses else {
+            // Unbounded bus set: no rule constrains the transfer, so one
+            // canonical choice (earliest start, bus 0) is complete.
+            self.comms.push((
+                Communication {
+                    src: pair.src,
+                    dst: pair.dst,
+                    from_cluster: pair.from,
+                    to_cluster: pair.to,
+                    start_cycle: pair.lo as u32,
+                    bus: 0,
+                },
+                level,
+            ));
+            let step = self.place_transfers(level, pairs, idx + 1);
+            self.comms.pop();
+            return step;
+        };
+
+        if i64::from(self.p.bus_latency) > ii {
+            // A transfer longer than the II overlaps its own next-iteration
+            // instance on any finite bus (the validator's unconditional
+            // `BusOverlap`); only co-locating the endpoints — a different
+            // cluster choice here or at the neighbour — avoids the transfer.
+            return TransferStep::CandidateFail(pair.nb_level as i64);
+        }
+
+        let mut fail_target = pair.nb_level as i64;
+        let mut conservative = false;
+        let span = self.p.bus_latency as usize;
+        let hi = pair.hi.min(pair.lo + ii - 1); // only II distinct start rows exist
+        for start in pair.lo..=hi {
+            if !self.charge_node() {
+                return TransferStep::Budget;
+            }
+            let allowed = self.max_used_bus().map_or(1, |b| b + 2).min(num_buses);
+            if allowed < num_buses {
+                conservative = true; // symmetry breaking pruned bus labels
+            }
+            for bus in 0..allowed {
+                let rows: Vec<usize> = (0..span)
+                    .map(|o| ((start + o as i64).rem_euclid(ii)) as usize)
+                    .collect();
+                let table = self.bus_rows.as_ref().expect("finite bus set");
+                if let Some(level_in_way) = rows.iter().filter_map(|&r| table[bus][r]).max() {
+                    fail_target = fail_target.max(level_in_way as i64);
+                    continue;
+                }
+                let table = self.bus_rows.as_mut().expect("finite bus set");
+                for &r in &rows {
+                    table[bus][r] = Some(level);
+                }
+                self.comms.push((
+                    Communication {
+                        src: pair.src,
+                        dst: pair.dst,
+                        from_cluster: pair.from,
+                        to_cluster: pair.to,
+                        start_cycle: start as u32,
+                        bus,
+                    },
+                    level,
+                ));
+                let step = self.place_transfers(level, pairs, idx + 1);
+                self.comms.pop();
+                let table = self.bus_rows.as_mut().expect("finite bus set");
+                for &r in &rows {
+                    table[bus][r] = None;
+                }
+                match step {
+                    TransferStep::Solved => return TransferStep::Solved,
+                    TransferStep::Budget => return TransferStep::Budget,
+                    TransferStep::DeepFail(t) => return TransferStep::DeepFail(t),
+                    TransferStep::CandidateFail(m) => fail_target = fail_target.max(m),
+                }
+            }
+        }
+        if conservative {
+            fail_target = fail_target.max(level as i64 - 1);
+        }
+        TransferStep::CandidateFail(fail_target.min(level as i64 - 1))
+    }
+
+    fn dfs(&mut self, level: usize) -> Step {
+        if level == self.p.num_ops() {
+            // Complete assignment: apply the final MaxLive register-pressure
+            // rule exactly as the validator recomputes it.
+            let ops = self.to_placed_ops();
+            if self.enforce_pressure {
+                let pressure = lifetime::register_pressure(
+                    self.p.l,
+                    &ops,
+                    self.ii,
+                    self.p.machine.num_clusters(),
+                );
+                if pressure
+                    .iter()
+                    .zip(&self.p.register_file)
+                    .any(|(&used, &cap)| used > cap)
+                {
+                    return Step::Fail(level as i64 - 1);
+                }
+            }
+            self.solution = Some((ops, self.comms.iter().map(|(c, _)| *c).collect()));
+            return Step::Solved;
+        }
+
+        let op = self.order[level];
+        let kind = self.p.fu_kind[op.index()].index();
+        let num_clusters = self.p.machine.num_clusters();
+        let mut fail_target = -1i64;
+        let mut conservative = false;
+
+        let cluster_cap = if self.p.homogeneous {
+            (self.max_used_cluster().map_or(0, |c| c + 1) + 1).min(num_clusters)
+        } else {
+            num_clusters
+        };
+        if cluster_cap < num_clusters {
+            conservative = true; // symmetry breaking pruned cluster labels
+        }
+
+        for cluster in 0..cluster_cap {
+            let capacity = self.p.fu_count[cluster][kind];
+            if capacity == 0 {
+                continue; // no unit of this kind: independent of any decision
+            }
+            let (lo, hi, bound_culprit) = self.dynamic_bounds(op, cluster);
+            // The neighbours that tightened the window are implicated even
+            // when it stays non-empty: the candidates they pruned were never
+            // tried, so any exhaustion below must not backjump past them.
+            // (`bound_culprit` is -1 when only the static window applies.)
+            fail_target = fail_target.max(bound_culprit);
+            if lo > hi {
+                continue;
+            }
+            for t in lo..=hi {
+                if !self.charge_node() {
+                    return Step::Budget;
+                }
+                let row = (t.rem_euclid(i64::from(self.ii))) as usize;
+                if self.fu_rows[cluster][kind][row].len() >= capacity {
+                    if let Some(&lvl) = self.fu_rows[cluster][kind][row].iter().max() {
+                        fail_target = fail_target.max(lvl as i64);
+                    }
+                    continue;
+                }
+                self.fu_rows[cluster][kind][row].push(level);
+                self.placed[op.index()] = Some((cluster, t));
+
+                let step = if self.enforce_pressure && self.pressure_exceeded() {
+                    // Global constraint: the culprit set is unknowable, so
+                    // fall back to chronological attribution.
+                    TransferStep::CandidateFail(level as i64 - 1)
+                } else {
+                    let pairs = self.transfer_pairs(op, cluster, t);
+                    self.place_transfers(level, &pairs, 0)
+                };
+
+                self.placed[op.index()] = None;
+                self.fu_rows[cluster][kind][row].pop();
+
+                match step {
+                    TransferStep::Solved => return Step::Solved,
+                    TransferStep::Budget => return Step::Budget,
+                    // The conflict provably excludes this level: no other
+                    // candidate here can fix it either — backjump.
+                    TransferStep::DeepFail(t) => return Step::Fail(t),
+                    TransferStep::CandidateFail(m) => fail_target = fail_target.max(m),
+                }
+            }
+        }
+
+        if conservative {
+            fail_target = fail_target.max(level as i64 - 1);
+        }
+        Step::Fail(fail_target.min(level as i64 - 1))
+    }
+
+    fn to_placed_ops(&self) -> Vec<PlacedOp> {
+        self.placed
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let (cluster, cycle) = p.expect("complete assignment");
+                let cycle = cycle as u32;
+                PlacedOp {
+                    op: OpId::from_index(i),
+                    cluster,
+                    cycle,
+                    stage: cycle / self.ii,
+                    row: cycle % self.ii,
+                    assumed_latency: self.p.latency[i],
+                    miss_scheduled: false,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Runs one fixed-II probe: certificates first (resource counts, positive
+/// dependence cycles), then the exhaustive search. `nodes_used` is
+/// incremented by the nodes this probe consumed.
+pub(crate) fn solve_fixed_ii(
+    p: &Problem<'_, '_>,
+    ii: u32,
+    options: &ExactOptions,
+    nodes_used: &mut u64,
+) -> FixedIiOutcome {
+    if ii == 0 || p.resource_infeasible(ii) {
+        return FixedIiOutcome::Infeasible;
+    }
+    let Some(win) = windows(p, ii, |asap| p.horizon(asap, ii, options)) else {
+        return FixedIiOutcome::Infeasible;
+    };
+    let mut searcher = Searcher::new(p, ii, &win, options);
+    let step = searcher.dfs(0);
+    *nodes_used += searcher.nodes;
+    match step {
+        Step::Solved => {
+            let (ops, comms) = searcher
+                .solution
+                .expect("solved searches record a solution");
+            FixedIiOutcome::Feasible { ops, comms }
+        }
+        Step::Budget => FixedIiOutcome::Budget,
+        Step::Fail(_) => FixedIiOutcome::Infeasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_ir::Loop;
+    use mvp_machine::presets;
+
+    fn probe(l: &Loop, machine: &mvp_machine::MachineConfig, ii: u32) -> FixedIiOutcome {
+        let p = Problem::new(l, machine).unwrap();
+        let mut nodes = 0;
+        solve_fixed_ii(&p, ii, &ExactOptions::new(), &mut nodes)
+    }
+
+    fn chain() -> Loop {
+        let mut b = Loop::builder("chain");
+        let i = b.dimension("I", 64);
+        let a = b.auto_array("A", 4096);
+        let ld = b.load("LD", b.array_ref(a).stride(i, 8).build());
+        let f = b.fp_op("F");
+        let st = b.store("ST", b.array_ref(a).stride(i, 8).build());
+        b.data_edge(ld, f, 0);
+        b.data_edge(f, st, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn feasible_probes_return_placements_for_every_op() {
+        let l = chain();
+        let machine = presets::two_cluster();
+        match probe(&l, &machine, 1) {
+            FixedIiOutcome::Feasible { ops, .. } => {
+                assert_eq!(ops.len(), 3);
+                assert!(ops.iter().all(|p| p.cluster < 2));
+                assert!(ops.iter().all(|p| p.row == 0 && !p.miss_scheduled));
+            }
+            other => panic!("expected feasible at II=1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recurrence_bound_is_certified_infeasible() {
+        let mut b = Loop::builder("rec");
+        let x = b.fp_op("X");
+        let y = b.fp_op("Y");
+        b.data_edge(x, y, 0);
+        b.data_edge(y, x, 1);
+        let l = b.build().unwrap();
+        let machine = presets::unified();
+        assert!(matches!(probe(&l, &machine, 3), FixedIiOutcome::Infeasible));
+        assert!(matches!(
+            probe(&l, &machine, 4),
+            FixedIiOutcome::Feasible { .. }
+        ));
+    }
+
+    #[test]
+    fn resource_bound_is_certified_infeasible() {
+        // 5 fp ops on the 4-cluster machine (4 fp units in total): II=1 is
+        // certified infeasible by counting, II=2 is feasible.
+        let mut b = Loop::builder("wide");
+        for k in 0..5 {
+            b.fp_op(format!("F{k}"));
+        }
+        let l = b.build().unwrap();
+        let machine = presets::four_cluster();
+        assert!(matches!(probe(&l, &machine, 1), FixedIiOutcome::Infeasible));
+        assert!(matches!(
+            probe(&l, &machine, 2),
+            FixedIiOutcome::Feasible { .. }
+        ));
+    }
+
+    #[test]
+    fn tiny_budget_reports_budget_not_infeasible() {
+        let l = chain();
+        let machine = presets::two_cluster();
+        let p = Problem::new(&l, &machine).unwrap();
+        let mut nodes = 0;
+        let out = solve_fixed_ii(&p, 1, &ExactOptions::new().with_node_budget(1), &mut nodes);
+        assert!(matches!(out, FixedIiOutcome::Budget), "{out:?}");
+        assert!(nodes >= 1);
+    }
+
+    #[test]
+    fn cross_cluster_recurrences_account_for_the_bus_latency() {
+        // Two fp chains too wide for one cluster of the motivating machine
+        // (1 fp unit per cluster, 1 register bus of latency 2): a recurrence
+        // X -> Y -> X (distance 1) with both ops forced into different
+        // clusters by a third fp op pays 2 bus hops. At II=4 the recurrence
+        // fits co-located (2+2), and the search must find that placement
+        // rather than a split one.
+        let mut b = Loop::builder("bus-rec");
+        let x = b.fp_op("X");
+        let y = b.fp_op("Y");
+        b.data_edge(x, y, 0);
+        b.data_edge(y, x, 1);
+        let l = b.build().unwrap();
+        let machine = presets::motivating_example_machine();
+        assert!(matches!(probe(&l, &machine, 3), FixedIiOutcome::Infeasible));
+        match probe(&l, &machine, 4) {
+            FixedIiOutcome::Feasible { ops, comms } => {
+                // The only way to meet the 4-cycle budget is co-location.
+                assert_eq!(ops[0].cluster, ops[1].cluster);
+                assert!(comms.is_empty());
+            }
+            other => panic!("expected feasible at II=4, got {other:?}"),
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`cache`] — the CME-style data-locality analysis,
 //! * [`core`] — the modulo schedulers (Baseline and RMCA, the paper's
 //!   contribution),
+//! * [`exact`] — the branch-and-bound exact scheduler: an optimality oracle
+//!   that proves how far the heuristics land from the best possible II,
 //! * [`sim`] — the cycle-level simulator with distributed coherent caches,
 //! * [`workloads`] — the synthetic SPECfp95-modelled kernels and the
 //!   Figure-3 motivating example.
@@ -52,6 +54,7 @@ pub use pipeline::{LoopReport, Pipeline, PipelineBuilder, PipelineReport, Schedu
 
 pub use mvp_cache as cache;
 pub use mvp_core as core;
+pub use mvp_exact as exact;
 pub use mvp_ir as ir;
 pub use mvp_machine as machine;
 pub use mvp_sim as sim;

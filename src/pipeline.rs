@@ -29,6 +29,7 @@ use mvp_core::{
     BaselineScheduler, FallbackScheduler, ModuloScheduler, RmcaScheduler, Schedule,
     SchedulerOptions,
 };
+use mvp_exact::{ExactOptions, ExactScheduler};
 use mvp_ir::Loop;
 use mvp_machine::{presets, MachineConfig};
 use mvp_sim::memory_system::MemoryCounters;
@@ -54,6 +55,11 @@ pub enum SchedulerChoice {
     /// [`LoopGenerator`](mvp_workloads::LoopGenerator) seeds runnable end to
     /// end.
     ListFallback,
+    /// The branch-and-bound exact scheduler of [`mvp_exact`]: schedules at
+    /// the smallest II the search can find and certify, or fails with an
+    /// exhausted II search when the node budget trips first. Intended as an
+    /// optimality oracle on small loops, not as a production scheduler.
+    Exact,
 }
 
 impl SchedulerChoice {
@@ -63,12 +69,14 @@ impl SchedulerChoice {
     pub const ALL: [SchedulerChoice; 2] = [SchedulerChoice::Baseline, SchedulerChoice::Rmca];
 
     /// Every scheduler configuration, as exercised by the differential fuzz
-    /// harness.
-    pub const EVERY: [SchedulerChoice; 4] = [
+    /// harness (the exact scheduler only on loops small enough for its node
+    /// budget; see `tests/differential_fuzz.rs`).
+    pub const EVERY: [SchedulerChoice; 5] = [
         SchedulerChoice::Baseline,
         SchedulerChoice::Rmca,
         SchedulerChoice::Unified,
         SchedulerChoice::ListFallback,
+        SchedulerChoice::Exact,
     ];
 
     /// Short display name (used in result tables).
@@ -79,6 +87,7 @@ impl SchedulerChoice {
             SchedulerChoice::Rmca => "rmca",
             SchedulerChoice::Unified => "unified",
             SchedulerChoice::ListFallback => "list-fallback",
+            SchedulerChoice::Exact => "exact",
         }
     }
 
@@ -94,6 +103,7 @@ impl SchedulerChoice {
                 RmcaScheduler::with_options(options),
                 options,
             )),
+            SchedulerChoice::Exact => Box::new(ExactScheduler::from_scheduler_options(&options)),
         }
     }
 
@@ -121,6 +131,7 @@ pub struct PipelineBuilder {
     machine: Option<Arc<MachineConfig>>,
     scheduler_options: SchedulerOptions,
     sim_options: SimOptions,
+    gap_oracle: Option<ExactOptions>,
 }
 
 impl Default for PipelineBuilder {
@@ -130,6 +141,7 @@ impl Default for PipelineBuilder {
             machine: None,
             scheduler_options: SchedulerOptions::new(),
             sim_options: SimOptions::new(),
+            gap_oracle: None,
         }
     }
 }
@@ -177,6 +189,33 @@ impl PipelineBuilder {
         self
     }
 
+    /// Switches the optimality-gap oracle on or off (off by default).
+    ///
+    /// When on, every [`Pipeline::run`] additionally runs the exact
+    /// scheduler of [`mvp_exact`] on the loop and reports the relative gap
+    /// between the heuristic II and the certified lower bound in
+    /// [`LoopReport::optimality_gap`]. This is meant for small loops — the
+    /// exact search carries a node budget and degrades to a weaker (but
+    /// still certified) bound on large ones.
+    ///
+    /// For [`SchedulerChoice::Exact`] pipelines the oracle shares the
+    /// scheduler's own search (one solve yields both the schedule and the
+    /// bound), so the oracle's own options — including any set with
+    /// [`optimality_gap_options`](Self::optimality_gap_options) — are not
+    /// consulted and the schedule is identical with the flag on or off.
+    #[must_use]
+    pub fn optimality_gap(mut self, enabled: bool) -> Self {
+        self.gap_oracle = enabled.then(ExactOptions::new);
+        self
+    }
+
+    /// Switches the optimality-gap oracle on with explicit search options.
+    #[must_use]
+    pub fn optimality_gap_options(mut self, options: ExactOptions) -> Self {
+        self.gap_oracle = Some(options);
+        self
+    }
+
     /// Validates the configuration and builds the [`Pipeline`].
     ///
     /// # Errors
@@ -198,8 +237,10 @@ impl PipelineBuilder {
         Ok(Pipeline {
             choice: self.scheduler,
             scheduler: self.scheduler.build(self.scheduler_options),
+            scheduler_options: self.scheduler_options,
             machine,
             sim_options: self.sim_options,
+            gap_oracle: self.gap_oracle,
         })
     }
 }
@@ -213,8 +254,10 @@ impl PipelineBuilder {
 pub struct Pipeline {
     choice: SchedulerChoice,
     scheduler: Box<dyn ModuloScheduler + Send + Sync>,
+    scheduler_options: SchedulerOptions,
     machine: Arc<MachineConfig>,
     sim_options: SimOptions,
+    gap_oracle: Option<ExactOptions>,
 }
 
 impl fmt::Debug for Pipeline {
@@ -259,7 +302,58 @@ impl Pipeline {
     /// Propagates scheduling failures as [`Error::Schedule`] (or
     /// [`Error::Machine`] when the root cause is the machine model).
     pub fn run(&self, l: &Loop) -> Result<LoopReport> {
+        // When the pipeline's own scheduler *is* the exact search and the
+        // gap oracle is on, one solve provides both the schedule and the
+        // bound — running `ExactScheduler::schedule` and then the oracle
+        // would repeat the identical branch-and-bound search. The solve uses
+        // the options the scheduler itself was built with (not the oracle's),
+        // so toggling the gap flag never changes the schedule produced.
+        if self.choice == SchedulerChoice::Exact && self.gap_oracle.is_some() {
+            let options = ExactOptions::from_scheduler_options(&self.scheduler_options);
+            let outcome = mvp_exact::solve(l, &self.machine, &options)?;
+            let max_ii = outcome.min_ii.saturating_add(options.max_ii_slack);
+            let gap = outcome
+                .schedule_ii()
+                .map(|ii| outcome.optimality_gap_of(ii));
+            let schedule =
+                outcome
+                    .schedule
+                    .ok_or(Error::Schedule(mvp_core::ScheduleError::NoFeasibleIi {
+                        min_ii: outcome.min_ii,
+                        max_ii,
+                    }))?;
+            return self.finish_run(l, schedule, gap);
+        }
         let schedule = self.scheduler.schedule(l, &self.machine)?;
+        let optimality_gap = self
+            .gap_oracle
+            .as_ref()
+            .and_then(|options| mvp_exact::solve(l, &self.machine, options).ok())
+            .map(|outcome| outcome.optimality_gap_of(schedule.ii()));
+        self.finish_run(l, schedule, optimality_gap)
+    }
+
+    /// Validates (debug builds), simulates and reports one schedule.
+    fn finish_run(
+        &self,
+        l: &Loop,
+        schedule: Schedule,
+        optimality_gap: Option<f64>,
+    ) -> Result<LoopReport> {
+        // Re-check the finished schedule against the independent legality
+        // oracle in debug builds: every example, bench and test run then
+        // dogfoods the validator, not only the fuzz harness.
+        #[cfg(debug_assertions)]
+        {
+            let violations = mvp_core::validate_schedule(l, &self.machine, &schedule);
+            debug_assert!(
+                violations.is_empty(),
+                "{} produced an illegal schedule for {} on {}: {violations:?}",
+                self.choice,
+                l.name(),
+                self.machine.name,
+            );
+        }
         let stats = simulate(l, &schedule, &self.machine, &self.sim_options);
         Ok(LoopReport {
             loop_name: l.name().to_string(),
@@ -268,6 +362,7 @@ impl Pipeline {
             stage_count: schedule.stage_count(),
             communications: schedule.num_communications(),
             miss_scheduled_loads: schedule.miss_scheduled_loads().count(),
+            optimality_gap,
             schedule,
             stats,
         })
@@ -331,6 +426,11 @@ pub struct LoopReport {
     pub communications: usize,
     /// Loads scheduled with the miss latency.
     pub miss_scheduled_loads: usize,
+    /// Relative gap between this schedule's II and the certified lower
+    /// bound of the exact scheduler (`(II − bound) / bound`; 0.0 = provably
+    /// optimal). `None` unless the pipeline was built with
+    /// [`PipelineBuilder::optimality_gap`].
+    pub optimality_gap: Option<f64>,
     /// The schedule itself (placements, communications).
     pub schedule: Schedule,
     /// Simulated cycle breakdown and memory counters.
@@ -365,7 +465,11 @@ impl fmt::Display for LoopReport {
             self.total_cycles(),
             self.stats.compute_cycles,
             self.stats.stall_cycles,
-        )
+        )?;
+        if let Some(gap) = self.optimality_gap {
+            write!(f, ", gap={:.0}%", 100.0 * gap)?;
+        }
+        Ok(())
     }
 }
 
@@ -382,6 +486,9 @@ pub struct PipelineReport {
     pub stall_cycles: u64,
     /// Memory-system counters summed across the batch.
     pub memory: MemoryCounters,
+    /// Mean per-loop optimality gap over the runs that measured one
+    /// (`None` when no run did; see [`LoopReport::optimality_gap`]).
+    pub optimality_gap: Option<f64>,
 }
 
 impl PipelineReport {
@@ -402,12 +509,19 @@ impl PipelineReport {
         for r in &runs {
             memory.accumulate(&r.stats.memory);
         }
+        let gaps: Vec<f64> = runs.iter().filter_map(|r| r.optimality_gap).collect();
+        let optimality_gap = if gaps.is_empty() {
+            None
+        } else {
+            Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
+        };
         Ok(Self {
             scheduler,
             runs,
             compute_cycles,
             stall_cycles,
             memory,
+            optimality_gap,
         })
     }
 
@@ -514,12 +628,64 @@ mod tests {
         // The primary (RMCA) handles the motivating loop; the fallback only
         // engages on exhausted II searches.
         assert_eq!(report.schedule.scheduler_name, "rmca");
-        assert_eq!(SchedulerChoice::EVERY.len(), 4);
+        assert_eq!(SchedulerChoice::EVERY.len(), 5);
         assert_eq!(SchedulerChoice::ListFallback.name(), "list-fallback");
         assert_eq!(
             SchedulerChoice::ListFallback.default_machine().name,
             "2-cluster"
         );
+    }
+
+    #[test]
+    fn exact_choice_runs_and_measures_a_zero_gap_against_itself() {
+        let (l, _) = motivating_loop(&MotivatingParams::default());
+        let machine = presets::motivating_example_machine();
+        let report = Pipeline::builder()
+            .scheduler(SchedulerChoice::Exact)
+            .machine(machine)
+            .optimality_gap(true)
+            .build()
+            .unwrap()
+            .run(&l)
+            .unwrap();
+        assert_eq!(report.schedule.scheduler_name, "exact");
+        // Figure-3 pinned: the exact scheduler achieves the unified mII of 3
+        // on the distributed machine, so its own gap is exactly zero.
+        assert_eq!(report.ii, 3);
+        assert_eq!(report.optimality_gap, Some(0.0));
+        assert!(report.to_string().contains("gap=0%"));
+        assert_eq!(SchedulerChoice::Exact.name(), "exact");
+        assert_eq!(SchedulerChoice::Exact.default_machine().name, "2-cluster");
+    }
+
+    #[test]
+    fn heuristic_gap_on_the_motivating_loop_is_one_third() {
+        let (l, _) = motivating_loop(&MotivatingParams::default());
+        let machine = presets::motivating_example_machine();
+        let report = Pipeline::builder()
+            .scheduler(SchedulerChoice::Rmca)
+            .machine(machine)
+            .optimality_gap(true)
+            .build()
+            .unwrap()
+            .run(&l)
+            .unwrap();
+        // RMCA lands at II=4 against the proven optimum of 3.
+        assert_eq!(report.ii, 4);
+        let gap = report.optimality_gap.expect("gap oracle enabled");
+        assert!((gap - 1.0 / 3.0).abs() < 1e-12, "{gap}");
+        // The batch aggregate carries the mean of the measured gaps.
+        let batch = PipelineReport::from_runs(SchedulerChoice::Rmca, vec![report]).unwrap();
+        assert!((batch.optimality_gap.unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_is_absent_unless_requested() {
+        let (l, _) = motivating_loop(&MotivatingParams::default());
+        let report = Pipeline::builder().build().unwrap().run(&l).unwrap();
+        assert_eq!(report.optimality_gap, None);
+        let batch = PipelineReport::from_runs(SchedulerChoice::Rmca, vec![report]).unwrap();
+        assert_eq!(batch.optimality_gap, None);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Differential fuzzing of all scheduler configurations against the
-//! schedule-legality oracle.
+//! schedule-legality oracle and the exact-scheduling lower bound.
 //!
-//! Every seeded random loop is pushed through all four
-//! [`SchedulerChoice`]s — Baseline, RMCA, Unified and the list-scheduling
-//! fallback — on their default machines, and every schedule any of them
+//! Every seeded random loop is pushed through all five
+//! [`SchedulerChoice`]s — Baseline, RMCA, Unified, the list-scheduling
+//! fallback and (on small enough loops) the exact branch-and-bound
+//! scheduler — on their default machines, and every schedule any of them
 //! produces must pass `mvp_core::validate::validate_schedule` with **zero**
 //! violations. On top of the shared legality oracle, the harness
 //! cross-checks the configurations against each other:
@@ -18,17 +19,27 @@
 //!   search degenerating to its escape hatch),
 //! * no schedule beats the machine-independent minimum II,
 //! * the pipelined schedulers may only fail by exhausting their II search
-//!   (`NoFeasibleIi`) — any other error on a well-formed loop is a bug.
+//!   (`NoFeasibleIi`) — any other error on a well-formed loop is a bug,
+//! * on the small-loop corpus, no heuristic II ever beats the exact
+//!   scheduler's certified lower bound, and every exact schedule is legal
+//!   (`exact_scheduler_bounds_every_heuristic_on_small_loops`),
+//! * `SimStats` invariants agree across scheduler choices on the same
+//!   machine: identical memory-access counts, iteration counts, and a
+//!   compute-cycle floor of `II × iterations`
+//!   (`simulation_invariants_agree_across_schedulers`).
 //!
 //! Runtime knobs (for the nightly CI job and local deep runs):
 //!
 //! * `MVP_FUZZ_CASES` — number of seeded loops (default 64),
-//! * `MVP_FUZZ_SEED` — base seed of the meta-RNG (default `0xD1FF5EED`).
+//! * `MVP_FUZZ_SEED` — base seed of the meta-RNG (default `0xD1FF5EED`;
+//!   the nightly job rotates it by date and echoes the value for replay),
+//! * `MVP_EXACT_FUZZ_CASES` — loops of the exact-oracle subset (default 24).
 
 use multivliw::core::{validate_schedule, ListScheduler, ModuloScheduler, ScheduleError};
+use multivliw::exact::{solve, ExactOptions};
 use multivliw::ir::mii;
 use multivliw::pipeline::{LoopReport, Pipeline, SchedulerChoice};
-use multivliw::workloads::generator::LoopGenerator;
+use multivliw::workloads::generator::{GeneratorConfig, LoopGenerator};
 use multivliw::workloads::rng::SplitMix64;
 use multivliw::Error;
 
@@ -46,6 +57,15 @@ fn fuzz_cases() -> usize {
 fn fuzz_seed() -> u64 {
     env_u64("MVP_FUZZ_SEED", 0xD1FF_5EED)
 }
+
+fn exact_fuzz_cases() -> usize {
+    env_u64("MVP_EXACT_FUZZ_CASES", 24) as usize
+}
+
+/// Loops larger than this skip the exact pipeline in the all-scheduler
+/// sweep: the branch-and-bound search is an oracle for small loops, and its
+/// node budget would dominate the harness runtime on 20+-op bodies.
+const EXACT_MAX_OPS: usize = 12;
 
 /// Holds one pipeline run against the legality oracle and the minimum-II
 /// lower bound.
@@ -113,6 +133,9 @@ fn all_schedulers_agree_with_the_legality_oracle() {
         let list_cycles = list_schedule.compute_cycles_of(&l);
 
         for pipeline in &pipelines {
+            if pipeline.scheduler() == SchedulerChoice::Exact && l.num_ops() > EXACT_MAX_OPS {
+                continue;
+            }
             match pipeline.run(&l) {
                 Ok(report) => {
                     schedules += 1;
@@ -211,4 +234,169 @@ fn fallback_and_primary_agree_when_the_primary_succeeds() {
         compared += 1;
     }
     assert!(compared > 0, "no seed produced a pipelined schedule");
+}
+
+#[test]
+fn exact_scheduler_bounds_every_heuristic_on_small_loops() {
+    // The exact-oracle subset: small generated loops (the branch-and-bound
+    // search proves optimality on most of them within its budget), each
+    // checked three ways:
+    //
+    // 1. every exact schedule passes the validator with zero violations,
+    // 2. the certified lower bound never drops below the classical MII and
+    //    the found schedule never drops below the bound,
+    // 3. no heuristic scheduler reports an II below the certified bound —
+    //    the acceptance bar for the whole oracle: a violation means either
+    //    an unsound pruning rule in the exact search or an illegal schedule
+    //    from a heuristic.
+    let cases = exact_fuzz_cases();
+    let base_seed = fuzz_seed() ^ 0x000E_8AC7;
+    let machine = SchedulerChoice::Rmca.default_machine();
+    let heuristics: Vec<Pipeline> = [
+        SchedulerChoice::Baseline,
+        SchedulerChoice::Rmca,
+        SchedulerChoice::ListFallback,
+    ]
+    .iter()
+    .map(|&choice| {
+        Pipeline::builder()
+            .scheduler(choice)
+            .machine(machine.clone())
+            .build()
+            .expect("clustered pipelines are valid")
+    })
+    .collect();
+
+    let cfg = GeneratorConfig {
+        min_ops: 3,
+        max_ops: 10,
+        ..GeneratorConfig::default()
+    };
+    let mut meta = SplitMix64::seed_from_u64(base_seed);
+    let mut proved = 0usize;
+    let mut bounded = 0usize;
+    for case in 0..cases {
+        let seed = meta.next_u64();
+        let mut generator = LoopGenerator::new(cfg, seed);
+        let l = generator.generate();
+
+        let outcome = solve(&l, &machine, &ExactOptions::new())
+            .expect("well-formed loops build a valid exact model");
+        assert!(
+            outcome.lower_bound >= mii::minimum_ii(&l, &machine),
+            "case {case} seed {seed:#x}: certified bound below the classical MII"
+        );
+        match &outcome.schedule {
+            Some(s) => {
+                let violations = validate_schedule(&l, &machine, s);
+                assert!(
+                    violations.is_empty(),
+                    "case {case} seed {seed:#x}: exact schedule illegal: {violations:?}"
+                );
+                assert!(s.ii() >= outcome.lower_bound);
+                if outcome.proved_optimal {
+                    assert_eq!(s.ii(), outcome.lower_bound);
+                    proved += 1;
+                }
+            }
+            // Budget exhausted: the outcome still certifies a lower bound.
+            None => bounded += 1,
+        }
+
+        for pipeline in &heuristics {
+            match pipeline.run(&l) {
+                Ok(report) => assert!(
+                    report.schedule.ii() >= outcome.lower_bound,
+                    "case {case} seed {seed:#x}: {} II {} beats the certified bound {}",
+                    pipeline.scheduler(),
+                    report.schedule.ii(),
+                    outcome.lower_bound
+                ),
+                Err(Error::Schedule(ScheduleError::NoFeasibleIi { .. })) => {}
+                Err(e) => panic!("case {case} seed {seed:#x}: unexpected error {e}"),
+            }
+        }
+    }
+    println!(
+        "exact fuzz: {cases} small loops -> {proved} proved optimal, \
+         {bounded} lower-bounded under budget (base seed {base_seed:#x})"
+    );
+}
+
+#[test]
+fn simulation_invariants_agree_across_schedulers() {
+    // Differential *simulation*: the same loop on the same machine must
+    // produce consistent `SimStats` across scheduler choices. The schedule
+    // determines the cycle shape, but not the work: every scheduler issues
+    // the same memory operations the same number of times, so the access
+    // counts must be identical; and a kernel initiating every II cycles can
+    // never finish its iterations in fewer than II × iterations compute
+    // cycles.
+    let cases = (fuzz_cases() / 4).max(8);
+    let base_seed = fuzz_seed() ^ 0x51_AB5;
+    let machine = SchedulerChoice::Rmca.default_machine();
+    let pipelines: Vec<Pipeline> = [
+        SchedulerChoice::Baseline,
+        SchedulerChoice::Rmca,
+        SchedulerChoice::ListFallback,
+    ]
+    .iter()
+    .map(|&choice| {
+        Pipeline::builder()
+            .scheduler(choice)
+            .machine(machine.clone())
+            .build()
+            .expect("clustered pipelines are valid")
+    })
+    .collect();
+
+    let mut meta = SplitMix64::seed_from_u64(base_seed);
+    let mut compared = 0usize;
+    for case in 0..cases {
+        let seed = meta.next_u64();
+        let mut generator = LoopGenerator::with_seed(seed);
+        let l = generator.generate();
+        let reports: Vec<LoopReport> = pipelines.iter().filter_map(|p| p.run(&l).ok()).collect();
+        if reports.len() < 2 {
+            continue; // nothing to differentiate on this seed
+        }
+        compared += 1;
+        let reference = &reports[0];
+        for report in &reports {
+            let stats = &report.stats;
+            assert_eq!(
+                stats.memory.accesses, reference.stats.memory.accesses,
+                "case {case} seed {seed:#x}: {} simulates a different number \
+                 of memory accesses than {}",
+                report.scheduler, reference.scheduler
+            );
+            assert_eq!(
+                stats.iterations, reference.stats.iterations,
+                "case {case} seed {seed:#x}: iteration counts diverge"
+            );
+            assert_eq!(
+                stats.executions, reference.stats.executions,
+                "case {case} seed {seed:#x}: execution counts diverge"
+            );
+            assert!(
+                stats.compute_cycles >= u64::from(report.schedule.ii()) * stats.iterations,
+                "case {case} seed {seed:#x}: {} computes {} cycles for II {} x {} iterations",
+                report.scheduler,
+                stats.compute_cycles,
+                report.schedule.ii(),
+                stats.iterations
+            );
+            assert_eq!(
+                stats.total_cycles(),
+                stats.compute_cycles + stats.stall_cycles
+            );
+        }
+    }
+    assert!(
+        compared > 0,
+        "no seed produced two schedulable configurations"
+    );
+    println!(
+        "simulation differential: {compared}/{cases} loops compared (base seed {base_seed:#x})"
+    );
 }
