@@ -3,10 +3,18 @@
 //!
 //! Usage: `gap [--loops N] [--max-ops N] [--seed S] [--budget NODES]`
 //!
+//! Every (loop, machine) point of the table is one job on the shared
+//! work-stealing executor (`MVP_THREADS` to override the width); rows are
+//! collected in grid order, so the table and artifacts are identical for
+//! any thread count.
+//!
 //! With `MVP_GAP_CSV=<path>` the rows are additionally written as CSV (the
-//! CI bench job uploads this as the `optimality-gap` artifact).
+//! CI bench job uploads this as the `optimality-gap` artifact); with
+//! `MVP_REPORT_JSON=<path>` the same rows are written as a JSON report.
 
-use mvp_bench::gap::{render, run, write_csv, GapParams};
+use mvp_bench::gap::{render, run, to_csv, to_json, GapParams};
+use mvp_bench::json::REPORT_JSON_ENV_VAR;
+use mvp_bench::report::write_env_artifact;
 
 fn arg<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
     let pos = args.iter().position(|a| a == name)?;
@@ -42,14 +50,10 @@ fn main() {
     let rows = run(&params);
     print!("{}", render(&rows));
 
-    if let Ok(path) = std::env::var("MVP_GAP_CSV") {
-        let path = std::path::PathBuf::from(path);
-        match write_csv(&rows, &path) {
-            Ok(()) => println!("wrote {} rows to {}", rows.len(), path.display()),
-            Err(e) => {
-                eprintln!("failed to write {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        }
-    }
+    write_env_artifact("MVP_GAP_CSV", &format!("{} rows", rows.len()), || {
+        to_csv(&rows)
+    });
+    write_env_artifact(REPORT_JSON_ENV_VAR, "JSON report", || {
+        format!("{}\n", to_json(&rows))
+    });
 }

@@ -1,0 +1,92 @@
+//! Suite wall-clock measurement: the `EVERY`-scheduler suite run (gap
+//! oracle on) per executor thread count, on the work-stealing executor.
+//!
+//! Usage: `wallclock [--quick] [--threads T1,T2,...] [--budget NODES]`
+//!
+//! Defaults measure the full suite at 1 thread and at the environment
+//! default (`MVP_THREADS` or the available parallelism). With
+//! `MVP_WALLCLOCK_CSV=<path>` the rows are written as CSV (the CI check
+//! job uploads this as the `suite-wallclock` artifact); with
+//! `MVP_REPORT_JSON=<path>` a JSON report is written alongside.
+//!
+//! The binary exits non-zero when the thread-count-independent columns
+//! diverge between runs — that would mean the executor broke its
+//! determinism contract.
+
+use mvp_bench::json::REPORT_JSON_ENV_VAR;
+use mvp_bench::report::write_env_artifact;
+use mvp_bench::wallclock::{
+    determinism_violation, overall_speedup, render, run, to_csv, to_json, WallclockParams,
+    WALLCLOCK_CSV_ENV_VAR,
+};
+use mvp_workloads::suite::SuiteParams;
+
+/// The value following `name`, when the flag is present. A flag with no
+/// value aborts instead of being silently ignored.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    let pos = args.iter().position(|a| a == name)?;
+    match args.get(pos + 1) {
+        Some(value) => Some(value),
+        None => {
+            eprintln!("missing value for {name}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut params = WallclockParams::default();
+    if args.iter().any(|a| a == "--quick") {
+        params.suite = SuiteParams::small();
+    }
+    if let Some(list) = flag_value(&args, "--threads") {
+        // Strict: every entry must be a positive integer, or the row
+        // labels (and the 1-thread speedup baseline) would silently lie.
+        let threads: Option<Vec<usize>> = list
+            .split(',')
+            .map(|t| t.trim().parse().ok().filter(|&n: &usize| n >= 1))
+            .collect();
+        match threads {
+            Some(threads) if !threads.is_empty() => params.threads = threads,
+            _ => {
+                eprintln!(
+                    "invalid value for --threads: {list} (positive integers, comma-separated)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(budget) = flag_value(&args, "--budget") {
+        match budget.parse() {
+            Ok(b) => params.gap_node_budget = b,
+            Err(_) => {
+                eprintln!("invalid value for --budget: {budget}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows = run(&params);
+    print!("{}", render(&rows));
+    if let Some(speedup) = overall_speedup(&rows) {
+        if speedup < 1.0 {
+            // Informational, not fatal: CI machines can be noisy, and the
+            // artifact records the raw numbers either way.
+            eprintln!("warning: multi-threaded pass was not faster ({speedup:.2}x)");
+        }
+    }
+    if let Some(violation) = determinism_violation(&rows) {
+        eprintln!("determinism violation: {violation}");
+        std::process::exit(1);
+    }
+
+    write_env_artifact(
+        WALLCLOCK_CSV_ENV_VAR,
+        &format!("{} rows", rows.len()),
+        || to_csv(&rows),
+    );
+    write_env_artifact(REPORT_JSON_ENV_VAR, "JSON report", || {
+        format!("{}\n", to_json(&rows))
+    });
+}

@@ -10,6 +10,7 @@
 
 use crate::report::{pct_faster, Table};
 use crate::runner::{run_loop, RunConfig, RunResult, SchedulerKind};
+use mvp_exec::Executor;
 use mvp_machine::presets;
 use mvp_workloads::motivating::{motivating_loop, MotivatingParams};
 
@@ -36,19 +37,23 @@ impl Fig3Output {
     }
 }
 
-/// Runs the Figure-3 experiment.
+/// Runs the Figure-3 experiment (the two partitions are independent
+/// executor jobs — a micro-grid, but the same execution path as the big
+/// sweeps).
 #[must_use]
 pub fn run(params: &MotivatingParams) -> Fig3Output {
     let (l, _) = motivating_loop(params);
     let machine = std::sync::Arc::new(presets::motivating_example_machine());
-    let baseline = run_loop(&l, &machine, &RunConfig::new(SchedulerKind::Baseline))
-        .expect("the motivating loop is schedulable by construction");
-    let rmca = run_loop(&l, &machine, &RunConfig::new(SchedulerKind::Rmca))
-        .expect("the motivating loop is schedulable by construction");
+    let mut results = Executor::global()
+        .map(&[SchedulerKind::Baseline, SchedulerKind::Rmca], |&kind| {
+            run_loop(&l, &machine, &RunConfig::new(kind))
+                .expect("the motivating loop is schedulable by construction")
+        })
+        .into_iter();
     Fig3Output {
         iterations: params.iterations,
-        baseline,
-        rmca,
+        baseline: results.next().expect("two jobs were submitted"),
+        rmca: results.next().expect("two jobs were submitted"),
     }
 }
 

@@ -8,10 +8,12 @@
 //! configuration, and split into compute and stall cycles.
 
 use crate::report::{norm, Table};
-use crate::runner::{run_suite, RunConfig, SchedulerKind, SuiteResult};
+use crate::runner::{RunConfig, SchedulerKind, SuiteResult};
 use multivliw::Error;
-use mvp_machine::{presets, BusConfig};
+use mvp_exec::Executor;
+use mvp_machine::{presets, BusConfig, MachineConfig};
 use mvp_workloads::suite::{suite, SuiteParams};
+use std::sync::Arc;
 
 /// The threshold values of the paper's figures, in presentation order.
 pub const THRESHOLDS: [f64; 4] = [1.0, 0.75, 0.25, 0.0];
@@ -70,23 +72,59 @@ fn point(
     }
 }
 
-/// Runs the Figure-5 sweep for the given cluster count (2 or 4).
+/// Runs the Figure-5 sweep for the given cluster count (2 or 4) on the
+/// process-wide executor.
 ///
 /// # Errors
 ///
 /// Propagates the first scheduling error (none is expected for the bundled
 /// workloads and machines).
 pub fn run(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, Error> {
-    run_with(clusters, params, &[1, 2, 4], &[1, 2, 4], &THRESHOLDS)
+    run_on(clusters, params, &Executor::global())
 }
 
-/// Runs a reduced sweep (used by the Criterion benches and quick runs).
+/// Like [`run`], on an explicit executor (the output is identical for any
+/// thread count; see `crates/bench/tests/determinism.rs`).
+///
+/// # Errors
+///
+/// Propagates the first scheduling error.
+pub fn run_on(
+    clusters: usize,
+    params: &SuiteParams,
+    executor: &Executor,
+) -> Result<SweepOutput, Error> {
+    run_with(
+        clusters,
+        params,
+        &[1, 2, 4],
+        &[1, 2, 4],
+        &THRESHOLDS,
+        executor,
+    )
+}
+
+/// Runs a reduced sweep (used by the Criterion benches and quick runs) on
+/// the process-wide executor.
 ///
 /// # Errors
 ///
 /// Propagates the first scheduling error.
 pub fn run_quick(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, Error> {
-    run_with(clusters, params, &[1], &[1, 4], &[1.0, 0.0])
+    run_quick_on(clusters, params, &Executor::global())
+}
+
+/// Like [`run_quick`], on an explicit executor.
+///
+/// # Errors
+///
+/// Propagates the first scheduling error.
+pub fn run_quick_on(
+    clusters: usize,
+    params: &SuiteParams,
+    executor: &Executor,
+) -> Result<SweepOutput, Error> {
+    run_with(clusters, params, &[1], &[1, 4], &[1.0, 0.0], executor)
 }
 
 fn run_with(
@@ -95,58 +133,120 @@ fn run_with(
     lrbs: &[u32],
     lmbs: &[u32],
     thresholds: &[f64],
+    executor: &Executor,
+) -> Result<SweepOutput, Error> {
+    let mut grid = Vec::new();
+    for &lrb in lrbs {
+        for &lmb in lmbs {
+            // One shared handle per grid point; the (scheduler, threshold)
+            // jobs under it all reuse it instead of cloning the config.
+            grid.push(GridPoint {
+                axis_a: lrb,
+                axis_b: lmb,
+                machine: Arc::new(
+                    presets::by_cluster_count(clusters)
+                        .with_register_buses(BusConfig::unbounded(lrb))
+                        .with_memory_buses(BusConfig::unbounded(lmb))
+                        .with_name(format!("{clusters}-cluster LRB={lrb} LMB={lmb}")),
+                ),
+            });
+        }
+    }
+    run_grid(clusters, params, thresholds, &grid, executor)
+}
+
+/// One clustered machine of a sweep grid, with the two axis values that
+/// name it in the output (`SweepPoint::lrb`/`lmb` — figure 6 carries its
+/// memory-bus count in the first axis).
+pub(crate) struct GridPoint {
+    pub(crate) axis_a: u32,
+    pub(crate) axis_b: u32,
+    pub(crate) machine: Arc<MachineConfig>,
+}
+
+/// One bar of a sweep, ready to run as an executor job.
+struct GridJob {
+    clusters: usize,
+    axis_a: u32,
+    axis_b: u32,
+    scheduler: SchedulerKind,
+    threshold: f64,
+    machine: Arc<MachineConfig>,
+}
+
+/// Shared scaffolding of the figure-5/figure-6 sweeps: the unified
+/// reference pass, then one executor job per bar — the unified threshold
+/// sweep followed by every (grid point, scheduler, threshold) combination.
+///
+/// Jobs are listed (and their results collected) in presentation order, so
+/// the output is identical for any thread count; the suite runs *inside*
+/// each job inherit `executor`, so an explicit 1-thread executor really is
+/// sequential end to end. On a multi-thread executor the nested per-loop
+/// maps run inline on their worker — balance comes from the grid being
+/// much wider than the pool.
+pub(crate) fn run_grid(
+    clusters: usize,
+    params: &SuiteParams,
+    thresholds: &[f64],
+    grid: &[GridPoint],
+    executor: &Executor,
 ) -> Result<SweepOutput, Error> {
     let workloads = suite(params);
-    let unified_machine = std::sync::Arc::new(presets::unified());
-    let reference = run_suite(
-        &workloads,
-        &unified_machine,
-        &RunConfig::new(SchedulerKind::Baseline),
-    )?;
+    let unified_machine = Arc::new(presets::unified());
+    let reference = RunConfig::new(SchedulerKind::Baseline)
+        .pipeline_on(&unified_machine, executor)?
+        .run_workloads(&workloads)?;
 
-    let mut unified = Vec::new();
-    for &threshold in thresholds {
-        let r = run_suite(
-            &workloads,
-            &unified_machine,
-            &RunConfig::new(SchedulerKind::Baseline).with_threshold(threshold),
-        )?;
-        unified.push(point(
-            1,
-            0,
-            0,
-            SchedulerKind::Baseline,
+    let mut jobs: Vec<GridJob> = thresholds
+        .iter()
+        .map(|&threshold| GridJob {
+            clusters: 1,
+            axis_a: 0,
+            axis_b: 0,
+            scheduler: SchedulerKind::Baseline,
             threshold,
+            machine: Arc::clone(&unified_machine),
+        })
+        .collect();
+    let num_unified = jobs.len();
+    for point in grid {
+        for scheduler in SchedulerKind::ALL {
+            for &threshold in thresholds {
+                jobs.push(GridJob {
+                    clusters,
+                    axis_a: point.axis_a,
+                    axis_b: point.axis_b,
+                    scheduler,
+                    threshold,
+                    machine: Arc::clone(&point.machine),
+                });
+            }
+        }
+    }
+
+    let results = executor.map(&jobs, |job| {
+        RunConfig::new(job.scheduler)
+            .with_threshold(job.threshold)
+            .pipeline_on(&job.machine, executor)?
+            .run_workloads(&workloads)
+    });
+    let mut bars = Vec::with_capacity(jobs.len());
+    for (job, result) in jobs.iter().zip(results) {
+        let r = result?;
+        bars.push(point(
+            job.clusters,
+            job.axis_a,
+            job.axis_b,
+            job.scheduler,
+            job.threshold,
             &r,
             &reference,
         ));
     }
-
-    let mut points = Vec::new();
-    for &lrb in lrbs {
-        for &lmb in lmbs {
-            // One shared handle per grid point; the 8 (scheduler, threshold)
-            // pipelines below all reuse it instead of cloning the config.
-            let machine = std::sync::Arc::new(
-                presets::by_cluster_count(clusters)
-                    .with_register_buses(BusConfig::unbounded(lrb))
-                    .with_memory_buses(BusConfig::unbounded(lmb))
-                    .with_name(format!("{clusters}-cluster LRB={lrb} LMB={lmb}")),
-            );
-            for scheduler in SchedulerKind::ALL {
-                for &threshold in thresholds {
-                    let cfg = RunConfig::new(scheduler).with_threshold(threshold);
-                    let r = run_suite(&workloads, &machine, &cfg)?;
-                    points.push(point(
-                        clusters, lrb, lmb, scheduler, threshold, &r, &reference,
-                    ));
-                }
-            }
-        }
-    }
+    let points = bars.split_off(num_unified);
     Ok(SweepOutput {
         clusters,
-        unified,
+        unified: bars,
         points,
     })
 }

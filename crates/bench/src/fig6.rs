@@ -7,29 +7,59 @@
 //! clearly ahead of the baseline (the paper reports ≈5% at 2 clusters and
 //! ≈20% at 4 clusters for threshold 0.00).
 
-use crate::fig5::{SweepOutput, SweepPoint, THRESHOLDS};
+use crate::fig5::{run_grid, GridPoint, SweepOutput, THRESHOLDS};
 use crate::report::{norm, Table};
-use crate::runner::{run_suite, RunConfig, SchedulerKind};
 use multivliw::Error;
+use mvp_exec::Executor;
 use mvp_machine::{presets, BusConfig};
-use mvp_workloads::suite::{suite, SuiteParams};
+use mvp_workloads::suite::SuiteParams;
+use std::sync::Arc;
 
-/// Runs the Figure-6 sweep for the given cluster count (2 or 4).
+/// Runs the Figure-6 sweep for the given cluster count (2 or 4) on the
+/// process-wide executor.
 ///
 /// # Errors
 ///
 /// Propagates the first scheduling error.
 pub fn run(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, Error> {
-    run_with(clusters, params, &[1, 2], &[1, 4], &THRESHOLDS)
+    run_on(clusters, params, &Executor::global())
 }
 
-/// Runs a reduced sweep (used by the Criterion benches and quick runs).
+/// Like [`run`], on an explicit executor (the output is identical for any
+/// thread count; see `crates/bench/tests/determinism.rs`).
+///
+/// # Errors
+///
+/// Propagates the first scheduling error.
+pub fn run_on(
+    clusters: usize,
+    params: &SuiteParams,
+    executor: &Executor,
+) -> Result<SweepOutput, Error> {
+    run_with(clusters, params, &[1, 2], &[1, 4], &THRESHOLDS, executor)
+}
+
+/// Runs a reduced sweep (used by the Criterion benches and quick runs) on
+/// the process-wide executor.
 ///
 /// # Errors
 ///
 /// Propagates the first scheduling error.
 pub fn run_quick(clusters: usize, params: &SuiteParams) -> Result<SweepOutput, Error> {
-    run_with(clusters, params, &[1], &[4], &[1.0, 0.0])
+    run_quick_on(clusters, params, &Executor::global())
+}
+
+/// Like [`run_quick`], on an explicit executor.
+///
+/// # Errors
+///
+/// Propagates the first scheduling error.
+pub fn run_quick_on(
+    clusters: usize,
+    params: &SuiteParams,
+    executor: &Executor,
+) -> Result<SweepOutput, Error> {
+    run_with(clusters, params, &[1], &[4], &[1.0, 0.0], executor)
 }
 
 fn run_with(
@@ -38,70 +68,27 @@ fn run_with(
     nmbs: &[usize],
     lmbs: &[u32],
     thresholds: &[f64],
+    executor: &Executor,
 ) -> Result<SweepOutput, Error> {
-    let workloads = suite(params);
-    let unified_machine = std::sync::Arc::new(presets::unified());
-    let reference = run_suite(
-        &workloads,
-        &unified_machine,
-        &RunConfig::new(SchedulerKind::Baseline),
-    )?;
-
-    let mut unified = Vec::new();
-    for &threshold in thresholds {
-        let r = run_suite(
-            &workloads,
-            &unified_machine,
-            &RunConfig::new(SchedulerKind::Baseline).with_threshold(threshold),
-        )?;
-        unified.push(SweepPoint {
-            clusters: 1,
-            lrb: 0,
-            lmb: 0,
-            scheduler: SchedulerKind::Baseline,
-            threshold,
-            normalized_compute: r.normalized_compute(&reference),
-            normalized_stall: r.normalized_stall(&reference),
-            normalized_total: r.normalized_to(&reference),
-        });
-    }
-
-    let mut points = Vec::new();
+    let mut grid = Vec::new();
     for &nmb in nmbs {
         for &lmb in lmbs {
-            // One shared handle per grid point (see fig5): the inner
-            // (scheduler, threshold) pipelines reuse it.
-            let machine = std::sync::Arc::new(
-                presets::by_cluster_count(clusters)
-                    .with_register_buses(BusConfig::finite(2, 1))
-                    .with_memory_buses(BusConfig::finite(nmb, lmb))
-                    .with_name(format!("{clusters}-cluster NMB={nmb} LMB={lmb}")),
-            );
-            for scheduler in SchedulerKind::ALL {
-                for &threshold in thresholds {
-                    let cfg = RunConfig::new(scheduler).with_threshold(threshold);
-                    let r = run_suite(&workloads, &machine, &cfg)?;
-                    points.push(SweepPoint {
-                        clusters,
-                        // Reuse the `lrb` field to carry the number of memory
-                        // buses of this figure (register buses are fixed).
-                        lrb: nmb as u32,
-                        lmb,
-                        scheduler,
-                        threshold,
-                        normalized_compute: r.normalized_compute(&reference),
-                        normalized_stall: r.normalized_stall(&reference),
-                        normalized_total: r.normalized_to(&reference),
-                    });
-                }
-            }
+            // One shared handle per grid point (see fig5); the `lrb` output
+            // field carries the number of memory buses of this figure
+            // (register buses are fixed at 2 buses of latency 1).
+            grid.push(GridPoint {
+                axis_a: nmb as u32,
+                axis_b: lmb,
+                machine: Arc::new(
+                    presets::by_cluster_count(clusters)
+                        .with_register_buses(BusConfig::finite(2, 1))
+                        .with_memory_buses(BusConfig::finite(nmb, lmb))
+                        .with_name(format!("{clusters}-cluster NMB={nmb} LMB={lmb}")),
+                ),
+            });
         }
     }
-    Ok(SweepOutput {
-        clusters,
-        unified,
-        points,
-    })
+    run_grid(clusters, params, thresholds, &grid, executor)
 }
 
 /// Renders the sweep as a text table.

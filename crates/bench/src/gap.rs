@@ -13,6 +13,7 @@
 use crate::report::Table;
 use mvp_core::{BaselineScheduler, ModuloScheduler, RmcaScheduler};
 use mvp_exact::{solve, ExactOptions};
+use mvp_exec::Executor;
 use mvp_ir::Loop;
 use mvp_machine::{presets, MachineConfig};
 use mvp_workloads::generator::{GeneratorConfig, LoopGenerator};
@@ -40,7 +41,10 @@ impl Default for GapParams {
         Self {
             seed: 0x6A9_0BEE,
             generated_loops: 8,
-            max_ops: 10,
+            // Raised from 10 once the exact search gained its time-shift
+            // dominance rule (anchor cycle normalized to 0), which makes
+            // the per-probe node cost of the larger bodies affordable.
+            max_ops: 12,
             node_budget: ExactOptions::new().node_budget,
         }
     }
@@ -124,45 +128,61 @@ pub fn machines() -> Vec<MachineConfig> {
     ]
 }
 
-/// Runs the gap experiment over `corpus(params)` × `machines()`.
+/// Runs the gap experiment over `corpus(params)` × `machines()` on the
+/// process-wide [`Executor`].
 #[must_use]
 pub fn run(params: &GapParams) -> Vec<GapRow> {
+    run_on(params, &Executor::global())
+}
+
+/// Runs the gap experiment on an explicit executor.
+///
+/// Every (loop, machine) point is one executor job carrying its own
+/// exact-search invocation under its own node budget — suite-scale gap
+/// tables are batches of independent solver calls, exactly as the
+/// SMT/SAT-based exact-scheduling literature treats them. The row order
+/// (and therefore the rendered table and the CSV, byte for byte) is
+/// independent of the executor's thread count.
+#[must_use]
+pub fn run_on(params: &GapParams, executor: &Executor) -> Vec<GapRow> {
     let options = ExactOptions::new().with_node_budget(params.node_budget);
     let loops = corpus(params);
-    let mut rows = Vec::new();
-    for machine in machines() {
-        for l in &loops {
-            let Ok(outcome) = solve(l, &machine, &options) else {
-                continue; // loop uses a unit kind the machine lacks
-            };
-            let heuristic_ii = |s: Result<mvp_core::Schedule, _>| s.ok().map(|s| s.ii());
-            let row = GapRow {
-                machine: machine.name.clone(),
-                loop_name: l.name().to_string(),
-                num_ops: l.num_ops(),
-                min_ii: outcome.min_ii,
-                lower_bound: outcome.lower_bound,
-                exact_ii: outcome.schedule_ii(),
-                proved_optimal: outcome.proved_optimal,
-                nodes: outcome.nodes,
-                baseline_ii: heuristic_ii(BaselineScheduler::new().schedule(l, &machine)),
-                rmca_ii: heuristic_ii(RmcaScheduler::new().schedule(l, &machine)),
-            };
-            // A hard assert, not a debug_assert: the gap bin runs in release
-            // mode in CI, and a heuristic beating a "certified" bound means
-            // an unsound exact search — the artifact must fail, not ship
-            // inverted gaps.
-            assert!(
-                row.baseline_ii.unwrap_or(u32::MAX) >= row.lower_bound
-                    && row.rmca_ii.unwrap_or(u32::MAX) >= row.lower_bound,
-                "a heuristic beat the certified bound on {} / {}",
-                row.loop_name,
-                row.machine
-            );
-            rows.push(row);
-        }
-    }
-    rows
+    let machines = machines();
+    let grid: Vec<(&MachineConfig, &Loop)> = machines
+        .iter()
+        .flat_map(|machine| loops.iter().map(move |l| (machine, l)))
+        .collect();
+    let rows = executor.map(&grid, |&(machine, l)| {
+        let Ok(outcome) = solve(l, machine, &options) else {
+            return None; // loop uses a unit kind the machine lacks
+        };
+        let heuristic_ii = |s: Result<mvp_core::Schedule, _>| s.ok().map(|s| s.ii());
+        let row = GapRow {
+            machine: machine.name.clone(),
+            loop_name: l.name().to_string(),
+            num_ops: l.num_ops(),
+            min_ii: outcome.min_ii,
+            lower_bound: outcome.lower_bound,
+            exact_ii: outcome.schedule_ii(),
+            proved_optimal: outcome.proved_optimal,
+            nodes: outcome.nodes,
+            baseline_ii: heuristic_ii(BaselineScheduler::new().schedule(l, machine)),
+            rmca_ii: heuristic_ii(RmcaScheduler::new().schedule(l, machine)),
+        };
+        // A hard assert, not a debug_assert: the gap bin runs in release
+        // mode in CI, and a heuristic beating a "certified" bound means
+        // an unsound exact search — the artifact must fail, not ship
+        // inverted gaps. (The executor re-raises the panic on the caller.)
+        assert!(
+            row.baseline_ii.unwrap_or(u32::MAX) >= row.lower_bound
+                && row.rmca_ii.unwrap_or(u32::MAX) >= row.lower_bound,
+            "a heuristic beat the certified bound on {} / {}",
+            row.loop_name,
+            row.machine
+        );
+        Some(row)
+    });
+    rows.into_iter().flatten().collect()
 }
 
 fn fmt_ii(ii: Option<u32>) -> String {
@@ -240,6 +260,39 @@ pub fn to_csv(rows: &[GapRow]) -> String {
 pub fn write_csv(rows: &[GapRow], path: &Path) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     f.write_all(to_csv(rows).as_bytes())
+}
+
+/// The rows as a JSON report (for `MVP_REPORT_JSON`), carrying the same
+/// columns as the CSV plus the derived gaps.
+#[must_use]
+pub fn to_json(rows: &[GapRow]) -> crate::json::Json {
+    use crate::json::Json;
+    Json::object([
+        ("report", Json::from("optimality-gap")),
+        (
+            "proved_optimal",
+            Json::from(rows.iter().filter(|r| r.proved_optimal).count()),
+        ),
+        (
+            "rows",
+            Json::array(rows.iter().map(|r| {
+                Json::object([
+                    ("machine", Json::from(r.machine.as_str())),
+                    ("loop", Json::from(r.loop_name.as_str())),
+                    ("ops", Json::from(r.num_ops)),
+                    ("min_ii", Json::from(r.min_ii)),
+                    ("lower_bound", Json::from(r.lower_bound)),
+                    ("exact_ii", Json::option(r.exact_ii)),
+                    ("proved_optimal", Json::from(r.proved_optimal)),
+                    ("nodes", Json::from(r.nodes)),
+                    ("baseline_ii", Json::option(r.baseline_ii)),
+                    ("rmca_ii", Json::option(r.rmca_ii)),
+                    ("baseline_gap", Json::option(r.baseline_gap())),
+                    ("rmca_gap", Json::option(r.rmca_gap())),
+                ])
+            })),
+        ),
+    ])
 }
 
 #[cfg(test)]

@@ -8,14 +8,19 @@
 //! * `fig6`  — the realistic-bus sweep (Figure 6a/6b),
 //! * `gap`   — heuristic II vs the exact scheduler's certified bound
 //!   (optimality-gap tables, `MVP_GAP_CSV` for the CI artifact),
+//! * `wallclock` — suite wall-clock per executor thread count
+//!   (`MVP_WALLCLOCK_CSV` for the CI artifact),
 //!
 //! and the Criterion benches in `benches/` measure scheduler / simulator
 //! throughput plus the ablations called out in `DESIGN.md`.
 //!
 //! The library part of the crate contains the reusable machinery: running
 //! one (loop, machine, scheduler, threshold) point, aggregating a whole
-//! workload suite (in parallel across workloads), and formatting result
-//! tables.
+//! workload suite, formatting result tables, and dependency-free JSON
+//! report emission (`MVP_REPORT_JSON`). Every heavy driver — the fig5/fig6
+//! grid sweeps, the gap tables and the wall-clock runner — fans its work
+//! out as jobs on the shared work-stealing executor of `mvp-exec`, with
+//! byte-identical output for any thread count.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -24,8 +29,10 @@ pub mod fig3;
 pub mod fig5;
 pub mod fig6;
 pub mod gap;
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod table1;
+pub mod wallclock;
 
 pub use runner::{run_loop, run_suite, RunConfig, RunResult, SchedulerKind, SuiteResult};

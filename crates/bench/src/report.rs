@@ -71,6 +71,28 @@ pub fn norm(value: f64) -> String {
     format!("{value:.2}")
 }
 
+/// Shared artifact tail of the experiment binaries: when the environment
+/// variable `env_var` names a file, write `contents()` there and confirm
+/// on stdout (`wrote {label} to {path}`); do nothing when it is unset.
+///
+/// This is binary-exit-path code, not a library API: an unwritable
+/// artifact terminates the process with exit code 1, because CI uploads
+/// these files with `if-no-files-found: error` and a silent skip would
+/// surface as a confusing downstream failure.
+pub fn write_env_artifact(env_var: &str, label: &str, contents: impl FnOnce() -> String) {
+    let Ok(path) = std::env::var(env_var) else {
+        return;
+    };
+    let path = std::path::PathBuf::from(path);
+    match std::fs::write(&path, contents()) {
+        Ok(()) => println!("wrote {label} to {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Formats a percentage difference between two cycle counts.
 #[must_use]
 pub fn pct_faster(slow: u64, fast: u64) -> String {

@@ -10,6 +10,7 @@
 use multivliw::pipeline::Pipeline;
 use multivliw::Error;
 use mvp_core::SchedulerOptions;
+use mvp_exec::Executor;
 use mvp_ir::Loop;
 use mvp_machine::MachineConfig;
 use mvp_sim::SimOptions;
@@ -49,7 +50,8 @@ impl RunConfig {
         self
     }
 
-    /// Builds the end-to-end pipeline for this point on the given machine.
+    /// Builds the end-to-end pipeline for this point on the given machine
+    /// (batch runs use the process-wide executor).
     ///
     /// The machine is passed as a shared handle: experiment grids build one
     /// `Arc` per machine and every (scheduler, threshold) point of the grid
@@ -60,11 +62,27 @@ impl RunConfig {
     /// Propagates pipeline-construction errors (invalid machine, Unified
     /// paired with a clustered machine).
     pub fn pipeline(&self, machine: &Arc<MachineConfig>) -> Result<Pipeline, Error> {
+        self.pipeline_on(machine, &Executor::global())
+    }
+
+    /// Like [`pipeline`](Self::pipeline), with an explicit executor for the
+    /// pipeline's batch runs (an [`Executor`] is a cheap value — cloning
+    /// one shares no state beyond its width).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline-construction errors.
+    pub fn pipeline_on(
+        &self,
+        machine: &Arc<MachineConfig>,
+        executor: &Executor,
+    ) -> Result<Pipeline, Error> {
         Pipeline::builder()
             .scheduler(self.scheduler)
             .machine(Arc::clone(machine))
             .scheduler_options(SchedulerOptions::new().with_threshold(self.threshold))
             .sim_options(self.sim)
+            .executor(Arc::new(executor.clone()))
             .build()
     }
 }
@@ -82,12 +100,14 @@ pub fn run_loop(
     config.pipeline(machine)?.run(l)
 }
 
-/// Schedules and simulates every loop of every workload, in parallel across
-/// workloads.
+/// Schedules and simulates every loop of every workload: each loop of the
+/// whole suite is one job on the pipeline's work-stealing executor, so a
+/// long workload no longer pins a worker while small kernels finish early.
 ///
 /// # Errors
 ///
-/// Returns the first scheduling error encountered.
+/// Returns the first scheduling error encountered (in suite order,
+/// independent of the thread count).
 pub fn run_suite(
     workloads: &[Workload],
     machine: &Arc<MachineConfig>,

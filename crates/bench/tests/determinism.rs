@@ -1,0 +1,44 @@
+//! Bench-artifact determinism: CSV and JSON bytes are identical for any
+//! executor thread count (the `MVP_THREADS=1` vs `MVP_THREADS=8` halves of
+//! the executor acceptance bar that belong to `mvp-bench`; the pipeline
+//! and fuzz halves live in the workspace-root `executor_determinism`
+//! test).
+
+use mvp_bench::gap::{self, GapParams};
+use mvp_exec::Executor;
+
+fn params() -> GapParams {
+    GapParams {
+        generated_loops: 3,
+        max_ops: 8,
+        ..GapParams::default()
+    }
+}
+
+#[test]
+fn gap_artifacts_are_byte_identical_for_1_and_8_threads() {
+    let sequential = gap::run_on(&params(), &Executor::new(1));
+    let parallel = gap::run_on(&params(), &Executor::new(8));
+    assert!(!sequential.is_empty());
+    assert_eq!(sequential, parallel);
+    assert_eq!(gap::to_csv(&sequential), gap::to_csv(&parallel));
+    assert_eq!(
+        gap::to_json(&sequential).to_string(),
+        gap::to_json(&parallel).to_string()
+    );
+    assert_eq!(gap::render(&sequential), gap::render(&parallel));
+}
+
+#[test]
+fn figure_sweeps_are_identical_for_1_and_8_threads() {
+    // Grid jobs are collected in presentation order, so the sweep output —
+    // `SweepOutput` derives `PartialEq` over every normalised bar — must be
+    // identical whether the grid ran on 1 worker or 8.
+    let suite = mvp_workloads::suite::SuiteParams::small();
+    let sequential = mvp_bench::fig5::run_quick_on(2, &suite, &Executor::new(1)).unwrap();
+    let parallel = mvp_bench::fig5::run_quick_on(2, &suite, &Executor::new(8)).unwrap();
+    assert_eq!(sequential, parallel);
+    let sequential = mvp_bench::fig6::run_quick_on(4, &suite, &Executor::new(1)).unwrap();
+    let parallel = mvp_bench::fig6::run_quick_on(4, &suite, &Executor::new(8)).unwrap();
+    assert_eq!(sequential, parallel);
+}

@@ -30,6 +30,7 @@ use crate::lifetime;
 use crate::options::SchedulerOptions;
 use crate::schedule::{Communication, PlacedOp, Schedule};
 use crate::ModuloScheduler;
+use mvp_cache::LocalityAnalysis;
 use mvp_ir::{EdgeKind, Loop, OpId};
 use mvp_machine::{BusCount, ClusterId, FuKind, MachineConfig};
 
@@ -188,8 +189,16 @@ fn ceil_div_nonneg(numerator: i64, denominator: i64) -> i64 {
 /// a time, exactly what "not software-pipelined" means in the cycle model
 /// (`compute_cycles = ntimes · niter · II`).
 ///
-/// Loads are always scheduled with the hit latency; the cache-miss-latency
-/// scheme of Section 4.3 only pays off when iterations overlap.
+/// The threshold-driven cache-miss-latency scheme of Section 4.3 is
+/// honoured exactly as the pipelined schedulers honour it: a load whose
+/// estimated miss ratio in its chosen cluster reaches
+/// [`SchedulerOptions::miss_threshold`] is scheduled with the miss latency
+/// (binding prefetching), so threshold-sweep figures can use the fallback
+/// path as a comparable non-pipelined bar instead of a
+/// hit-latency-only outlier. Unlike the pipelined case there is no
+/// recurrence-slack guard — the published II is derived *after* placement
+/// and simply grows to cover the longer latency, trading compute cycles
+/// for stall cycles just as the paper's scheme intends.
 ///
 /// # Example
 ///
@@ -223,9 +232,10 @@ impl ListScheduler {
         }
     }
 
-    /// Creates a list scheduler with the given options (only
-    /// `enforce_register_pressure` is consulted; the II-search and
-    /// miss-latency options are meaningless without pipelining).
+    /// Creates a list scheduler with the given options
+    /// (`enforce_register_pressure`, `miss_threshold` and
+    /// `locality_window` are consulted; the II-search options are
+    /// meaningless without pipelining).
     #[must_use]
     pub fn with_options(options: SchedulerOptions) -> Self {
         Self { options }
@@ -249,10 +259,17 @@ impl ModuloScheduler for ListScheduler {
         }
 
         let bus_latency = machine.register_buses.latency;
+        let miss_latency = machine.load_miss_latency();
+        // The locality analysis is only needed when the threshold scheme is
+        // active (threshold 1.0 — the default — never miss-schedules).
+        let analysis = (self.options.miss_threshold < 1.0)
+            .then(|| LocalityAnalysis::with_window(l, self.options.locality_window));
         let mut fu = FuOccupancy::new(machine);
         let mut bus = BusOccupancy::new(machine);
         let mut cluster_load = vec![0usize; machine.num_clusters()];
+        let mut cluster_mem_ops: Vec<Vec<OpId>> = vec![Vec::new(); machine.num_clusters()];
         let mut placements: Vec<Option<(ClusterId, u32, u32)>> = vec![None; l.num_ops()];
+        let mut miss_scheduled = vec![false; l.num_ops()];
         let mut comms: Vec<Communication> = Vec::new();
 
         for op in topological_order(l) {
@@ -305,11 +322,29 @@ impl ModuloScheduler for ListScheduler {
             }
             let (t, _, c, chosen_bus, chosen_comms) =
                 best.expect("some cluster provides the unit kind");
+
+            // Section 4.3: once the cluster is known, a load whose estimated
+            // miss ratio there reaches the threshold is scheduled with the
+            // miss latency. Absolute time is unbounded, so no feasibility
+            // fallback is needed — only the published II grows.
+            let mut assumed_lat = hit_lat;
+            if let Some(analysis) = analysis.as_ref().filter(|_| l.op(op).is_load()) {
+                let geometry = machine.cluster(c).cache;
+                let ratio = analysis.miss_ratio(geometry, op, &cluster_mem_ops[c]);
+                if self.options.wants_miss_latency(ratio) {
+                    assumed_lat = miss_latency;
+                    miss_scheduled[op.index()] = true;
+                }
+            }
+
             bus = chosen_bus;
             comms.extend(chosen_comms);
             fu.reserve(c, kind, t);
             cluster_load[c] += 1;
-            placements[op.index()] = Some((c, t, hit_lat));
+            if l.op(op).is_memory() {
+                cluster_mem_ops[c].push(op);
+            }
+            placements[op.index()] = Some((c, t, assumed_lat));
         }
 
         let placements: Vec<(ClusterId, u32, u32)> =
@@ -367,7 +402,7 @@ impl ModuloScheduler for ListScheduler {
                 stage: cycle / ii,
                 row: cycle % ii,
                 assumed_latency: lat,
-                miss_scheduled: false,
+                miss_scheduled: miss_scheduled[i],
             })
             .collect();
 
@@ -551,6 +586,55 @@ mod tests {
         let s = ListScheduler::new().schedule(&l, &machine).unwrap();
         let v = validate_schedule(&l, &machine, &s);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn threshold_zero_miss_schedules_every_load() {
+        let l = chain();
+        let machine = presets::two_cluster();
+        let hit = ListScheduler::new().schedule(&l, &machine).unwrap();
+        assert_eq!(hit.miss_scheduled_loads().count(), 0);
+
+        let miss = ListScheduler::with_options(SchedulerOptions::new().with_threshold(0.0))
+            .schedule(&l, &machine)
+            .unwrap();
+        // The chain has exactly one load; at threshold 0.0 it must carry the
+        // miss latency, and the schedule must still validate (the validator
+        // checks the assumed latency of miss-scheduled loads against the
+        // machine's miss latency).
+        assert_eq!(miss.miss_scheduled_loads().count(), 1);
+        let load = miss.miss_scheduled_loads().next().unwrap();
+        assert_eq!(
+            miss.placement(load).assumed_latency,
+            machine.load_miss_latency()
+        );
+        let v = validate_schedule(&l, &machine, &miss);
+        assert!(v.is_empty(), "{v:?}");
+        // Stretching the load can only lengthen the (single-stage) kernel.
+        assert!(miss.ii() >= hit.ii());
+        assert_eq!(miss.stage_count(), 1);
+    }
+
+    #[test]
+    fn intermediate_thresholds_respect_the_estimated_ratio() {
+        // A tiny strided load over a large array misses on (almost) every
+        // access in a small direct-mapped cache, so a 0.5 threshold still
+        // miss-schedules it — while a threshold of 1.0 never does.
+        let mut b = Loop::builder("stream");
+        let i = b.dimension("I", 512);
+        let a = b.auto_array("A", 1 << 20);
+        let ld = b.load("LD", b.array_ref(a).stride(i, 64).build());
+        let f = b.fp_op("F");
+        b.data_edge(ld, f, 0);
+        let l = b.build().unwrap();
+        let machine = presets::two_cluster();
+        let swept = ListScheduler::with_options(SchedulerOptions::new().with_threshold(0.5))
+            .schedule(&l, &machine)
+            .unwrap();
+        assert_eq!(swept.miss_scheduled_loads().count(), 1);
+        assert!(validate_schedule(&l, &machine, &swept).is_empty());
+        let default = ListScheduler::new().schedule(&l, &machine).unwrap();
+        assert_eq!(default.miss_scheduled_loads().count(), 0);
     }
 
     #[test]

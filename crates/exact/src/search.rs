@@ -21,7 +21,19 @@
 //!   pruned by symmetry breaking) fall back to chronological backtracking,
 //!   which keeps the jump always sound,
 //! * **symmetry breaking** over interchangeable clusters and buses (a
-//!   placement may only open cluster `max-used + 1`; likewise for buses).
+//!   placement may only open cluster `max-used + 1`; likewise for buses),
+//! * a **time-shift dominance rule** (the ROADMAP's "normalize the minimum
+//!   start cycle into `[0, II)`", strengthened to an exact anchor): shifting
+//!   *every* start cycle of a legal schedule down by the same amount
+//!   rotates all modulo rows in lockstep — row *differences*, and therefore
+//!   every functional-unit conflict, bus overlap, dependence distance and
+//!   register lifetime, are preserved — so any legal schedule can be
+//!   shifted until its minimum start cycle is exactly 0. The search only
+//!   enumerates such *normalized* schedules: once the last operation whose
+//!   static window still reaches cycle 0 is about to be placed with no
+//!   cycle-0 anchor committed yet, its candidate range is capped to the
+//!   anchor cycle itself. Every schedule shape explored at an un-anchored
+//!   offset would be a shifted duplicate of one explored at offset 0.
 //!
 //! Every placement attempt and bus reservation costs one node from the
 //! shared budget; exceeding it aborts the probe with
@@ -95,6 +107,13 @@ struct Searcher<'p, 'l, 'm> {
     bus_rows: Option<Vec<Vec<Option<usize>>>>,
     /// Transfer records with the level that created them (a stack).
     comms: Vec<(Communication, usize)>,
+    /// Placed operations anchored at start cycle 0. The time-shift
+    /// dominance rule keeps this above zero in every complete assignment.
+    stage0_placed: usize,
+    /// Unplaced operations whose *static* window still admits cycle 0
+    /// (`earliest == 0`). Dynamic windows only tighten, so this is a sound
+    /// over-approximation of the ops that could still anchor the schedule.
+    stage0_capable_unplaced: usize,
     enforce_pressure: bool,
     nodes: u64,
     budget: u64,
@@ -142,6 +161,8 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
                 .collect(),
             bus_rows: p.num_buses.map(|b| vec![vec![None; rows]; b]),
             comms: Vec::new(),
+            stage0_placed: 0,
+            stage0_capable_unplaced: win.earliest.iter().filter(|&&e| e == 0).count(),
             enforce_pressure: options.enforce_register_pressure,
             nodes: 0,
             budget: options.node_budget,
@@ -410,6 +431,10 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
         if level == self.p.num_ops() {
             // Complete assignment: apply the final MaxLive register-pressure
             // rule exactly as the validator recomputes it.
+            debug_assert!(
+                self.stage0_placed > 0,
+                "the time-shift dominance rule admits only normalized schedules"
+            );
             let ops = self.to_placed_ops();
             if self.enforce_pressure {
                 let pressure = lifetime::register_pressure(
@@ -436,6 +461,20 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
         let mut fail_target = -1i64;
         let mut conservative = false;
 
+        // Time-shift dominance: when no operation is anchored at cycle 0
+        // yet and no *other* unplaced operation's window reaches it, this
+        // operation is the schedule's last possible anchor — candidates
+        // above cycle 0 would only enumerate shifted copies of schedules
+        // explored with the anchor committed, so they are pruned
+        // (conservatively attributed, like the cluster/bus symmetry
+        // breaking).
+        let capable = self.win.earliest[op.index()] == 0;
+        let must_take_stage0 =
+            self.stage0_placed == 0 && self.stage0_capable_unplaced - usize::from(capable) == 0;
+        if must_take_stage0 {
+            conservative = true;
+        }
+
         let cluster_cap = if self.p.homogeneous {
             (self.max_used_cluster().map_or(0, |c| c + 1) + 1).min(num_clusters)
         } else {
@@ -450,12 +489,15 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
             if capacity == 0 {
                 continue; // no unit of this kind: independent of any decision
             }
-            let (lo, hi, bound_culprit) = self.dynamic_bounds(op, cluster);
+            let (lo, mut hi, bound_culprit) = self.dynamic_bounds(op, cluster);
             // The neighbours that tightened the window are implicated even
             // when it stays non-empty: the candidates they pruned were never
             // tried, so any exhaustion below must not backjump past them.
             // (`bound_culprit` is -1 when only the static window applies.)
             fail_target = fail_target.max(bound_culprit);
+            if must_take_stage0 {
+                hi = hi.min(0);
+            }
             if lo > hi {
                 continue;
             }
@@ -472,6 +514,9 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
                 }
                 self.fu_rows[cluster][kind][row].push(level);
                 self.placed[op.index()] = Some((cluster, t));
+                self.stage0_capable_unplaced -= usize::from(capable);
+                let takes_stage0 = t == 0;
+                self.stage0_placed += usize::from(takes_stage0);
 
                 let step = if self.enforce_pressure && self.pressure_exceeded() {
                     // Global constraint: the culprit set is unknowable, so
@@ -482,6 +527,8 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
                     self.place_transfers(level, &pairs, 0)
                 };
 
+                self.stage0_placed -= usize::from(takes_stage0);
+                self.stage0_capable_unplaced += usize::from(capable);
                 self.placed[op.index()] = None;
                 self.fu_rows[cluster][kind][row].pop();
 
@@ -633,6 +680,27 @@ mod tests {
         let out = solve_fixed_ii(&p, 1, &ExactOptions::new().with_node_budget(1), &mut nodes);
         assert!(matches!(out, FixedIiOutcome::Budget), "{out:?}");
         assert!(nodes >= 1);
+    }
+
+    #[test]
+    fn feasible_probes_are_anchored_at_cycle_zero() {
+        // The time-shift dominance rule admits only normalized schedules:
+        // some operation starts at cycle 0 in every solution, at every II
+        // (shifted copies are pruned, and with them the bulk of the search
+        // space of multi-stage probes).
+        let l = chain();
+        for machine in [
+            presets::unified(),
+            presets::two_cluster(),
+            presets::motivating_example_machine(),
+        ] {
+            for ii in 1..=4 {
+                if let FixedIiOutcome::Feasible { ops, .. } = probe(&l, &machine, ii) {
+                    let min_cycle = ops.iter().map(|p| p.cycle).min().unwrap();
+                    assert_eq!(min_cycle, 0, "{} at II={ii}", machine.name);
+                }
+            }
+        }
     }
 
     #[test]

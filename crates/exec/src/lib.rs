@@ -1,0 +1,415 @@
+//! The work-stealing execution core shared by every heavy path of the
+//! workspace.
+//!
+//! All the batch-shaped work in this repository — per-loop pipeline runs,
+//! optimality-gap oracle calls, figure grid sweeps, seeded fuzz cases — is
+//! embarrassingly parallel but badly balanced: a tomcatv kernel or a
+//! million-node exact probe can take orders of magnitude longer than its
+//! batch neighbours. [`Executor::map`] runs such a batch on a pool of worker
+//! threads with **per-worker deques and work stealing**: each worker starts
+//! with a contiguous block of job indices, pops jobs from the front of its
+//! own deque, and when it runs dry steals from the *back* of the fullest
+//! victim, so stragglers are split instead of serialising the run.
+//!
+//! # Determinism
+//!
+//! The collect side is **ordered**: every job writes its result under its
+//! original index, and `map` returns `Vec<R>` in input order no matter how
+//! the jobs interleaved across workers. A batch of *pure* jobs therefore
+//! produces bit-identical output for any thread count — `MVP_THREADS=1` and
+//! `MVP_THREADS=8` runs of the pipeline, the bench drivers and the fuzz
+//! harness emit byte-identical reports and CSVs (this is pinned by
+//! `tests/executor_determinism.rs` at the workspace root).
+//!
+//! # Panic propagation
+//!
+//! A panicking job never deadlocks or poisons the batch: the batch runs to
+//! completion regardless, and the panic payload of the smallest-indexed
+//! panicking job — a property of the batch, not of the scheduling — is
+//! re-raised on the caller's thread once every worker has parked. Compared
+//! to a sequential `for` loop the only difference is that the jobs after
+//! the failing one have also run.
+//!
+//! # Nesting
+//!
+//! `map` called from *inside* a worker runs the batch inline on that worker
+//! (sequentially): a figure sweep parallelised over grid points would
+//! otherwise multiply its thread count by every suite run it contains.
+//! Balance still comes from the outermost batch, which is always the widest.
+//!
+//! # Sizing
+//!
+//! [`Executor::from_env`] honours the `MVP_THREADS` environment variable
+//! (clamped to at least 1) and falls back to
+//! [`std::thread::available_parallelism`]. [`Executor::global`] builds one
+//! such executor per process, lazily, and is what the pipeline uses unless
+//! an explicit executor is configured.
+//!
+//! # Example
+//!
+//! ```
+//! use mvp_exec::Executor;
+//!
+//! let exec = Executor::new(4);
+//! let squares = exec.map(&[1u64, 2, 3, 4, 5], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]); // input order, always
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Environment variable overriding the worker count of
+/// [`Executor::from_env`] (and therefore of [`Executor::global`]).
+pub const THREADS_ENV_VAR: &str = "MVP_THREADS";
+
+thread_local! {
+    /// Whether the current thread is an executor worker (see the module
+    /// docs on nesting).
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A fixed-width work-stealing thread pool with an ordered-collect API.
+///
+/// See the [module documentation](self) for the design; the behavioural
+/// contract in one line: [`map`](Executor::map) over pure jobs is
+/// observationally identical to `items.iter().map(f).collect()` — same
+/// order, same panics — only faster.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// Creates an executor that runs batches on `threads` workers (clamped
+    /// to at least 1; 1 means strictly sequential, in-place execution).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates an executor sized from the environment: the `MVP_THREADS`
+    /// variable when set to a positive integer, the machine's available
+    /// parallelism otherwise.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let configured = std::env::var(THREADS_ENV_VAR).ok();
+        Self::new(Self::parse_threads(configured.as_deref()))
+    }
+
+    /// The worker count `from_env` derives from an `MVP_THREADS` value
+    /// (`None` = variable unset). Non-numeric or zero values fall back to
+    /// the available parallelism, like an unset variable.
+    #[must_use]
+    pub fn parse_threads(env_value: Option<&str>) -> usize {
+        match env_value.and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        }
+    }
+
+    /// The process-wide shared executor (sized by [`Executor::from_env`]
+    /// once, on first use). This is what [`multivliw`'s
+    /// `Pipeline`](https://docs.rs/multivliw) and the bench drivers run on
+    /// unless given an explicit executor.
+    #[must_use]
+    pub fn global() -> Arc<Executor> {
+        static GLOBAL: OnceLock<Arc<Executor>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(Executor::from_env())))
+    }
+
+    /// Number of worker threads batches run on.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether the calling thread is itself an executor worker (in which
+    /// case any nested `map` runs inline; see the module docs).
+    #[must_use]
+    pub fn is_worker_thread() -> bool {
+        IN_WORKER.with(std::cell::Cell::get)
+    }
+
+    /// Runs `f` over every item and returns the results **in input order**,
+    /// regardless of how the jobs were interleaved across workers.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the smallest-indexed panicking job after the
+    /// whole batch has run (deterministic for a deterministic batch; see
+    /// the module docs).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_indexed(items, |_, item| f(item))
+    }
+
+    /// Like [`map`](Executor::map), but the job also receives its input
+    /// index (useful for seeding and labelling).
+    pub fn map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        // Sequential paths: a 1-thread executor, a trivial batch, or a
+        // nested call from inside a worker (see the module docs).
+        if self.threads == 1 || items.len() <= 1 || Self::is_worker_thread() {
+            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+
+        let workers = self.threads.min(items.len());
+        let pool = DequePool::new(items.len(), workers);
+        let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+        let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let pool = &pool;
+                let results = &results;
+                let panicked = &panicked;
+                let f = &f;
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    // The batch always runs to completion, panic or not:
+                    // draining every job is what makes the re-raised panic
+                    // *deterministic* (the smallest-indexed panicking job of
+                    // the whole batch, not of a scheduling-dependent
+                    // prefix). Jobs here are loop-sized, so finishing a
+                    // batch that is about to panic costs little.
+                    while let Some(idx) = pool.next_job(worker) {
+                        match catch_unwind(AssertUnwindSafe(|| f(idx, &items[idx]))) {
+                            Ok(r) => *results[idx].lock().expect("result slot lock") = Some(r),
+                            Err(payload) => {
+                                let mut first = panicked.lock().expect("panic slot lock");
+                                match &*first {
+                                    Some((prev, _)) if *prev <= idx => {}
+                                    _ => *first = Some((idx, payload)),
+                                }
+                            }
+                        }
+                    }
+                    IN_WORKER.with(|w| w.set(false));
+                });
+            }
+        });
+
+        if let Some((_, payload)) = panicked.into_inner().expect("panic slot lock") {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot lock")
+                    .expect("every job of a non-panicking batch ran")
+            })
+            .collect()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// One deque of pending job indices per worker.
+///
+/// Workers pop their own deque from the *front* (preserving the roughly
+/// input-ordered walk that keeps related jobs together) and steal from the
+/// *back* of the fullest victim, halving the victim's remaining work would
+/// be fancier but single-index steals are plenty at this job granularity —
+/// every job here schedules or simulates a whole loop.
+#[derive(Debug)]
+struct DequePool {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl DequePool {
+    /// Distributes `jobs` indices over `workers` deques in contiguous
+    /// blocks (block `w` starts at `w * jobs / workers`).
+    fn new(jobs: usize, workers: usize) -> Self {
+        let deques = (0..workers)
+            .map(|w| {
+                let start = w * jobs / workers;
+                let end = (w + 1) * jobs / workers;
+                Mutex::new((start..end).collect())
+            })
+            .collect();
+        Self { deques }
+    }
+
+    /// Next job for `worker`: its own front, else stolen from the back of
+    /// the victim with the most pending jobs. `None` when every deque is
+    /// empty (the batch is drained; workers then park).
+    fn next_job(&self, worker: usize) -> Option<usize> {
+        if let Some(idx) = self.deques[worker].lock().expect("deque lock").pop_front() {
+            return Some(idx);
+        }
+        loop {
+            let victim = self
+                .deques
+                .iter()
+                .enumerate()
+                .filter(|(v, _)| *v != worker)
+                .map(|(v, d)| (d.lock().expect("deque lock").len(), v))
+                .max()?;
+            match victim {
+                (0, _) => return None,
+                (_, v) => {
+                    // The victim may have drained between the census and the
+                    // steal; retry the census rather than giving up.
+                    if let Some(idx) = self.deques[v].lock().expect("deque lock").pop_back() {
+                        return Some(idx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_input_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let exec = Executor::new(threads);
+            assert_eq!(exec.threads(), threads);
+            assert_eq!(exec.map(&items, |&x| x * 3 + 1), expected, "{threads}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_passes_the_input_index() {
+        let items = ["a", "b", "c"];
+        let out = Executor::new(2).map_indexed(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_run_inline() {
+        let exec = Executor::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(exec.map(&empty, |&x| x).is_empty());
+        assert_eq!(exec.map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_jobs_are_stolen_not_serialised() {
+        // One straggler at index 0 plus many fast jobs: with stealing, the
+        // fast jobs complete on other workers while the straggler runs. We
+        // can't assert wall-clock here, but we can assert every job ran
+        // exactly once and from more than one thread.
+        let ran = AtomicUsize::new(0);
+        let threads_seen: Mutex<std::collections::HashSet<std::thread::ThreadId>> =
+            Mutex::new(std::collections::HashSet::new());
+        let items: Vec<u64> = (0..64).collect();
+        let out = Executor::new(4).map(&items, |&x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            threads_seen
+                .lock()
+                .unwrap()
+                .insert(std::thread::current().id());
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x
+        });
+        assert_eq!(out, items);
+        assert_eq!(ran.load(Ordering::Relaxed), 64);
+        assert!(threads_seen.lock().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn panics_propagate_with_the_smallest_index_winning() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Executor::new(4).map_indexed(&[0u8; 32], |i, _| {
+                if i % 2 == 1 {
+                    panic!("job {i} failed");
+                }
+                i
+            });
+        }));
+        let payload = result.expect_err("batch must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is the job's format string");
+        assert_eq!(message, "job 1 failed");
+    }
+
+    #[test]
+    fn nested_maps_run_inline_on_the_worker() {
+        let exec = Executor::new(4);
+        assert!(!Executor::is_worker_thread());
+        let out = exec.map(&[10u64, 20, 30, 40], |&x| {
+            assert!(Executor::is_worker_thread());
+            // The nested batch must not spawn further workers.
+            exec.map(&[1u64, 2, 3], |&y| {
+                assert!(Executor::is_worker_thread());
+                x + y
+            })
+        });
+        assert_eq!(
+            out,
+            vec![
+                vec![11, 12, 13],
+                vec![21, 22, 23],
+                vec![31, 32, 33],
+                vec![41, 42, 43]
+            ]
+        );
+        assert!(!Executor::is_worker_thread());
+    }
+
+    #[test]
+    fn parse_threads_honours_positive_integers_only() {
+        assert_eq!(Executor::parse_threads(Some("3")), 3);
+        assert_eq!(Executor::parse_threads(Some(" 12 ")), 12);
+        let fallback = Executor::parse_threads(None);
+        assert!(fallback >= 1);
+        assert_eq!(Executor::parse_threads(Some("0")), fallback);
+        assert_eq!(Executor::parse_threads(Some("many")), fallback);
+        assert_eq!(Executor::parse_threads(Some("")), fallback);
+        assert_eq!(Executor::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn global_executor_is_shared() {
+        let a = Executor::global();
+        let b = Executor::global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.threads() >= 1);
+        assert_eq!(
+            Executor::default().threads(),
+            Executor::from_env().threads()
+        );
+    }
+
+    #[test]
+    fn deque_pool_hands_out_every_index_once() {
+        let pool = DequePool::new(10, 3);
+        let mut seen: Vec<usize> = Vec::new();
+        // Worker 2 drains everything: its own block first, then steals.
+        while let Some(idx) = pool.next_job(2) {
+            seen.push(idx);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(pool.next_job(0), None);
+    }
+}

@@ -13,6 +13,8 @@
 //!   contribution),
 //! * [`exact`] — the branch-and-bound exact scheduler: an optimality oracle
 //!   that proves how far the heuristics land from the best possible II,
+//! * [`exec`] — the work-stealing executor every heavy path (per-loop
+//!   pipeline runs, gap-oracle calls, bench sweeps, fuzz cases) runs on,
 //! * [`sim`] — the cycle-level simulator with distributed coherent caches,
 //! * [`workloads`] — the synthetic SPECfp95-modelled kernels and the
 //!   Figure-3 motivating example.
@@ -55,6 +57,7 @@ pub use pipeline::{LoopReport, Pipeline, PipelineBuilder, PipelineReport, Schedu
 pub use mvp_cache as cache;
 pub use mvp_core as core;
 pub use mvp_exact as exact;
+pub use mvp_exec as exec;
 pub use mvp_ir as ir;
 pub use mvp_machine as machine;
 pub use mvp_sim as sim;

@@ -30,6 +30,7 @@ use mvp_core::{
     SchedulerOptions,
 };
 use mvp_exact::{ExactOptions, ExactScheduler};
+use mvp_exec::Executor;
 use mvp_ir::Loop;
 use mvp_machine::{presets, MachineConfig};
 use mvp_sim::memory_system::MemoryCounters;
@@ -132,6 +133,7 @@ pub struct PipelineBuilder {
     scheduler_options: SchedulerOptions,
     sim_options: SimOptions,
     gap_oracle: Option<ExactOptions>,
+    executor: Option<Arc<Executor>>,
 }
 
 impl Default for PipelineBuilder {
@@ -142,6 +144,7 @@ impl Default for PipelineBuilder {
             scheduler_options: SchedulerOptions::new(),
             sim_options: SimOptions::new(),
             gap_oracle: None,
+            executor: None,
         }
     }
 }
@@ -216,6 +219,18 @@ impl PipelineBuilder {
         self
     }
 
+    /// Picks the executor batch runs ([`Pipeline::run_batch`],
+    /// [`Pipeline::run_workloads`]) are parallelised on. Defaults to the
+    /// process-wide [`Executor::global`] (sized by `MVP_THREADS` or the
+    /// machine's available parallelism). Pass `Executor::new(1)` for a
+    /// strictly sequential pipeline — the reports are identical either way,
+    /// per the executor's ordered-collect guarantee.
+    #[must_use]
+    pub fn executor(mut self, executor: Arc<Executor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
     /// Validates the configuration and builds the [`Pipeline`].
     ///
     /// # Errors
@@ -241,6 +256,7 @@ impl PipelineBuilder {
             machine,
             sim_options: self.sim_options,
             gap_oracle: self.gap_oracle,
+            executor: self.executor.unwrap_or_else(Executor::global),
         })
     }
 }
@@ -248,9 +264,12 @@ impl PipelineBuilder {
 /// The end-to-end schedule → simulate → report driver.
 ///
 /// Build one with [`Pipeline::builder`], then [`run`](Pipeline::run) a
-/// single loop, [`run_batch`](Pipeline::run_batch) a slice of loops, or
-/// [`run_workloads`](Pipeline::run_workloads) a whole suite (in parallel
-/// across workloads).
+/// single loop, or [`run_batch`](Pipeline::run_batch) /
+/// [`run_workloads`](Pipeline::run_workloads) many loops at once — both
+/// fan the loops out as individual jobs on the work-stealing
+/// [`Executor`] (schedule, simulate *and* the optimality-gap oracle when
+/// enabled all run inside the per-loop job, so independent gap-oracle
+/// solves proceed concurrently, each under its own node budget).
 pub struct Pipeline {
     choice: SchedulerChoice,
     scheduler: Box<dyn ModuloScheduler + Send + Sync>,
@@ -258,6 +277,7 @@ pub struct Pipeline {
     machine: Arc<MachineConfig>,
     sim_options: SimOptions,
     gap_oracle: Option<ExactOptions>,
+    executor: Arc<Executor>,
 }
 
 impl fmt::Debug for Pipeline {
@@ -293,6 +313,12 @@ impl Pipeline {
     #[must_use]
     pub fn shared_machine(&self) -> Arc<MachineConfig> {
         Arc::clone(&self.machine)
+    }
+
+    /// The executor batch runs are parallelised on.
+    #[must_use]
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.executor
     }
 
     /// Schedules and simulates one loop.
@@ -368,7 +394,11 @@ impl Pipeline {
         })
     }
 
-    /// Schedules and simulates a batch of loops, sequentially.
+    /// Schedules and simulates a batch of loops, one executor job per loop.
+    ///
+    /// The report is identical for every thread count: results are
+    /// collected in input order and the first per-loop error *by batch
+    /// position* wins, exactly as a sequential loop would behave.
     ///
     /// # Errors
     ///
@@ -378,36 +408,28 @@ impl Pipeline {
     where
         I: IntoIterator<Item = &'a Loop>,
     {
-        let runs: Vec<LoopReport> = loops
+        let loops: Vec<&Loop> = loops.into_iter().collect();
+        let runs: Vec<LoopReport> = self
+            .executor
+            .map(&loops, |l| self.run(l))
             .into_iter()
-            .map(|l| self.run(l))
             .collect::<Result<_>>()?;
         PipelineReport::from_runs(self.choice, runs)
     }
 
     /// Schedules and simulates every loop of every workload, in parallel
-    /// across workloads.
+    /// across the *loops* of the whole suite (not merely across
+    /// workloads): the *n*-th loop of tomcatv and the first loop of apsi
+    /// are independent executor jobs, so one long workload no longer
+    /// serialises a worker while the small kernels finish early.
     ///
     /// # Errors
     ///
-    /// Returns the first per-loop error, or [`Error::Config`] when the
-    /// suite contains no loops at all.
+    /// Returns the first per-loop error (in suite order, independent of
+    /// the thread count), or [`Error::Config`] when the suite contains no
+    /// loops at all.
     pub fn run_workloads(&self, workloads: &[Workload]) -> Result<PipelineReport> {
-        let results: Vec<Result<Vec<LoopReport>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = workloads
-                .iter()
-                .map(|w| scope.spawn(move || w.loops.iter().map(|l| self.run(l)).collect()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("pipeline worker thread panicked"))
-                .collect()
-        });
-        let mut runs = Vec::new();
-        for r in results {
-            runs.extend(r?);
-        }
-        PipelineReport::from_runs(self.choice, runs)
+        self.run_batch(workloads.iter().flat_map(|w| w.loops.iter()))
     }
 }
 
@@ -693,6 +715,26 @@ mod tests {
         let p = Pipeline::builder().build().unwrap();
         assert!(matches!(p.run_batch([]), Err(Error::Config(_))));
         assert!(matches!(p.run_workloads(&[]), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn explicit_executors_change_nothing_but_the_thread_count() {
+        let workloads = suite(&SuiteParams::small());
+        let build = |threads| {
+            Pipeline::builder()
+                .scheduler(SchedulerChoice::Rmca)
+                .executor(Arc::new(Executor::new(threads)))
+                .build()
+                .unwrap()
+        };
+        let sequential = build(1);
+        let parallel = build(4);
+        assert_eq!(sequential.executor().threads(), 1);
+        assert_eq!(parallel.executor().threads(), 4);
+        assert_eq!(
+            sequential.run_workloads(&workloads).unwrap(),
+            parallel.run_workloads(&workloads).unwrap()
+        );
     }
 
     #[test]

@@ -28,15 +28,25 @@
 //!   compute-cycle floor of `II × iterations`
 //!   (`simulation_invariants_agree_across_schedulers`).
 //!
+//! The seeded case loops run as jobs on the shared work-stealing executor
+//! of [`multivliw::exec`]: per-case generator seeds are drawn up front from
+//! the sequential meta-RNG, each case is an independent job, and the
+//! counters are folded in case order — so outcomes (including any panic:
+//! the smallest failing case wins) are identical for every `MVP_THREADS`
+//! setting, while nightly 512-seed runs use all cores.
+//!
 //! Runtime knobs (for the nightly CI job and local deep runs):
 //!
 //! * `MVP_FUZZ_CASES` — number of seeded loops (default 64),
 //! * `MVP_FUZZ_SEED` — base seed of the meta-RNG (default `0xD1FF5EED`;
 //!   the nightly job rotates it by date and echoes the value for replay),
-//! * `MVP_EXACT_FUZZ_CASES` — loops of the exact-oracle subset (default 24).
+//! * `MVP_EXACT_FUZZ_CASES` — loops of the exact-oracle subset (default 24),
+//! * `MVP_THREADS` — executor width (defaults to the available
+//!   parallelism; results are identical regardless).
 
 use multivliw::core::{validate_schedule, ListScheduler, ModuloScheduler, ScheduleError};
 use multivliw::exact::{solve, ExactOptions};
+use multivliw::exec::Executor;
 use multivliw::ir::mii;
 use multivliw::pipeline::{LoopReport, Pipeline, SchedulerChoice};
 use multivliw::workloads::generator::{GeneratorConfig, LoopGenerator};
@@ -105,13 +115,21 @@ fn all_schedulers_agree_with_the_legality_oracle() {
         .collect();
     let list_reference = ListScheduler::new();
 
+    // Per-case seeds come from the sequential meta-RNG *before* the fan-out,
+    // so the corpus is identical for every executor width.
     let mut meta = SplitMix64::seed_from_u64(base_seed);
-    let mut fallbacks = 0usize;
-    let mut skips = 0usize;
-    let mut schedules = 0usize;
+    let seeds: Vec<u64> = (0..cases).map(|_| meta.next_u64()).collect();
 
-    for case in 0..cases {
-        let seed = meta.next_u64();
+    /// Per-case counters, folded in case order after the parallel sweep.
+    #[derive(Default)]
+    struct CaseStats {
+        schedules: usize,
+        skips: usize,
+        fallbacks: usize,
+    }
+
+    let per_case = Executor::global().map_indexed(&seeds, |case, &seed| {
+        let mut stats = CaseStats::default();
         let mut generator = LoopGenerator::with_seed(seed);
         let l = generator.generate();
 
@@ -138,7 +156,7 @@ fn all_schedulers_agree_with_the_legality_oracle() {
             }
             match pipeline.run(&l) {
                 Ok(report) => {
-                    schedules += 1;
+                    stats.schedules += 1;
                     check_report(&l, pipeline, &report);
                     // Cycle-count sanity: a pipelined kernel's steady-state
                     // cost (II·iters, without the prologue/epilogue ramp)
@@ -167,7 +185,7 @@ fn all_schedulers_agree_with_the_legality_oracle() {
                     if pipeline.scheduler() == SchedulerChoice::ListFallback
                         && report.schedule.scheduler_name == "list"
                     {
-                        fallbacks += 1;
+                        stats.fallbacks += 1;
                     }
                 }
                 Err(Error::Schedule(ScheduleError::NoFeasibleIi { .. })) => {
@@ -178,7 +196,7 @@ fn all_schedulers_agree_with_the_legality_oracle() {
                          (case {case}, seed {seed:#x}, loop {})",
                         l.name()
                     );
-                    skips += 1;
+                    stats.skips += 1;
                 }
                 Err(e) => panic!(
                     "{} failed on well-formed loop {} (case {case}, seed {seed:#x}) \
@@ -188,7 +206,11 @@ fn all_schedulers_agree_with_the_legality_oracle() {
                 ),
             }
         }
-    }
+        stats
+    });
+    let (schedules, skips, fallbacks) = per_case.iter().fold((0, 0, 0), |(s, k, f), c| {
+        (s + c.schedules, k + c.skips, f + c.fallbacks)
+    });
 
     // The fallback is a safety net, not the common path: if a sizable share
     // of random loops stops being modulo-schedulable, a scheduler regressed.
@@ -273,10 +295,10 @@ fn exact_scheduler_bounds_every_heuristic_on_small_loops() {
         ..GeneratorConfig::default()
     };
     let mut meta = SplitMix64::seed_from_u64(base_seed);
-    let mut proved = 0usize;
-    let mut bounded = 0usize;
-    for case in 0..cases {
-        let seed = meta.next_u64();
+    let seeds: Vec<u64> = (0..cases).map(|_| meta.next_u64()).collect();
+    // One executor job per seeded loop: each runs its own exact-oracle
+    // solve (under its own node budget) plus the heuristic cross-checks.
+    let outcomes = Executor::global().map_indexed(&seeds, |case, &seed| {
         let mut generator = LoopGenerator::new(cfg, seed);
         let l = generator.generate();
 
@@ -286,6 +308,8 @@ fn exact_scheduler_bounds_every_heuristic_on_small_loops() {
             outcome.lower_bound >= mii::minimum_ii(&l, &machine),
             "case {case} seed {seed:#x}: certified bound below the classical MII"
         );
+        let mut proved = false;
+        let mut bounded = false;
         match &outcome.schedule {
             Some(s) => {
                 let violations = validate_schedule(&l, &machine, s);
@@ -296,11 +320,11 @@ fn exact_scheduler_bounds_every_heuristic_on_small_loops() {
                 assert!(s.ii() >= outcome.lower_bound);
                 if outcome.proved_optimal {
                     assert_eq!(s.ii(), outcome.lower_bound);
-                    proved += 1;
+                    proved = true;
                 }
             }
             // Budget exhausted: the outcome still certifies a lower bound.
-            None => bounded += 1,
+            None => bounded = true,
         }
 
         for pipeline in &heuristics {
@@ -316,7 +340,10 @@ fn exact_scheduler_bounds_every_heuristic_on_small_loops() {
                 Err(e) => panic!("case {case} seed {seed:#x}: unexpected error {e}"),
             }
         }
-    }
+        (proved, bounded)
+    });
+    let proved = outcomes.iter().filter(|&&(p, _)| p).count();
+    let bounded = outcomes.iter().filter(|&&(_, b)| b).count();
     println!(
         "exact fuzz: {cases} small loops -> {proved} proved optimal, \
          {bounded} lower-bounded under budget (base seed {base_seed:#x})"
@@ -351,16 +378,14 @@ fn simulation_invariants_agree_across_schedulers() {
     .collect();
 
     let mut meta = SplitMix64::seed_from_u64(base_seed);
-    let mut compared = 0usize;
-    for case in 0..cases {
-        let seed = meta.next_u64();
+    let seeds: Vec<u64> = (0..cases).map(|_| meta.next_u64()).collect();
+    let compared_per_case = Executor::global().map_indexed(&seeds, |case, &seed| {
         let mut generator = LoopGenerator::with_seed(seed);
         let l = generator.generate();
         let reports: Vec<LoopReport> = pipelines.iter().filter_map(|p| p.run(&l).ok()).collect();
         if reports.len() < 2 {
-            continue; // nothing to differentiate on this seed
+            return false; // nothing to differentiate on this seed
         }
-        compared += 1;
         let reference = &reports[0];
         for report in &reports {
             let stats = &report.stats;
@@ -391,7 +416,9 @@ fn simulation_invariants_agree_across_schedulers() {
                 stats.compute_cycles + stats.stall_cycles
             );
         }
-    }
+        true
+    });
+    let compared = compared_per_case.iter().filter(|&&c| c).count();
     assert!(
         compared > 0,
         "no seed produced two schedulable configurations"

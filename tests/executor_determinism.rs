@@ -1,0 +1,104 @@
+//! Executor determinism: the work-stealing refactor must be invisible in
+//! every result.
+//!
+//! The contract pinned here is the acceptance bar of the `mvp-exec`
+//! migration: for *any* thread count (`MVP_THREADS=1` vs `MVP_THREADS=8`
+//! — modelled with explicit `Executor::new(n)` handles, which is exactly
+//! what the environment variable configures), the pipeline's reports, the
+//! fuzz-style per-seed outcomes and the bench artifacts' CSV bytes are
+//! identical; and a panicking job propagates its panic to the caller
+//! instead of deadlocking, poisoning, or silently dropping results.
+
+use multivliw::core::validate_schedule;
+use multivliw::exact::ExactOptions;
+use multivliw::exec::Executor;
+use multivliw::pipeline::{Pipeline, PipelineReport, SchedulerChoice};
+use multivliw::workloads::generator::LoopGenerator;
+use multivliw::workloads::rng::SplitMix64;
+use multivliw::workloads::suite::{suite, SuiteParams};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+fn suite_report(choice: SchedulerChoice, threads: usize) -> PipelineReport {
+    let workloads = suite(&SuiteParams::small());
+    Pipeline::builder()
+        .scheduler(choice)
+        .executor(Arc::new(Executor::new(threads)))
+        // Gap oracle on (its per-loop solves are part of the parallel
+        // stage under test), with a small budget so the certified bounds
+        // stay cheap on the suite's bigger bodies.
+        .optimality_gap_options(ExactOptions::new().with_node_budget(4096))
+        .build()
+        .expect("default-machine pipelines are valid")
+        .run_workloads(&workloads)
+        .expect("the bundled suite is schedulable")
+}
+
+#[test]
+fn pipeline_reports_are_identical_for_1_and_8_threads() {
+    // `PipelineReport` derives `PartialEq` over every field — per-loop
+    // schedules, placements, communications, sim stats, optimality gaps and
+    // the aggregates — so this is a deep equality, not a summary check.
+    for choice in [SchedulerChoice::Baseline, SchedulerChoice::Rmca] {
+        let sequential = suite_report(choice, 1);
+        let parallel = suite_report(choice, 8);
+        assert_eq!(sequential, parallel, "{choice}");
+        // And re-running parallel is stable too (no hidden global state).
+        assert_eq!(parallel, suite_report(choice, 8), "{choice} rerun");
+    }
+}
+
+#[test]
+fn fuzz_style_outcomes_are_identical_for_1_and_8_threads() {
+    // The same shape as tests/differential_fuzz.rs: seeds drawn up front,
+    // one job per seed, outcome summaries collected in order. The whole
+    // outcome vector must match between a sequential and a parallel sweep.
+    let mut meta = SplitMix64::seed_from_u64(0xD1FF_5EED);
+    let seeds: Vec<u64> = (0..24).map(|_| meta.next_u64()).collect();
+    let pipeline = Pipeline::builder()
+        .scheduler(SchedulerChoice::ListFallback)
+        .build()
+        .unwrap();
+
+    let sweep = |threads: usize| -> Vec<(String, u32, u32, u64)> {
+        Executor::new(threads).map(&seeds, |&seed| {
+            let l = LoopGenerator::with_seed(seed).generate();
+            let report = pipeline.run(&l).expect("the fallback never fails");
+            let violations = validate_schedule(&l, pipeline.machine(), &report.schedule);
+            assert!(violations.is_empty(), "seed {seed:#x}: {violations:?}");
+            (
+                report.schedule.scheduler_name.to_string(),
+                report.ii,
+                report.stage_count,
+                report.total_cycles(),
+            )
+        })
+    };
+    assert_eq!(sweep(1), sweep(8));
+}
+
+// (The bench-artifact side of the contract — identical gap-table and
+// wall-clock CSV bytes across thread counts — is pinned in
+// `crates/bench/tests/determinism.rs`, next to the code that emits them.)
+
+#[test]
+fn panics_in_jobs_propagate_to_the_caller() {
+    let workloads = suite(&SuiteParams::small());
+    let loops: Vec<&multivliw::ir::Loop> = workloads.iter().flat_map(|w| w.loops.iter()).collect();
+    let executor = Executor::new(4);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        executor.map_indexed(&loops, |i, l| {
+            if i == 2 {
+                panic!("poisoned job for {}", l.name());
+            }
+            l.num_ops()
+        })
+    }));
+    let payload = result.expect_err("the batch must re-raise the job panic");
+    let message = payload
+        .downcast_ref::<String>()
+        .expect("panic payload is the job's message");
+    assert_eq!(message, &format!("poisoned job for {}", loops[2].name()));
+    // The executor is reusable after a panicking batch (nothing poisoned).
+    assert_eq!(executor.map(&[1u32, 2, 3], |&x| x * 2), vec![2, 4, 6]);
+}
