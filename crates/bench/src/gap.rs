@@ -98,10 +98,14 @@ impl GapRow {
     }
 }
 
-/// The gap corpus: the Figure-3 motivating loop plus small generated loops.
+/// The gap corpus: the Figure-3 motivating loop, the SPECfp-flavoured
+/// small-loop subset (tomcatv-style residual/relaxation, swim's flux
+/// stencil, mgrid's reduction — real loop shapes the oracle can decide
+/// quickly), plus small generated loops.
 #[must_use]
 pub fn corpus(params: &GapParams) -> Vec<Loop> {
     let mut loops = vec![motivating_loop(&MotivatingParams::default()).0];
+    loops.extend(mvp_workloads::kernels::specfp_small::gap_subset());
     let cfg = GeneratorConfig {
         min_ops: 3,
         max_ops: params.max_ops.max(3),

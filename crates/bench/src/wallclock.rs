@@ -121,10 +121,15 @@ pub fn run(params: &WallclockParams) -> Vec<WallclockRow> {
     for &threads in &params.threads {
         let executor = Arc::new(Executor::new(threads));
         for scheduler in SchedulerKind::EVERY {
+            // The gap budget bounds both the oracle solves and — through
+            // `exact_node_budget` — the exact scheduler's own search, so the
+            // exact rows of a suite-scale run no longer burn the 1M-node
+            // default per loop.
             let pipeline = Pipeline::builder()
                 .scheduler(scheduler)
                 .executor(Arc::clone(&executor))
                 .optimality_gap_options(gap_options)
+                .exact_node_budget(params.gap_node_budget)
                 .build()
                 .expect("default-machine pipelines are valid");
             let start = Instant::now();

@@ -16,14 +16,22 @@
 //! window. Cycles are therefore computed as signed offsets and the whole
 //! schedule is shifted by a multiple of the II at the end so that the final
 //! cycles are non-negative (which keeps every modulo-reservation row intact).
+//!
+//! All placement *legality* — functional-unit rows, dependence windows,
+//! register-bus booking, the final MaxLive export — flows through the shared
+//! incremental constraint kernel ([`mvp_resmodel::PartialSchedule`]); this
+//! module owns only the search strategy (node order, cluster policy, the
+//! candidate-cycle preference and the II escalation loop). Candidate
+//! feasibility probes are `place`/`unplace` round trips on the kernel, so
+//! the engine carries no reservation tables of its own.
 
 use crate::error::ScheduleError;
-use crate::lifetime;
 use crate::options::SchedulerOptions;
-use crate::schedule::{Communication, PlacedOp, Schedule};
+use crate::schedule::Schedule;
 use mvp_cache::LocalityAnalysis;
 use mvp_ir::{mii, ordering, recurrence, EdgeKind, Loop, OpId};
-use mvp_machine::{ClusterId, MachineConfig, ModuloReservationTable};
+use mvp_machine::{ClusterId, MachineConfig};
+use mvp_resmodel::{PartialSchedule, PlaceHandle, ResModel};
 
 /// Everything a [`ClusterPolicy`] may consult when choosing a cluster.
 #[derive(Debug)]
@@ -90,26 +98,6 @@ pub fn balance_key(ctx: &SelectionContext<'_, '_>, cluster: ClusterId) -> (i64, 
     (-(ctx.cluster_ops[cluster].len() as i64), -(cluster as i64))
 }
 
-/// Internal placement with signed cycles (pre-normalisation).
-#[derive(Debug, Clone, Copy)]
-struct RawPlacement {
-    cluster: ClusterId,
-    cycle: i64,
-    assumed_latency: u32,
-    miss_scheduled: bool,
-}
-
-/// Internal communication record with signed start cycle.
-#[derive(Debug, Clone, Copy)]
-struct RawComm {
-    src: OpId,
-    dst: OpId,
-    from_cluster: ClusterId,
-    to_cluster: ClusterId,
-    start_cycle: i64,
-    bus: usize,
-}
-
 /// Runs the assign-and-schedule driver with the given policy, searching the
 /// initiation interval upwards from the minimum II.
 ///
@@ -125,7 +113,7 @@ pub fn schedule_with_policy<P: ClusterPolicy>(
     options: &SchedulerOptions,
     policy: &P,
 ) -> Result<Schedule, ScheduleError> {
-    machine.validate()?;
+    let model = ResModel::new(l, machine)?;
     let min_ii = mii::minimum_ii(l, machine);
     if min_ii == u32::MAX {
         return Err(ScheduleError::MissingResources {
@@ -140,7 +128,7 @@ pub fn schedule_with_policy<P: ClusterPolicy>(
     // First pass: exactly the paper's driver — keep the node ordering fixed
     // and increase the II on any placement failure.
     for ii in min_ii..=max_ii {
-        if let Ok(schedule) = try_ii(l, machine, options, policy, &analysis, &base_order, ii) {
+        if let Ok(schedule) = try_ii(&model, options, policy, &analysis, &base_order, ii) {
             return Ok(schedule);
         }
     }
@@ -153,7 +141,7 @@ pub fn schedule_with_policy<P: ClusterPolicy>(
     for ii in min_ii..=max_ii {
         let mut order = base_order.clone();
         for attempt in 0..4 {
-            match try_ii(l, machine, options, policy, &analysis, &order, ii) {
+            match try_ii(&model, options, policy, &analysis, &order, ii) {
                 Ok(schedule) => return Ok(schedule),
                 Err(Some(blocked)) if attempt < 3 => {
                     if !move_before_neighbours(l, &mut order, blocked) {
@@ -203,43 +191,30 @@ fn move_before_neighbours(l: &Loop, order: &mut Vec<OpId>, op: OpId) -> bool {
 /// `Err(Some(op))` naming the operation that could not be placed, or
 /// `Err(None)` when the register-pressure check failed.
 fn try_ii<P: ClusterPolicy>(
-    l: &Loop,
-    machine: &MachineConfig,
+    model: &ResModel<'_, '_>,
     options: &SchedulerOptions,
     policy: &P,
     analysis: &LocalityAnalysis<'_>,
     order: &[OpId],
     ii: u32,
 ) -> Result<Schedule, Option<OpId>> {
-    let mut mrt = ModuloReservationTable::new(machine, ii).map_err(|_| None)?;
-    let n = l.num_ops();
-    let mut placements: Vec<Option<RawPlacement>> = vec![None; n];
+    let l = model.l;
+    let machine = model.machine;
+    let mut ps = PartialSchedule::new(model, ii);
     let mut cluster_ops: Vec<Vec<OpId>> = vec![Vec::new(); machine.num_clusters()];
     let mut cluster_mem_ops: Vec<Vec<OpId>> = vec![Vec::new(); machine.num_clusters()];
-    let mut comms: Vec<RawComm> = Vec::new();
     let miss_latency = machine.load_miss_latency();
 
     for &op in order {
         let hit_lat = l.op(op).kind.hit_latency(&machine.latencies);
 
         // Step 1: find the clusters in which the operation can be placed at
-        // all (using the optimistic hit latency).
+        // all (using the optimistic hit latency) — a place/unplace round
+        // trip on the kernel per candidate cluster.
         let mut feasible: Vec<ClusterId> = Vec::new();
         for c in machine.cluster_ids() {
-            let mut probe = mrt.clone();
-            if try_place(
-                l,
-                machine,
-                &mut probe,
-                &placements,
-                ii,
-                op,
-                c,
-                hit_lat,
-                false,
-            )
-            .is_some()
-            {
+            if let Some(handle) = try_place(&mut ps, op, c, hit_lat, false) {
+                ps.unplace(handle);
                 feasible.push(c);
             }
         }
@@ -272,8 +247,8 @@ fn try_ii<P: ClusterPolicy>(
             if options.wants_miss_latency(ratio) {
                 let extra = miss_latency.saturating_sub(hit_lat);
                 let slack = recurrence::latency_slack(l, op, ii, |o| {
-                    placements[o.index()]
-                        .map(|p| p.assumed_latency)
+                    ps.placement(o)
+                        .map(|p| p.latency)
                         .unwrap_or_else(|| l.op(o).kind.hit_latency(&machine.latencies))
                 });
                 if extra <= slack {
@@ -284,183 +259,56 @@ fn try_ii<P: ClusterPolicy>(
         }
 
         // Step 4: place for real, falling back to the hit latency if the
-        // miss latency does not fit in this cluster.
-        let placed = try_place(
-            l,
-            machine,
-            &mut mrt,
-            &placements,
-            ii,
-            op,
-            cluster,
-            assumed_lat,
-            miss_scheduled,
-        )
-        .or_else(|| {
-            if miss_scheduled {
-                try_place(
-                    l,
-                    machine,
-                    &mut mrt,
-                    &placements,
-                    ii,
-                    op,
-                    cluster,
-                    hit_lat,
-                    false,
-                )
-            } else {
-                None
-            }
-        })
-        .ok_or(Some(op))?;
+        // miss latency does not fit in this cluster. The handle is dropped:
+        // this placement is committed, never undone.
+        let _committed = try_place(&mut ps, op, cluster, assumed_lat, miss_scheduled)
+            .or_else(|| {
+                if miss_scheduled {
+                    try_place(&mut ps, op, cluster, hit_lat, false)
+                } else {
+                    None
+                }
+            })
+            .ok_or(Some(op))?;
 
-        let (placement, new_comms) = placed;
-        placements[op.index()] = Some(placement);
-        comms.extend(new_comms);
         cluster_ops[cluster].push(op);
         if l.op(op).is_memory() {
             cluster_mem_ops[cluster].push(op);
         }
     }
 
-    let raw: Vec<RawPlacement> = placements
-        .into_iter()
-        .map(|p| p.expect("every operation was placed"))
-        .collect();
-    finalize(l, machine, policy.name(), options, ii, raw, comms).ok_or(None)
-}
-
-/// Shifts cycles to be non-negative (by a multiple of the II, so rows are
-/// preserved), builds the public placement records and applies the register
-/// pressure check.
-fn finalize(
-    l: &Loop,
-    machine: &MachineConfig,
-    scheduler_name: &str,
-    options: &SchedulerOptions,
-    ii: u32,
-    raw: Vec<RawPlacement>,
-    comms: Vec<RawComm>,
-) -> Option<Schedule> {
-    let ii_i = i64::from(ii);
-    let min_cycle = raw
-        .iter()
-        .map(|p| p.cycle)
-        .chain(comms.iter().map(|c| c.start_cycle))
-        .min()
-        .unwrap_or(0);
-    let shift = min_cycle.div_euclid(ii_i) * ii_i;
-
-    let placed: Vec<PlacedOp> = raw
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            let cycle = (p.cycle - shift) as u32;
-            PlacedOp {
-                op: OpId::from_index(i),
-                cluster: p.cluster,
-                cycle,
-                stage: cycle / ii,
-                row: cycle % ii,
-                assumed_latency: p.assumed_latency,
-                miss_scheduled: p.miss_scheduled,
-            }
-        })
-        .collect();
-    let communications: Vec<Communication> = comms
-        .iter()
-        .map(|c| Communication {
-            src: c.src,
-            dst: c.dst,
-            from_cluster: c.from_cluster,
-            to_cluster: c.to_cluster,
-            start_cycle: (c.start_cycle - shift) as u32,
-            bus: c.bus,
-        })
-        .collect();
-
-    let pressure = lifetime::register_pressure(l, &placed, ii, machine.num_clusters());
+    // The kernel exporter shifts cycles to be non-negative (by a multiple of
+    // the II, so rows are preserved) and recomputes the MaxLive pressure.
+    let schedule = ps.freeze(policy.name());
     if options.enforce_register_pressure {
-        for (c, &p) in pressure.iter().enumerate() {
+        for (c, &p) in schedule.register_pressure().iter().enumerate() {
             if p > machine.cluster(c).register_file_size as u32 {
-                return None;
+                return Err(None);
             }
         }
     }
-    Some(Schedule::new(
-        machine.name.clone(),
-        scheduler_name,
-        ii,
-        placed,
-        communications,
-        pressure,
-    ))
+    Ok(schedule)
 }
 
-/// Tries to place `op` in `cluster` with the given assumed latency, reserving
-/// the functional-unit slot and any register-bus transfers towards / from
-/// already-scheduled neighbours. On success the reservations stay in `mrt`
-/// and the placement plus its communications are returned; on failure `mrt`
-/// is left unchanged.
-#[allow(clippy::too_many_arguments)]
+/// Tries to place `op` in `cluster` with the given assumed latency: computes
+/// the dependence window from already-placed neighbours, enumerates the
+/// candidate cycles in swing-modulo-scheduling preference order, and asks
+/// the kernel to commit the first candidate whose functional-unit slot and
+/// register-bus transfers all fit. Returns the kernel handle on success
+/// (pass it to `unplace` to undo a probe); on failure the kernel is left
+/// unchanged.
 fn try_place(
-    l: &Loop,
-    machine: &MachineConfig,
-    mrt: &mut ModuloReservationTable,
-    placements: &[Option<RawPlacement>],
-    ii: u32,
+    ps: &mut PartialSchedule<'_, '_, '_>,
     op: OpId,
     cluster: ClusterId,
     assumed_lat: u32,
     miss_scheduled: bool,
-) -> Option<(RawPlacement, Vec<RawComm>)> {
-    let bus_lat = i64::from(machine.register_buses.latency);
-    let kind = l.op(op).kind.fu_kind();
-    let ii_i = i64::from(ii);
-
-    // Earliest start imposed by already-scheduled predecessors.
-    let mut earliest: Option<i64> = None;
-    for e in l.preds(op) {
-        let Some(p) = placements[e.src.index()] else {
-            continue;
-        };
-        let lat = if e.kind == EdgeKind::Data {
-            i64::from(p.assumed_latency)
-        } else {
-            1
-        };
-        let comm = if e.kind == EdgeKind::Data && p.cluster != cluster {
-            bus_lat
-        } else {
-            0
-        };
-        let ready = p.cycle + lat + comm - ii_i * i64::from(e.distance);
-        earliest = Some(earliest.map_or(ready, |x: i64| x.max(ready)));
-    }
-
-    // Latest start imposed by already-scheduled successors.
-    let mut latest: Option<i64> = None;
-    for e in l.succs(op) {
-        let Some(s) = placements[e.dst.index()] else {
-            continue;
-        };
-        let lat = if e.kind == EdgeKind::Data {
-            i64::from(assumed_lat)
-        } else {
-            1
-        };
-        let comm = if e.kind == EdgeKind::Data && s.cluster != cluster {
-            bus_lat
-        } else {
-            0
-        };
-        let bound = s.cycle + ii_i * i64::from(e.distance) - lat - comm;
-        latest = Some(latest.map_or(bound, |x: i64| x.min(bound)));
-    }
+) -> Option<PlaceHandle> {
+    let ii_i = i64::from(ps.ii());
+    let bounds = ps.neighbour_bounds(op, cluster, assumed_lat, None, None);
 
     // Candidate cycles, in preference order (swing-modulo-scheduling style).
-    let candidates: Vec<i64> = match (earliest, latest) {
+    let candidates: Vec<i64> = match (bounds.lo, bounds.hi) {
         (Some(e), Some(lt)) => {
             if lt < e {
                 return None;
@@ -472,136 +320,12 @@ fn try_place(
         (None, None) => (0..=ii_i - 1).collect(),
     };
 
-    'cycle: for t in candidates {
-        let row = t.rem_euclid(ii_i) as u32;
-        if !mrt.has_free_fu(cluster, kind, row) {
-            continue;
+    for t in candidates {
+        if let Ok(handle) = ps.place(op, cluster, t, assumed_lat, miss_scheduled, op.raw()) {
+            return Some(handle);
         }
-        let Some(fu_slot) = mrt.reserve_fu(cluster, kind, row, op.raw()) else {
-            continue;
-        };
-        let mut bus_slots = Vec::new();
-        let mut new_comms = Vec::new();
-
-        // Incoming transfers: a value produced in another cluster must reach
-        // this cluster before cycle t.
-        let mut ok = true;
-        for e in l.preds(op) {
-            let Some(p) = placements[e.src.index()] else {
-                continue;
-            };
-            if e.kind != EdgeKind::Data || p.cluster == cluster {
-                continue;
-            }
-            let ready = p.cycle + i64::from(p.assumed_latency) - ii_i * i64::from(e.distance);
-            let start_max = t - bus_lat;
-            if !reserve_transfer(
-                mrt,
-                ii,
-                ready,
-                start_max,
-                op,
-                e.src,
-                op,
-                p.cluster,
-                cluster,
-                &mut bus_slots,
-                &mut new_comms,
-            ) {
-                ok = false;
-                break;
-            }
-        }
-        // Outgoing transfers: the value produced here must reach already
-        // placed consumers in other clusters before their start cycle.
-        if ok {
-            for e in l.succs(op) {
-                let Some(s) = placements[e.dst.index()] else {
-                    continue;
-                };
-                if e.kind != EdgeKind::Data || s.cluster == cluster {
-                    continue;
-                }
-                let ready = t + i64::from(assumed_lat);
-                let deadline = s.cycle + ii_i * i64::from(e.distance);
-                let start_max = deadline - bus_lat;
-                if !reserve_transfer(
-                    mrt,
-                    ii,
-                    ready,
-                    start_max,
-                    op,
-                    op,
-                    e.dst,
-                    cluster,
-                    s.cluster,
-                    &mut bus_slots,
-                    &mut new_comms,
-                ) {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-
-        if !ok {
-            for slot in bus_slots {
-                mrt.release_register_bus(slot);
-            }
-            mrt.release_fu(fu_slot);
-            continue 'cycle;
-        }
-
-        let placement = RawPlacement {
-            cluster,
-            cycle: t,
-            assumed_latency: assumed_lat,
-            miss_scheduled,
-        };
-        return Some((placement, new_comms));
     }
     None
-}
-
-/// Reserves one register-bus transfer whose start cycle must lie in
-/// `[start_min, start_max]`. Appends the reservation and the communication
-/// record on success.
-#[allow(clippy::too_many_arguments)]
-fn reserve_transfer(
-    mrt: &mut ModuloReservationTable,
-    ii: u32,
-    start_min: i64,
-    start_max: i64,
-    token_op: OpId,
-    src: OpId,
-    dst: OpId,
-    from_cluster: ClusterId,
-    to_cluster: ClusterId,
-    bus_slots: &mut Vec<mvp_machine::reservation::BusSlot>,
-    comms: &mut Vec<RawComm>,
-) -> bool {
-    if start_max < start_min {
-        return false;
-    }
-    // Only II distinct rows exist; trying more start cycles cannot help.
-    let tries = (start_max - start_min + 1).min(i64::from(ii));
-    for offset in 0..tries {
-        let s = start_min + offset;
-        let row = s.rem_euclid(i64::from(ii)) as u32;
-        if let Some(slot) = mrt.reserve_register_bus(row, token_op.raw()) {
-            comms.push(RawComm {
-                src,
-                dst,
-                from_cluster,
-                to_cluster,
-                start_cycle: s,
-                bus: slot.bus,
-            });
-            bus_slots.push(slot);
-            return true;
-        }
-    }
-    false
 }
 
 #[cfg(test)]

@@ -55,6 +55,17 @@ impl From<MachineError> for ScheduleError {
     }
 }
 
+impl From<mvp_resmodel::ModelError> for ScheduleError {
+    fn from(e: mvp_resmodel::ModelError) -> Self {
+        match e {
+            mvp_resmodel::ModelError::MissingResources { reason } => {
+                ScheduleError::MissingResources { reason }
+            }
+            mvp_resmodel::ModelError::Machine(m) => ScheduleError::Machine(m),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

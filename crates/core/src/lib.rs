@@ -64,13 +64,17 @@ pub mod baseline;
 pub mod display;
 pub mod engine;
 pub mod error;
-pub mod lifetime;
 pub mod list_schedule;
 pub mod metrics;
 pub mod options;
 pub mod rmca;
-pub mod schedule;
 pub mod validate;
+
+// The schedule artifact and the MaxLive lifetime model live in the shared
+// constraint kernel (`mvp-resmodel`) so every scheduler — heuristic, list
+// and exact — builds on one rule set; re-exported here for compatibility.
+pub use mvp_resmodel::lifetime;
+pub use mvp_resmodel::schedule;
 
 pub use baseline::BaselineScheduler;
 pub use display::render_kernel;

@@ -32,107 +32,8 @@ use crate::schedule::{Communication, PlacedOp, Schedule};
 use crate::ModuloScheduler;
 use mvp_cache::LocalityAnalysis;
 use mvp_ir::{EdgeKind, Loop, OpId};
-use mvp_machine::{BusCount, ClusterId, FuKind, MachineConfig};
-
-/// Absolute-cycle functional-unit occupancy (one counter per cluster, unit
-/// kind and cycle; grows on demand).
-#[derive(Debug, Clone)]
-struct FuOccupancy {
-    counts: Vec<[usize; 3]>,
-    used: Vec<[Vec<usize>; 3]>,
-}
-
-impl FuOccupancy {
-    fn new(machine: &MachineConfig) -> Self {
-        let counts: Vec<[usize; 3]> = machine
-            .clusters()
-            .map(|(_, c)| FuKind::ALL.map(|k| c.fu_count(k)))
-            .collect();
-        let used = vec![[Vec::new(), Vec::new(), Vec::new()]; machine.num_clusters()];
-        Self { counts, used }
-    }
-
-    /// First cycle `>= from` with a free unit of `kind` in `cluster`.
-    fn first_free(&self, cluster: ClusterId, kind: FuKind, from: u32) -> u32 {
-        let capacity = self.counts[cluster][kind.index()];
-        let used = &self.used[cluster][kind.index()];
-        let mut t = from;
-        while (t as usize) < used.len() && used[t as usize] >= capacity {
-            t += 1;
-        }
-        t
-    }
-
-    fn reserve(&mut self, cluster: ClusterId, kind: FuKind, cycle: u32) {
-        let used = &mut self.used[cluster][kind.index()];
-        if used.len() <= cycle as usize {
-            used.resize(cycle as usize + 1, 0);
-        }
-        used[cycle as usize] += 1;
-    }
-}
-
-/// Absolute-cycle register-bus occupancy (grows on demand; a no-op for
-/// unbounded bus sets).
-#[derive(Debug, Clone)]
-struct BusOccupancy {
-    latency: u32,
-    /// Per bus, per absolute cycle. Empty when the bus set is unbounded.
-    busy: Vec<Vec<bool>>,
-    unbounded: bool,
-}
-
-impl BusOccupancy {
-    fn new(machine: &MachineConfig) -> Self {
-        let latency = machine.register_buses.latency;
-        match machine.register_buses.count {
-            BusCount::Finite(n) => Self {
-                latency,
-                busy: vec![Vec::new(); n],
-                unbounded: false,
-            },
-            BusCount::Unbounded => Self {
-                latency,
-                busy: Vec::new(),
-                unbounded: true,
-            },
-        }
-    }
-
-    fn window_free(&self, bus: usize, start: u32) -> bool {
-        (0..self.latency).all(|d| {
-            !self.busy[bus]
-                .get((start + d) as usize)
-                .copied()
-                .unwrap_or(false)
-        })
-    }
-
-    /// Reserves the earliest transfer window starting at or after `earliest`
-    /// on any bus; returns `(bus, start_cycle)`. Always succeeds: absolute
-    /// time beyond the current occupancy is free.
-    fn reserve_earliest(&mut self, earliest: u32) -> (usize, u32) {
-        if self.unbounded {
-            return (0, earliest);
-        }
-        let mut start = earliest;
-        loop {
-            for bus in 0..self.busy.len() {
-                if self.window_free(bus, start) {
-                    let end = (start + self.latency) as usize;
-                    if self.busy[bus].len() < end {
-                        self.busy[bus].resize(end, false);
-                    }
-                    for d in 0..self.latency {
-                        self.busy[bus][(start + d) as usize] = true;
-                    }
-                    return (bus, start);
-                }
-            }
-            start += 1;
-        }
-    }
-}
+use mvp_machine::{ClusterId, MachineConfig};
+use mvp_resmodel::{AcyclicBusTable, AcyclicFuTable, ResModel};
 
 /// Deterministic topological order of the distance-0 dependence subgraph
 /// (Kahn's algorithm, smallest operation id first). Always exists: loops
@@ -248,15 +149,9 @@ impl ModuloScheduler for ListScheduler {
     }
 
     fn schedule(&self, l: &Loop, machine: &MachineConfig) -> Result<Schedule, ScheduleError> {
-        machine.validate()?;
-        for op in l.ops() {
-            if machine.total_fu_count(op.kind.fu_kind()) == 0 {
-                return Err(ScheduleError::MissingResources {
-                    reason: "the loop needs a functional-unit kind the machine does not provide"
-                        .into(),
-                });
-            }
-        }
+        // The shared constraint model validates the machine and rejects
+        // loops whose unit kinds the machine lacks.
+        let model = ResModel::new(l, machine)?;
 
         let bus_latency = machine.register_buses.latency;
         let miss_latency = machine.load_miss_latency();
@@ -264,8 +159,8 @@ impl ModuloScheduler for ListScheduler {
         // active (threshold 1.0 — the default — never miss-schedules).
         let analysis = (self.options.miss_threshold < 1.0)
             .then(|| LocalityAnalysis::with_window(l, self.options.locality_window));
-        let mut fu = FuOccupancy::new(machine);
-        let mut bus = BusOccupancy::new(machine);
+        let mut fu = AcyclicFuTable::new(&model);
+        let mut bus = AcyclicBusTable::new(&model);
         let mut cluster_load = vec![0usize; machine.num_clusters()];
         let mut cluster_mem_ops: Vec<Vec<OpId>> = vec![Vec::new(); machine.num_clusters()];
         let mut placements: Vec<Option<(ClusterId, u32, u32)>> = vec![None; l.num_ops()];
@@ -278,10 +173,12 @@ impl ModuloScheduler for ListScheduler {
 
             // Evaluate every cluster that can execute the operation; book the
             // incoming transfers each candidate needs on a scratch copy of
-            // the bus table and keep the cheapest candidate's copy.
-            let mut best: Option<(u32, usize, ClusterId, BusOccupancy, Vec<Communication>)> = None;
+            // the kernel's acyclic bus table (the FU table is only read
+            // during the probe) and keep the cheapest candidate's copy.
+            let mut best: Option<(u32, usize, ClusterId, AcyclicBusTable, Vec<Communication>)> =
+                None;
             for c in machine.cluster_ids() {
-                if machine.cluster(c).fu_count(kind) == 0 {
+                if model.fu_count[c][kind.index()] == 0 {
                     continue;
                 }
                 let mut candidate_bus = bus.clone();

@@ -1,6 +1,15 @@
 //! The constraint model: everything the branch-and-bound search needs,
 //! precomputed once per (loop, machine) pair.
 //!
+//! Since the shared incremental constraint kernel (`mvp-resmodel`) landed,
+//! the model itself *is* the kernel's [`ResModel`] — the same rule
+//! vocabulary the heuristic engine and the validator's differential tests
+//! build on — plus the two search-specific derivations that have no meaning
+//! outside branch-and-bound: the fail-first branch order and the search
+//! horizon. [`Problem`] dereferences to the underlying [`ResModel`], so the
+//! propagation and search modules consult latencies, unit counts, bus
+//! configuration and the counting certificates straight from the kernel.
+//!
 //! The model deliberately mirrors the rule set of
 //! [`mvp_core::validate::validate_schedule`] — the independent legality
 //! oracle — rather than the internals of any heuristic scheduler: a schedule
@@ -10,39 +19,31 @@
 
 use crate::options::ExactOptions;
 use mvp_core::error::ScheduleError;
-use mvp_ir::{EdgeKind, Loop, OpId};
-use mvp_machine::{BusCount, FuKind, MachineConfig};
+use mvp_ir::{Loop, OpId};
+use mvp_machine::MachineConfig;
+use mvp_resmodel::ResModel;
+use std::ops::Deref;
 
-/// Preprocessed instance shared by every fixed-II probe.
+/// Preprocessed instance shared by every fixed-II probe: the kernel's
+/// [`ResModel`] plus the search-only derivations
+/// ([`branch_order`](Problem::branch_order), [`horizon`](Problem::horizon)).
+///
+/// The exact scheduler always uses the cache-hit latency (it proves bounds
+/// on the II; the miss-latency scheme of Section 4.3 trades II for stall
+/// cycles and is a heuristic-only concern), so placements carry
+/// `miss_scheduled = false` and satisfy the validator's `LatencyMismatch`
+/// rule by construction.
 #[derive(Debug)]
 pub struct Problem<'l, 'm> {
-    /// The loop being scheduled.
-    pub l: &'l Loop,
-    /// The target machine.
-    pub machine: &'m MachineConfig,
-    /// Per-operation assumed latency. The exact scheduler always uses the
-    /// cache-hit latency (it proves bounds on the II; the miss-latency scheme
-    /// of Section 4.3 trades II for stall cycles and is a heuristic-only
-    /// concern), so placements carry `miss_scheduled = false` and satisfy the
-    /// validator's `LatencyMismatch` rule by construction.
-    pub latency: Vec<u32>,
-    /// Per-operation functional-unit kind.
-    pub fu_kind: Vec<FuKind>,
-    /// Functional units of each kind per cluster (`fu_count[cluster][kind]`).
-    pub fu_count: Vec<[usize; 3]>,
-    /// Register-file capacity per cluster.
-    pub register_file: Vec<u32>,
-    /// Register-bus latency in cycles.
-    pub bus_latency: u32,
-    /// Number of register buses, or `None` for an unbounded bus set (on
-    /// which the validator never reports a conflict).
-    pub num_buses: Option<usize>,
-    /// Whether all clusters are identical, which makes cluster labels
-    /// interchangeable and enables symmetry breaking in the search.
-    pub homogeneous: bool,
-    /// Number of operations of each functional-unit kind, for the
-    /// resource-count infeasibility certificate.
-    pub ops_per_kind: [usize; 3],
+    model: ResModel<'l, 'm>,
+}
+
+impl<'l, 'm> Deref for Problem<'l, 'm> {
+    type Target = ResModel<'l, 'm>;
+
+    fn deref(&self) -> &ResModel<'l, 'm> {
+        &self.model
+    }
 }
 
 impl<'l, 'm> Problem<'l, 'm> {
@@ -55,105 +56,15 @@ impl<'l, 'm> Problem<'l, 'm> {
     /// [`ScheduleError::MissingResources`] when the loop uses a
     /// functional-unit kind the machine lacks (no II can ever work).
     pub fn new(l: &'l Loop, machine: &'m MachineConfig) -> Result<Self, ScheduleError> {
-        machine.validate()?;
-        let latency: Vec<u32> = l
-            .ops()
-            .iter()
-            .map(|o| o.kind.hit_latency(&machine.latencies))
-            .collect();
-        let fu_kind: Vec<FuKind> = l.ops().iter().map(|o| o.kind.fu_kind()).collect();
-        let fu_count: Vec<[usize; 3]> = machine
-            .clusters()
-            .map(|(_, c)| FuKind::ALL.map(|k| c.fu_count(k)))
-            .collect();
-        let register_file: Vec<u32> = machine
-            .clusters()
-            .map(|(_, c)| c.register_file_size as u32)
-            .collect();
-        let mut ops_per_kind = [0usize; 3];
-        for k in &fu_kind {
-            ops_per_kind[k.index()] += 1;
-        }
-        for kind in FuKind::ALL {
-            if ops_per_kind[kind.index()] > 0 && machine.total_fu_count(kind) == 0 {
-                return Err(ScheduleError::MissingResources {
-                    reason: "the loop needs a functional-unit kind the machine does not provide"
-                        .into(),
-                });
-            }
-        }
-        let homogeneous = machine
-            .clusters()
-            .map(|(_, c)| c)
-            .all(|c| c == machine.cluster(0));
         Ok(Self {
-            l,
-            machine,
-            latency,
-            fu_kind,
-            fu_count,
-            register_file,
-            bus_latency: machine.register_buses.latency,
-            num_buses: match machine.register_buses.count {
-                BusCount::Finite(n) => Some(n),
-                BusCount::Unbounded => None,
-            },
-            homogeneous,
-            ops_per_kind,
+            model: ResModel::new(l, machine)?,
         })
     }
 
-    /// Number of operations.
+    /// The underlying constraint kernel model.
     #[must_use]
-    pub fn num_ops(&self) -> usize {
-        self.l.num_ops()
-    }
-
-    /// Dependence weight of edge `e` at initiation interval `ii`, *without*
-    /// the register-bus term: `t_dst − t_src ≥ weight`. This is the
-    /// cluster-independent relaxation used for window propagation; the search
-    /// re-checks each edge exactly (adding the bus latency when the endpoints
-    /// land in different clusters), matching the validator's
-    /// `DependenceViolated` rule.
-    #[must_use]
-    pub fn edge_weight(&self, e: &mvp_ir::DepEdge, ii: u32) -> i64 {
-        let lat = if e.kind == EdgeKind::Data {
-            i64::from(self.latency[e.src.index()])
-        } else {
-            1
-        };
-        lat - i64::from(ii) * i64::from(e.distance)
-    }
-
-    /// The exact start-to-start requirement of edge `e` when `src` is placed
-    /// in `src_cluster` and `dst` in `dst_cluster` (the validator's
-    /// `value_ready − consumer_iteration_base`): latency plus the bus latency
-    /// for cross-cluster data edges, minus the iteration offset.
-    #[must_use]
-    pub fn exact_edge_weight(
-        &self,
-        e: &mvp_ir::DepEdge,
-        ii: u32,
-        src_cluster: usize,
-        dst_cluster: usize,
-    ) -> i64 {
-        let mut w = self.edge_weight(e, ii);
-        if e.kind == EdgeKind::Data && src_cluster != dst_cluster {
-            w += i64::from(self.bus_latency);
-        }
-        w
-    }
-
-    /// The resource-count certificate (the `ResMII` bound, per unit kind):
-    /// `ii` is infeasible whenever some kind must issue more operations per
-    /// II than the machine has unit-slots, i.e. `ops > units × ii` — the
-    /// counting argument behind the validator's `FuOversubscribed` rule.
-    #[must_use]
-    pub fn resource_infeasible(&self, ii: u32) -> bool {
-        FuKind::ALL.into_iter().any(|kind| {
-            let units = self.machine.total_fu_count(kind) as u64;
-            self.ops_per_kind[kind.index()] as u64 > units * u64::from(ii)
-        })
+    pub fn model(&self) -> &ResModel<'l, 'm> {
+        &self.model
     }
 
     /// Operation order the search branches in: tightest static window first

@@ -44,7 +44,8 @@ use crate::options::ExactOptions;
 use crate::propagate::{windows, Windows};
 use mvp_core::lifetime;
 use mvp_core::schedule::{Communication, PlacedOp};
-use mvp_ir::{EdgeKind, OpId};
+use mvp_ir::OpId;
+use mvp_resmodel::{PartialSchedule, PlaceError, Token, TransferPair};
 
 /// Result of one fixed-II probe.
 #[derive(Debug)]
@@ -96,17 +97,12 @@ struct Searcher<'p, 'l, 'm> {
     win: &'p Windows,
     /// Operations in branch order; position = decision level.
     order: Vec<OpId>,
-    /// Decision level of each operation.
-    level_of: Vec<usize>,
-    /// Placement per operation id: (cluster, cycle).
-    placed: Vec<Option<(usize, i64)>>,
-    /// Occupant decision levels per (cluster, fu kind, modulo row).
-    fu_rows: Vec<[Vec<Vec<usize>>; 3]>,
-    /// Occupant decision level per (bus, modulo row); `None` when the bus
-    /// set is unbounded (the validator never reports conflicts there).
-    bus_rows: Option<Vec<Vec<Option<usize>>>>,
-    /// Transfer records with the level that created them (a stack).
-    comms: Vec<(Communication, usize)>,
+    /// The shared incremental constraint kernel: placements, functional-unit
+    /// and bus occupancy, the transfer stack and the monotone MaxLive lower
+    /// bound all live here. Occupant tokens are decision levels, so every
+    /// conflict the kernel reports names the deepest implicated level for
+    /// backjumping.
+    ps: PartialSchedule<'p, 'l, 'm>,
     /// Placed operations anchored at start cycle 0. The time-shift
     /// dominance rule keeps this above zero in every complete assignment.
     stage0_placed: usize,
@@ -120,47 +116,15 @@ struct Searcher<'p, 'l, 'm> {
     solution: Option<RawSolution>,
 }
 
-/// A pending cross-cluster transfer implied by placing one operation.
-struct Pair {
-    src: OpId,
-    dst: OpId,
-    from: usize,
-    to: usize,
-    /// Earliest legal start cycle (producer completion).
-    lo: i64,
-    /// Latest legal start cycle (consumer start minus the bus latency,
-    /// minimised over parallel edges).
-    hi: i64,
-    /// Decision level of the already-placed neighbour.
-    nb_level: usize,
-}
-
 impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
     fn new(p: &'p Problem<'l, 'm>, ii: u32, win: &'p Windows, options: &ExactOptions) -> Self {
         let order = p.branch_order(&win.widths());
-        let mut level_of = vec![0usize; p.num_ops()];
-        for (lvl, op) in order.iter().enumerate() {
-            level_of[op.index()] = lvl;
-        }
-        let rows = ii as usize;
         Self {
             p,
             ii,
             win,
             order,
-            level_of,
-            placed: vec![None; p.num_ops()],
-            fu_rows: (0..p.machine.num_clusters())
-                .map(|_| {
-                    [
-                        vec![Vec::new(); rows],
-                        vec![Vec::new(); rows],
-                        vec![Vec::new(); rows],
-                    ]
-                })
-                .collect(),
-            bus_rows: p.num_buses.map(|b| vec![vec![None; rows]; b]),
-            comms: Vec::new(),
+            ps: PartialSchedule::new(p.model(), ii),
             stage0_placed: 0,
             stage0_capable_unplaced: win.earliest.iter().filter(|&&e| e == 0).count(),
             enforce_pressure: options.enforce_register_pressure,
@@ -175,164 +139,15 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
         self.nodes <= self.budget
     }
 
-    /// Dynamic start-cycle bounds of `op` in `cluster`, tightened by placed
-    /// neighbours with the exact (bus-aware) edge weights. Returns
-    /// `(lo, hi, deepest implicated level)`.
-    fn dynamic_bounds(&self, op: OpId, cluster: usize) -> (i64, i64, i64) {
-        let mut lo = self.win.earliest[op.index()];
-        let mut hi = self.win.latest[op.index()];
-        let mut culprit = -1i64;
-        for e in self.p.l.preds(op) {
-            if e.src == op {
-                continue; // self-loop: already covered by propagation
-            }
-            if let Some((src_cluster, src_cycle)) = self.placed[e.src.index()] {
-                let bound = src_cycle + self.p.exact_edge_weight(e, self.ii, src_cluster, cluster);
-                if bound > lo {
-                    lo = bound;
-                    culprit = culprit.max(self.level_of[e.src.index()] as i64);
-                }
-            }
-        }
-        for e in self.p.l.succs(op) {
-            if e.dst == op {
-                continue;
-            }
-            if let Some((dst_cluster, dst_cycle)) = self.placed[e.dst.index()] {
-                let bound = dst_cycle - self.p.exact_edge_weight(e, self.ii, cluster, dst_cluster);
-                if bound < hi {
-                    hi = bound;
-                    culprit = culprit.max(self.level_of[e.dst.index()] as i64);
-                }
-            }
-        }
-        (lo, hi, culprit)
-    }
-
-    /// Cross-cluster transfers implied by placing `op` in `cluster` at cycle
-    /// `t`: one per (producer, consumer) pair with a placed neighbour in
-    /// another cluster, the start window intersected over parallel edges.
-    /// The windows are non-empty whenever the dynamic bounds admitted `t`.
-    fn transfer_pairs(&self, op: OpId, cluster: usize, t: i64) -> Vec<Pair> {
-        let ii = i64::from(self.ii);
-        let bus_lat = i64::from(self.p.bus_latency);
-        let mut pairs: Vec<Pair> = Vec::new();
-        let merge = |pairs: &mut Vec<Pair>, pair: Pair| {
-            if let Some(existing) = pairs
-                .iter_mut()
-                .find(|x| x.src == pair.src && x.dst == pair.dst)
-            {
-                existing.hi = existing.hi.min(pair.hi);
-            } else {
-                pairs.push(pair);
-            }
-        };
-        for e in self.p.l.preds(op) {
-            if e.kind != EdgeKind::Data || e.src == op {
-                continue;
-            }
-            if let Some((src_cluster, src_cycle)) = self.placed[e.src.index()] {
-                if src_cluster != cluster {
-                    merge(
-                        &mut pairs,
-                        Pair {
-                            src: e.src,
-                            dst: op,
-                            from: src_cluster,
-                            to: cluster,
-                            lo: src_cycle + i64::from(self.p.latency[e.src.index()]),
-                            hi: t + ii * i64::from(e.distance) - bus_lat,
-                            nb_level: self.level_of[e.src.index()],
-                        },
-                    );
-                }
-            }
-        }
-        for e in self.p.l.succs(op) {
-            if e.kind != EdgeKind::Data || e.dst == op {
-                continue;
-            }
-            if let Some((dst_cluster, dst_cycle)) = self.placed[e.dst.index()] {
-                if dst_cluster != cluster {
-                    merge(
-                        &mut pairs,
-                        Pair {
-                            src: op,
-                            dst: e.dst,
-                            from: cluster,
-                            to: dst_cluster,
-                            lo: t + i64::from(self.p.latency[op.index()]),
-                            hi: dst_cycle + ii * i64::from(e.distance) - bus_lat,
-                            nb_level: self.level_of[e.dst.index()],
-                        },
-                    );
-                }
-            }
-        }
-        pairs
-    }
-
-    /// Monotone lower bound on the final per-cluster register pressure,
-    /// computed over placed operations only (placing more operations can
-    /// only lengthen lifetimes and add cross-cluster copies), so exceeding a
-    /// register file here is final for the whole subtree.
-    fn pressure_exceeded(&self) -> bool {
-        let num_clusters = self.p.machine.num_clusters();
-        let mut pressure = vec![0u32; num_clusters];
-        let ii = i64::from(self.ii);
-        for op in self.p.l.op_ids() {
-            let Some((def_cluster, def_cycle)) = self.placed[op.index()] else {
-                continue;
-            };
-            if !self.p.l.op(op).kind.produces_value() {
-                continue;
-            }
-            let mut lifetime: Option<i64> = None;
-            let mut copied_to: Vec<usize> = Vec::new();
-            for e in self.p.l.succs(op) {
-                if e.kind != EdgeKind::Data {
-                    continue;
-                }
-                let Some((use_cluster, use_cycle)) = self.placed[e.dst.index()] else {
-                    continue;
-                };
-                let life = (use_cycle + ii * i64::from(e.distance) - def_cycle).max(0);
-                lifetime = Some(lifetime.map_or(life, |x| x.max(life)));
-                if use_cluster != def_cluster && !copied_to.contains(&use_cluster) {
-                    copied_to.push(use_cluster);
-                    pressure[use_cluster] += 1;
-                }
-            }
-            match lifetime {
-                Some(0) => pressure[def_cluster] += 1,
-                Some(life) => pressure[def_cluster] += ((life + ii - 1) / ii) as u32,
-                None => {}
-            }
-        }
-        pressure
-            .iter()
-            .zip(&self.p.register_file)
-            .any(|(&used, &cap)| used > cap)
-    }
-
-    fn max_used_cluster(&self) -> Option<usize> {
-        self.placed.iter().flatten().map(|&(c, _)| c).max()
-    }
-
-    fn max_used_bus(&self) -> Option<usize> {
-        self.bus_rows.as_ref().and_then(|rows| {
-            rows.iter()
-                .enumerate()
-                .filter(|(_, r)| r.iter().any(Option::is_some))
-                .map(|(b, _)| b)
-                .max()
-        })
-    }
-
     /// Enumerates (start cycle, bus) choices for `pairs[idx..]`, recursing
     /// into the next decision level once every transfer is reserved.
     /// `level` is the decision level the transfers belong to.
-    fn place_transfers(&mut self, level: usize, pairs: &[Pair], idx: usize) -> TransferStep {
+    fn place_transfers(
+        &mut self,
+        level: usize,
+        pairs: &[TransferPair],
+        idx: usize,
+    ) -> TransferStep {
         if idx == pairs.len() {
             return match self.dfs(level + 1) {
                 Step::Solved => TransferStep::Solved,
@@ -341,25 +156,26 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
                 Step::Fail(_) => TransferStep::CandidateFail(level as i64 - 1),
             };
         }
-        let pair = &pairs[idx];
+        let pair = pairs[idx];
         let ii = i64::from(self.ii);
 
         let Some(num_buses) = self.p.num_buses else {
             // Unbounded bus set: no rule constrains the transfer, so one
             // canonical choice (earliest start, bus 0) is complete.
-            self.comms.push((
-                Communication {
-                    src: pair.src,
-                    dst: pair.dst,
-                    from_cluster: pair.from,
-                    to_cluster: pair.to,
-                    start_cycle: pair.lo as u32,
-                    bus: 0,
-                },
-                level,
-            ));
+            let id = self
+                .ps
+                .reserve_transfer_at(
+                    pair.src,
+                    pair.dst,
+                    pair.from,
+                    pair.to,
+                    pair.lo,
+                    0,
+                    level as Token,
+                )
+                .expect("unbounded bus sets always admit a transfer");
             let step = self.place_transfers(level, pairs, idx + 1);
-            self.comms.pop();
+            self.ps.release_transfer(id);
             return step;
         };
 
@@ -368,51 +184,40 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
             // instance on any finite bus (the validator's unconditional
             // `BusOverlap`); only co-locating the endpoints — a different
             // cluster choice here or at the neighbour — avoids the transfer.
-            return TransferStep::CandidateFail(pair.nb_level as i64);
+            return TransferStep::CandidateFail(i64::from(pair.neighbour_token));
         }
 
-        let mut fail_target = pair.nb_level as i64;
+        let mut fail_target = i64::from(pair.neighbour_token);
         let mut conservative = false;
-        let span = self.p.bus_latency as usize;
         let hi = pair.hi.min(pair.lo + ii - 1); // only II distinct start rows exist
         for start in pair.lo..=hi {
             if !self.charge_node() {
                 return TransferStep::Budget;
             }
-            let allowed = self.max_used_bus().map_or(1, |b| b + 2).min(num_buses);
+            let allowed = self.ps.max_used_bus().map_or(1, |b| b + 2).min(num_buses);
             if allowed < num_buses {
                 conservative = true; // symmetry breaking pruned bus labels
             }
             for bus in 0..allowed {
-                let rows: Vec<usize> = (0..span)
-                    .map(|o| ((start + o as i64).rem_euclid(ii)) as usize)
-                    .collect();
-                let table = self.bus_rows.as_ref().expect("finite bus set");
-                if let Some(level_in_way) = rows.iter().filter_map(|&r| table[bus][r]).max() {
-                    fail_target = fail_target.max(level_in_way as i64);
-                    continue;
-                }
-                let table = self.bus_rows.as_mut().expect("finite bus set");
-                for &r in &rows {
-                    table[bus][r] = Some(level);
-                }
-                self.comms.push((
-                    Communication {
-                        src: pair.src,
-                        dst: pair.dst,
-                        from_cluster: pair.from,
-                        to_cluster: pair.to,
-                        start_cycle: start as u32,
-                        bus,
-                    },
-                    level,
-                ));
+                let id = match self.ps.reserve_transfer_at(
+                    pair.src,
+                    pair.dst,
+                    pair.from,
+                    pair.to,
+                    start,
+                    bus,
+                    level as Token,
+                ) {
+                    Err(in_way) => {
+                        if let Some(level_in_way) = in_way {
+                            fail_target = fail_target.max(i64::from(level_in_way));
+                        }
+                        continue;
+                    }
+                    Ok(id) => id,
+                };
                 let step = self.place_transfers(level, pairs, idx + 1);
-                self.comms.pop();
-                let table = self.bus_rows.as_mut().expect("finite bus set");
-                for &r in &rows {
-                    table[bus][r] = None;
-                }
+                self.ps.release_transfer(id);
                 match step {
                     TransferStep::Solved => return TransferStep::Solved,
                     TransferStep::Budget => return TransferStep::Budget,
@@ -435,7 +240,7 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
                 self.stage0_placed > 0,
                 "the time-shift dominance rule admits only normalized schedules"
             );
-            let ops = self.to_placed_ops();
+            let ops = self.ps.placed_ops();
             if self.enforce_pressure {
                 let pressure = lifetime::register_pressure(
                     self.p.l,
@@ -451,12 +256,12 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
                     return Step::Fail(level as i64 - 1);
                 }
             }
-            self.solution = Some((ops, self.comms.iter().map(|(c, _)| *c).collect()));
+            self.solution = Some((ops, self.ps.communications()));
             return Step::Solved;
         }
 
         let op = self.order[level];
-        let kind = self.p.fu_kind[op.index()].index();
+        let assumed_lat = self.p.latency[op.index()];
         let num_clusters = self.p.machine.num_clusters();
         let mut fail_target = -1i64;
         let mut conservative = false;
@@ -476,7 +281,7 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
         }
 
         let cluster_cap = if self.p.homogeneous {
-            (self.max_used_cluster().map_or(0, |c| c + 1) + 1).min(num_clusters)
+            (self.ps.max_used_cluster().map_or(0, |c| c + 1) + 1).min(num_clusters)
         } else {
             num_clusters
         };
@@ -485,16 +290,26 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
         }
 
         for cluster in 0..cluster_cap {
-            let capacity = self.p.fu_count[cluster][kind];
-            if capacity == 0 {
+            let kind = self.p.fu_kind[op.index()].index();
+            if self.p.fu_count[cluster][kind] == 0 {
                 continue; // no unit of this kind: independent of any decision
             }
-            let (lo, mut hi, bound_culprit) = self.dynamic_bounds(op, cluster);
-            // The neighbours that tightened the window are implicated even
-            // when it stays non-empty: the candidates they pruned were never
+            // Dynamic bounds: the static window tightened by already-placed
+            // neighbours with the exact (bus-aware) edge weights. The
+            // neighbours that tightened the window are implicated even when
+            // it stays non-empty: the candidates they pruned were never
             // tried, so any exhaustion below must not backjump past them.
-            // (`bound_culprit` is -1 when only the static window applies.)
-            fail_target = fail_target.max(bound_culprit);
+            // (The culprit is `None` when only the static window applies.)
+            let bounds = self.ps.neighbour_bounds(
+                op,
+                cluster,
+                assumed_lat,
+                Some(self.win.earliest[op.index()]),
+                Some(self.win.latest[op.index()]),
+            );
+            let lo = bounds.lo.expect("initial window bounds are Some");
+            let mut hi = bounds.hi.expect("initial window bounds are Some");
+            fail_target = fail_target.max(bounds.culprit.map_or(-1, i64::from));
             if must_take_stage0 {
                 hi = hi.min(0);
             }
@@ -505,32 +320,35 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
                 if !self.charge_node() {
                     return Step::Budget;
                 }
-                let row = (t.rem_euclid(i64::from(self.ii))) as usize;
-                if self.fu_rows[cluster][kind][row].len() >= capacity {
-                    if let Some(&lvl) = self.fu_rows[cluster][kind][row].iter().max() {
-                        fail_target = fail_target.max(lvl as i64);
+                match self
+                    .ps
+                    .try_reserve_op(op, cluster, t, assumed_lat, false, level as Token)
+                {
+                    Err(PlaceError::FuBusy { conflict }) => {
+                        if let Some(level_in_way) = conflict {
+                            fail_target = fail_target.max(i64::from(level_in_way));
+                        }
+                        continue;
                     }
-                    continue;
+                    Err(e) => unreachable!("hit-latency placements cannot fail with {e:?}"),
+                    Ok(()) => {}
                 }
-                self.fu_rows[cluster][kind][row].push(level);
-                self.placed[op.index()] = Some((cluster, t));
                 self.stage0_capable_unplaced -= usize::from(capable);
                 let takes_stage0 = t == 0;
                 self.stage0_placed += usize::from(takes_stage0);
 
-                let step = if self.enforce_pressure && self.pressure_exceeded() {
+                let step = if self.enforce_pressure && self.ps.pressure_exceeded() {
                     // Global constraint: the culprit set is unknowable, so
                     // fall back to chronological attribution.
                     TransferStep::CandidateFail(level as i64 - 1)
                 } else {
-                    let pairs = self.transfer_pairs(op, cluster, t);
+                    let pairs = self.ps.transfer_pairs(op);
                     self.place_transfers(level, &pairs, 0)
                 };
 
                 self.stage0_placed -= usize::from(takes_stage0);
                 self.stage0_capable_unplaced += usize::from(capable);
-                self.placed[op.index()] = None;
-                self.fu_rows[cluster][kind][row].pop();
+                self.ps.release_op(op);
 
                 match step {
                     TransferStep::Solved => return Step::Solved,
@@ -547,26 +365,6 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
             fail_target = fail_target.max(level as i64 - 1);
         }
         Step::Fail(fail_target.min(level as i64 - 1))
-    }
-
-    fn to_placed_ops(&self) -> Vec<PlacedOp> {
-        self.placed
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let (cluster, cycle) = p.expect("complete assignment");
-                let cycle = cycle as u32;
-                PlacedOp {
-                    op: OpId::from_index(i),
-                    cluster,
-                    cycle,
-                    stage: cycle / self.ii,
-                    row: cycle % self.ii,
-                    assumed_latency: self.p.latency[i],
-                    miss_scheduled: false,
-                }
-            })
-            .collect()
     }
 }
 

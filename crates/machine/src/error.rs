@@ -3,8 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-/// Errors raised while building a [`crate::MachineConfig`] or while
-/// manipulating a [`crate::ModuloReservationTable`].
+/// Errors raised while building a [`crate::MachineConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum MachineError {
@@ -33,7 +32,8 @@ pub enum MachineError {
         /// Human-readable description of the violation.
         reason: String,
     },
-    /// The initiation interval passed to a reservation table was zero.
+    /// A modulo table (one row per cycle of the initiation interval) was
+    /// requested for a zero initiation interval.
     ZeroInitiationInterval,
     /// An operation latency was configured as zero where a positive value is
     /// required.

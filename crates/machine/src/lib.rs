@@ -13,9 +13,11 @@
 //!   with the Table-1 presets of the paper available from [`presets`],
 //! * [`isa`] — the VLIW instruction format of Figure 2 (per-cluster
 //!   functional-unit slots plus `IN BUS` / `OUT BUS` fields and the incoming
-//!   register value latch, IRV),
-//! * [`reservation`] — the modulo reservation table used by the schedulers
-//!   to allocate functional-unit issue slots and bus transfer slots.
+//!   register value latch, IRV).
+//!
+//! Modulo reservation bookkeeping (functional-unit issue slots, bus
+//! transfer slots) lives in the shared constraint kernel `mvp-resmodel`,
+//! which every scheduler reserves through.
 //!
 //! # Example
 //!
@@ -42,7 +44,6 @@ pub mod isa;
 pub mod latency;
 pub mod machine;
 pub mod presets;
-pub mod reservation;
 
 pub use bus::{BusConfig, BusCount, BusKind};
 pub use cache_geom::CacheGeometry;
@@ -51,4 +52,3 @@ pub use error::MachineError;
 pub use fu::{FuKind, FunctionalUnit};
 pub use latency::OperationLatencies;
 pub use machine::{ClusterId, MachineBuilder, MachineConfig};
-pub use reservation::ModuloReservationTable;

@@ -1,7 +1,7 @@
 //! Property-style tests of the machine-model data structures, driven by a
 //! seeded RNG sweep (the workspace builds without `proptest`).
 
-use mvp_machine::{presets, CacheGeometry, FuKind, ModuloReservationTable};
+use mvp_machine::CacheGeometry;
 use mvp_testutil::SplitMix64;
 
 /// Set indices always stay inside the set array, and addresses within the
@@ -34,62 +34,6 @@ fn cache_set_mapping_is_total_and_block_consistent() {
     }
 }
 
-/// A functional-unit row never accepts more reservations than the cluster
-/// has units of that kind, and releasing restores the capacity.
-#[test]
-fn mrt_fu_capacity_is_respected() {
-    let mut rng = SplitMix64::seed_from_u64(0xE55E);
-    for _ in 0..128 {
-        let ii = rng.gen_range_inclusive(1, 11) as u32;
-        let cycle = rng.gen_index(200) as u32;
-        let extra = rng.gen_range_inclusive(1, 3) as u32;
-
-        let machine = presets::two_cluster();
-        let mut mrt = ModuloReservationTable::new(&machine, ii).unwrap();
-        let kind = FuKind::Memory;
-        let capacity = machine.cluster(0).fu_count(kind);
-        let mut slots = Vec::new();
-        let mut token = 0;
-        // Fill the row completely.
-        while let Some(slot) = mrt.reserve_fu(0, kind, cycle, token) {
-            slots.push(slot);
-            token += 1;
-            assert!(slots.len() <= capacity);
-        }
-        assert_eq!(slots.len(), capacity);
-        // Any cycle mapping to the same row is also full.
-        assert!(!mrt.has_free_fu(0, kind, cycle + extra * ii));
-        // Releasing one slot frees exactly one reservation.
-        mrt.release_fu(slots.pop().unwrap());
-        assert!(mrt.has_free_fu(0, kind, cycle));
-        assert_eq!(mrt.free_fu_slots(0, kind, cycle), 1);
-    }
-}
-
-/// Register-bus transfers never overlap on the same bus and releasing
-/// them restores full capacity.
-#[test]
-fn mrt_register_bus_reservations_round_trip() {
-    let mut rng = SplitMix64::seed_from_u64(0xF66F);
-    for _ in 0..128 {
-        let ii = rng.gen_range_inclusive(2, 9) as u32;
-        let start = rng.gen_index(40) as u32;
-
-        let machine = presets::two_cluster(); // 2 buses, latency 1
-        let mut mrt = ModuloReservationTable::new(&machine, ii).unwrap();
-        let mut reserved = Vec::new();
-        let mut cycle = start;
-        while let Some(slot) = mrt.reserve_register_bus(cycle, cycle) {
-            reserved.push(slot);
-            cycle += 1;
-            assert!(reserved.len() <= 2 * ii as usize);
-        }
-        // With 2 buses of latency 1 the table holds exactly 2 * II transfers.
-        assert_eq!(reserved.len(), 2 * ii as usize);
-        for slot in reserved {
-            mrt.release_register_bus(slot);
-        }
-        assert_eq!(mrt.num_transfers(), 0);
-        assert!(mrt.can_reserve_register_bus(start));
-    }
-}
+// Modulo reservation round-trip properties (functional-unit capacity, bus
+// occupancy) live with the shared constraint kernel:
+// `crates/resmodel/tests/properties.rs`.

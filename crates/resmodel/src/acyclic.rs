@@ -1,0 +1,175 @@
+//! Absolute-cycle (non-modulo) reservations for list scheduling.
+//!
+//! The non-pipelined list scheduler places one iteration of the loop in
+//! unbounded absolute time and derives the published II afterwards, so its
+//! resource rules are the acyclic counterparts of the modulo kernel's: a
+//! functional unit serves one operation per absolute cycle (the
+//! `FuOversubscribed` rule with an II larger than the whole schedule) and a
+//! register bus is busy for the full bus latency from a transfer's start
+//! (the `BusOverlap` rule, likewise). Tables grow on demand, so a free slot
+//! always exists and every reservation eventually succeeds — exactly the
+//! list scheduler's always-succeeds contract.
+//!
+//! The functional-unit and bus tables are separate types on purpose: a
+//! scheduler evaluating candidate clusters only *tentatively books bus
+//! transfers* per candidate, so it clones the (small) [`AcyclicBusTable`]
+//! per probe and keeps the winner's copy, while the read-only
+//! [`AcyclicFuTable`] queries need no copy at all.
+
+use crate::model::ResModel;
+use mvp_machine::{ClusterId, FuKind};
+
+/// Absolute-cycle functional-unit occupancy (one counter per cluster, unit
+/// kind and cycle; grows on demand).
+#[derive(Debug, Clone)]
+pub struct AcyclicFuTable {
+    /// Units of each kind per cluster.
+    capacity: Vec<[usize; 3]>,
+    /// Operations issued per (cluster, kind, absolute cycle).
+    used: Vec<[Vec<usize>; 3]>,
+}
+
+impl AcyclicFuTable {
+    /// Creates empty tables for the model's machine.
+    #[must_use]
+    pub fn new(model: &ResModel<'_, '_>) -> Self {
+        Self {
+            capacity: model.fu_count.clone(),
+            used: vec![[Vec::new(), Vec::new(), Vec::new()]; model.machine.num_clusters()],
+        }
+    }
+
+    /// First cycle `>= from` with a free unit of `kind` in `cluster`.
+    /// Always exists: absolute time beyond the current occupancy is free.
+    #[must_use]
+    pub fn first_free(&self, cluster: ClusterId, kind: FuKind, from: u32) -> u32 {
+        let capacity = self.capacity[cluster][kind.index()];
+        let used = &self.used[cluster][kind.index()];
+        let mut t = from;
+        while (t as usize) < used.len() && used[t as usize] >= capacity {
+            t += 1;
+        }
+        t
+    }
+
+    /// Reserves one issue slot of `kind` in `cluster` at `cycle`.
+    pub fn reserve(&mut self, cluster: ClusterId, kind: FuKind, cycle: u32) {
+        let used = &mut self.used[cluster][kind.index()];
+        if used.len() <= cycle as usize {
+            used.resize(cycle as usize + 1, 0);
+        }
+        used[cycle as usize] += 1;
+    }
+}
+
+/// Absolute-cycle register-bus occupancy (grows on demand; a no-op for
+/// unbounded bus sets). `Clone` so candidate transfers can be booked on a
+/// scratch copy and the cheapest candidate's copy kept.
+#[derive(Debug, Clone)]
+pub struct AcyclicBusTable {
+    latency: u32,
+    /// Per bus, per absolute cycle. Empty when the bus set is unbounded.
+    busy: Vec<Vec<bool>>,
+    unbounded: bool,
+}
+
+impl AcyclicBusTable {
+    /// Creates an empty table for the model's machine.
+    #[must_use]
+    pub fn new(model: &ResModel<'_, '_>) -> Self {
+        Self {
+            latency: model.bus_latency,
+            busy: match model.num_buses {
+                Some(n) => vec![Vec::new(); n],
+                None => Vec::new(),
+            },
+            unbounded: model.num_buses.is_none(),
+        }
+    }
+
+    fn window_free(&self, bus: usize, start: u32) -> bool {
+        (0..self.latency).all(|d| {
+            !self.busy[bus]
+                .get((start + d) as usize)
+                .copied()
+                .unwrap_or(false)
+        })
+    }
+
+    /// Reserves the earliest transfer window starting at or after
+    /// `earliest` on any bus (start-major, lowest bus first); returns
+    /// `(bus, start_cycle)`. Always succeeds: absolute time beyond the
+    /// current occupancy is free, and unbounded bus sets never conflict.
+    pub fn reserve_earliest(&mut self, earliest: u32) -> (usize, u32) {
+        if self.unbounded {
+            return (0, earliest);
+        }
+        let mut start = earliest;
+        loop {
+            for bus in 0..self.busy.len() {
+                if self.window_free(bus, start) {
+                    let end = (start + self.latency) as usize;
+                    if self.busy[bus].len() < end {
+                        self.busy[bus].resize(end, false);
+                    }
+                    for d in 0..self.latency {
+                        self.busy[bus][(start + d) as usize] = true;
+                    }
+                    return (bus, start);
+                }
+            }
+            start += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_ir::Loop;
+    use mvp_machine::presets;
+
+    fn tiny() -> Loop {
+        let mut b = Loop::builder("tiny");
+        let x = b.fp_op("X");
+        let y = b.fp_op("Y");
+        b.data_edge(x, y, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fu_slots_fill_and_spill_to_later_cycles() {
+        let l = tiny();
+        let machine = presets::motivating_example_machine(); // 1 fp unit/cluster
+        let model = ResModel::new(&l, &machine).unwrap();
+        let mut fu = AcyclicFuTable::new(&model);
+        assert_eq!(fu.first_free(0, FuKind::Float, 0), 0);
+        fu.reserve(0, FuKind::Float, 0);
+        assert_eq!(fu.first_free(0, FuKind::Float, 0), 1);
+        // The other cluster is unaffected.
+        assert_eq!(fu.first_free(1, FuKind::Float, 0), 0);
+    }
+
+    #[test]
+    fn transfers_pick_the_earliest_window_lowest_bus() {
+        let l = tiny();
+        let machine = presets::motivating_example_machine(); // 1 bus, latency 2
+        let model = ResModel::new(&l, &machine).unwrap();
+        let mut bus = AcyclicBusTable::new(&model);
+        assert_eq!(bus.reserve_earliest(3), (0, 3));
+        // Cycles 3-4 are busy: the next request slides to cycle 5.
+        assert_eq!(bus.reserve_earliest(3), (0, 5));
+    }
+
+    #[test]
+    fn unbounded_buses_never_slide() {
+        let l = tiny();
+        let machine =
+            presets::two_cluster().with_register_buses(mvp_machine::BusConfig::unbounded(2));
+        let model = ResModel::new(&l, &machine).unwrap();
+        let mut bus = AcyclicBusTable::new(&model);
+        for i in 0..10 {
+            assert_eq!(bus.reserve_earliest(i), (0, i));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Errors raised while building the constraint model.
+
+use mvp_machine::MachineError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building a [`ResModel`](crate::ResModel) for a
+/// (loop, machine) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The loop uses a functional-unit kind the machine does not provide, so
+    /// no placement of every operation can ever exist.
+    MissingResources {
+        /// Human-readable description of the missing resource.
+        reason: String,
+    },
+    /// The machine configuration is invalid.
+    Machine(MachineError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::MissingResources { reason } => {
+                write!(f, "loop cannot be scheduled on this machine: {reason}")
+            }
+            ModelError::Machine(e) => write!(f, "invalid machine configuration: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Machine(e) => Some(e),
+            ModelError::MissingResources { .. } => None,
+        }
+    }
+}
+
+impl From<MachineError> for ModelError {
+    fn from(e: MachineError) -> Self {
+        ModelError::Machine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: ModelError = MachineError::NoClusters.into();
+        assert!(e.to_string().contains("invalid machine"));
+        assert!(e.source().is_some());
+        let m = ModelError::MissingResources {
+            reason: "no memory units".into(),
+        };
+        assert!(m.to_string().contains("no memory units"));
+        assert!(m.source().is_none());
+    }
+}

@@ -11,6 +11,7 @@ pub mod applu;
 pub mod apsi;
 pub mod hydro2d;
 pub mod mgrid;
+pub mod specfp_small;
 pub mod su2cor;
 pub mod swim;
 pub mod tomcatv;

@@ -1,0 +1,203 @@
+//! `specfp_small` — a SPECfp-flavoured subset of *small* loops for the
+//! optimality-gap corpus.
+//!
+//! The gap experiment wants loop bodies the exact branch-and-bound search
+//! can usually prove optimal within its node budget, yet with the shapes of
+//! real SPECfp95 inner loops rather than random generator output: neighbour
+//! stencils with group reuse, relaxation recurrences, reductions. Each loop
+//! here is a trimmed (≤ 7-operation) slice of one of the full kernels in
+//! this crate — tomcatv's residual and relaxation, swim's flux stencil,
+//! mgrid's reduction — small enough that all four gap machines decide them
+//! quickly, while still exercising memory-unit contention (every loop keeps
+//! at least two memory operations) and, for two of them, a loop-carried
+//! recurrence that pins `RecMII`.
+
+use super::KernelParams;
+use mvp_ir::Loop;
+
+/// Builds the four small SPECfp-flavoured loops at the given sizing.
+#[must_use]
+pub fn loops(params: &KernelParams) -> Vec<Loop> {
+    let elem = 8i64;
+    let row = params.row_bytes();
+    let plane = params.plane_bytes();
+
+    // tomcatv: half of the residual — XX = X(I+1)-X(I-1); RX = a*XX.
+    let residual = {
+        let mut b = Loop::builder("tomcatv_xx_small");
+        let j = b.dimension("J", params.outer_trip);
+        let i = b.dimension("I", params.inner_trip);
+        let x = b.array("X", 4 * 4096, plane);
+        let rx = b.array("RX", 32 * 4096 + 1024, plane);
+        let x_ip1 = b.load(
+            "X_ip1",
+            b.array_ref(x)
+                .offset(elem)
+                .stride(i, elem)
+                .stride(j, row)
+                .build(),
+        );
+        let x_im1 = b.load(
+            "X_im1",
+            b.array_ref(x)
+                .offset(-elem)
+                .stride(i, elem)
+                .stride(j, row)
+                .build(),
+        );
+        let xx = b.fp_op("XX");
+        let rx_a = b.fp_op("RX_a");
+        let st = b.store(
+            "ST_RX",
+            b.array_ref(rx).stride(i, elem).stride(j, row).build(),
+        );
+        b.data_edge(x_ip1, xx, 0);
+        b.data_edge(x_im1, xx, 0);
+        b.data_edge(xx, rx_a, 0);
+        b.data_edge(rx_a, st, 0);
+        b.build()
+            .expect("tomcatv_xx_small is valid by construction")
+    };
+
+    // tomcatv: the SOR-style relaxation sweep — XN(I) depends on the
+    // previous iteration's XN (a wavefront recurrence through the update).
+    let relax = {
+        let mut b = Loop::builder("tomcatv_relax_small");
+        let j = b.dimension("J", params.outer_trip);
+        let i = b.dimension("I", params.inner_trip);
+        let r = b.array("R", 8 * 4096, plane);
+        let x = b.array("X", 20 * 4096, plane);
+        let ld_r = b.load("R_i", b.array_ref(r).stride(i, elem).stride(j, row).build());
+        let ld_x = b.load("X_i", b.array_ref(x).stride(i, elem).stride(j, row).build());
+        let w = b.fp_op("W");
+        let xn = b.fp_op("XN");
+        let st = b.store(
+            "ST_X",
+            b.array_ref(x).stride(i, elem).stride(j, row).build(),
+        );
+        b.data_edge(ld_r, w, 0);
+        b.data_edge(ld_x, xn, 0);
+        b.data_edge(w, xn, 0);
+        b.data_edge(xn, st, 0);
+        b.data_edge(xn, xn, 1); // relaxation wavefront along I
+        b.build()
+            .expect("tomcatv_relax_small is valid by construction")
+    };
+
+    // swim: the flux stencil — F = (U(I+1)-U(I)) * V(I).
+    let flux = {
+        let mut b = Loop::builder("swim_flux_small");
+        let j = b.dimension("J", params.outer_trip);
+        let i = b.dimension("I", params.inner_trip);
+        let u = b.array("U", 2 * 4096, plane);
+        let v = b.array("V", 10 * 4096, plane);
+        let f = b.array("F", 24 * 4096 + 512, plane);
+        let u_ip1 = b.load(
+            "U_ip1",
+            b.array_ref(u)
+                .offset(elem)
+                .stride(i, elem)
+                .stride(j, row)
+                .build(),
+        );
+        let u_i = b.load("U_i", b.array_ref(u).stride(i, elem).stride(j, row).build());
+        let v_i = b.load("V_i", b.array_ref(v).stride(i, elem).stride(j, row).build());
+        let du = b.fp_op("DU");
+        let fx = b.fp_op("FX");
+        let st = b.store(
+            "ST_F",
+            b.array_ref(f).stride(i, elem).stride(j, row).build(),
+        );
+        b.data_edge(u_ip1, du, 0);
+        b.data_edge(u_i, du, 0);
+        b.data_edge(du, fx, 0);
+        b.data_edge(v_i, fx, 0);
+        b.data_edge(fx, st, 0);
+        b.build().expect("swim_flux_small is valid by construction")
+    };
+
+    // mgrid: the dot-product reduction — S += A(I)*B(I), partials stored.
+    let reduce = {
+        let mut b = Loop::builder("mgrid_dot_small");
+        let j = b.dimension("J", params.outer_trip);
+        let i = b.dimension("I", params.inner_trip);
+        let a = b.array("A", 6 * 4096, plane);
+        let c = b.array("C", 14 * 4096, plane);
+        let p = b.array("P", 28 * 4096 + 256, plane);
+        let ld_a = b.load("A_i", b.array_ref(a).stride(i, elem).stride(j, row).build());
+        let ld_c = b.load("C_i", b.array_ref(c).stride(i, elem).stride(j, row).build());
+        let mul = b.fp_op("MUL");
+        let acc = b.fp_op("ACC");
+        let st = b.store(
+            "ST_P",
+            b.array_ref(p).stride(i, elem).stride(j, row).build(),
+        );
+        b.data_edge(ld_a, mul, 0);
+        b.data_edge(ld_c, mul, 0);
+        b.data_edge(mul, acc, 0);
+        b.data_edge(acc, acc, 1); // reduction recurrence
+        b.data_edge(acc, st, 0);
+        b.build().expect("mgrid_dot_small is valid by construction")
+    };
+
+    vec![residual, relax, flux, reduce]
+}
+
+/// The sizing the optimality-gap corpus uses: small trip counts (the gap
+/// tables only consult the schedulers, so trip counts merely keep any
+/// simulation of these loops fast).
+#[must_use]
+pub fn gap_subset() -> Vec<Loop> {
+    loops(&KernelParams {
+        inner_trip: 64,
+        outer_trip: 2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_core::{BaselineScheduler, ModuloScheduler, RmcaScheduler};
+    use mvp_machine::presets;
+
+    #[test]
+    fn subset_shapes_fit_the_gap_corpus() {
+        let loops = gap_subset();
+        assert_eq!(loops.len(), 4);
+        for l in &loops {
+            assert!(l.num_ops() >= 5, "{} is too small", l.name());
+            assert!(l.num_ops() <= 7, "{} is too big for the oracle", l.name());
+            assert!(
+                l.memory_ops().count() >= 2,
+                "{} has no memory mix",
+                l.name()
+            );
+        }
+        // Two of the four carry a recurrence that pins RecMII.
+        let carried = loops
+            .iter()
+            .filter(|l| l.edges().iter().any(|e| e.distance > 0))
+            .count();
+        assert_eq!(carried, 2);
+    }
+
+    #[test]
+    fn subset_is_schedulable_on_every_table1_machine() {
+        for machine in presets::table1() {
+            for l in &gap_subset() {
+                assert!(
+                    BaselineScheduler::new().schedule(l, &machine).is_ok(),
+                    "baseline failed on {} for {}",
+                    l.name(),
+                    machine.name
+                );
+                assert!(
+                    RmcaScheduler::new().schedule(l, &machine).is_ok(),
+                    "rmca failed on {} for {}",
+                    l.name(),
+                    machine.name
+                );
+            }
+        }
+    }
+}

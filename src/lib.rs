@@ -8,6 +8,8 @@
 //! * [`machine`] — the multiVLIWprocessor machine model (clusters, buses,
 //!   ISA, Table-1 presets),
 //! * [`ir`] — the loop IR and data-dependence graphs,
+//! * [`resmodel`] — the shared incremental modulo-constraint kernel every
+//!   scheduler reserves through (placements, bus transfers, MaxLive),
 //! * [`cache`] — the CME-style data-locality analysis,
 //! * [`core`] — the modulo schedulers (Baseline and RMCA, the paper's
 //!   contribution),
@@ -60,5 +62,6 @@ pub use mvp_exact as exact;
 pub use mvp_exec as exec;
 pub use mvp_ir as ir;
 pub use mvp_machine as machine;
+pub use mvp_resmodel as resmodel;
 pub use mvp_sim as sim;
 pub use mvp_workloads as workloads;

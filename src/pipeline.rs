@@ -133,6 +133,7 @@ pub struct PipelineBuilder {
     scheduler_options: SchedulerOptions,
     sim_options: SimOptions,
     gap_oracle: Option<ExactOptions>,
+    exact_node_budget: Option<u64>,
     executor: Option<Arc<Executor>>,
 }
 
@@ -144,6 +145,7 @@ impl Default for PipelineBuilder {
             scheduler_options: SchedulerOptions::new(),
             sim_options: SimOptions::new(),
             gap_oracle: None,
+            exact_node_budget: None,
             executor: None,
         }
     }
@@ -219,6 +221,25 @@ impl PipelineBuilder {
         self
     }
 
+    /// Caps the node budget of the exact branch-and-bound *scheduler* (the
+    /// [`SchedulerChoice::Exact`] configuration). Without this, exact
+    /// pipelines always solve under the 1M-node default of
+    /// [`ExactOptions`] — far more than a suite-scale `EVERY` run wants to
+    /// spend per loop. A loop whose probe exhausts the budget fails with an
+    /// exhausted II search instead of an answer, exactly as an
+    /// under-budgeted [`mvp_exact::solve`] would.
+    ///
+    /// Only consulted by [`SchedulerChoice::Exact`]; the heuristic
+    /// configurations have no node budget, and the *gap oracle's* budget is
+    /// configured separately via
+    /// [`optimality_gap_options`](Self::optimality_gap_options) (except for
+    /// exact pipelines, whose single shared solve uses this budget).
+    #[must_use]
+    pub fn exact_node_budget(mut self, budget: u64) -> Self {
+        self.exact_node_budget = Some(budget);
+        self
+    }
+
     /// Picks the executor batch runs ([`Pipeline::run_batch`],
     /// [`Pipeline::run_workloads`]) are parallelised on. Defaults to the
     /// process-wide [`Executor::global`] (sized by `MVP_THREADS` or the
@@ -249,13 +270,22 @@ impl PipelineBuilder {
                 machine.num_clusters()
             )));
         }
+        let scheduler = match (self.scheduler, self.exact_node_budget) {
+            (SchedulerChoice::Exact, Some(budget)) => Box::new(ExactScheduler::with_options(
+                ExactOptions::from_scheduler_options(&self.scheduler_options)
+                    .with_node_budget(budget),
+            ))
+                as Box<dyn ModuloScheduler + Send + Sync>,
+            (choice, _) => choice.build(self.scheduler_options),
+        };
         Ok(Pipeline {
             choice: self.scheduler,
-            scheduler: self.scheduler.build(self.scheduler_options),
+            scheduler,
             scheduler_options: self.scheduler_options,
             machine,
             sim_options: self.sim_options,
             gap_oracle: self.gap_oracle,
+            exact_node_budget: self.exact_node_budget,
             executor: self.executor.unwrap_or_else(Executor::global),
         })
     }
@@ -277,6 +307,7 @@ pub struct Pipeline {
     machine: Arc<MachineConfig>,
     sim_options: SimOptions,
     gap_oracle: Option<ExactOptions>,
+    exact_node_budget: Option<u64>,
     executor: Arc<Executor>,
 }
 
@@ -335,7 +366,10 @@ impl Pipeline {
         // the options the scheduler itself was built with (not the oracle's),
         // so toggling the gap flag never changes the schedule produced.
         if self.choice == SchedulerChoice::Exact && self.gap_oracle.is_some() {
-            let options = ExactOptions::from_scheduler_options(&self.scheduler_options);
+            let mut options = ExactOptions::from_scheduler_options(&self.scheduler_options);
+            if let Some(budget) = self.exact_node_budget {
+                options = options.with_node_budget(budget);
+            }
             let outcome = mvp_exact::solve(l, &self.machine, &options)?;
             let max_ii = outcome.min_ii.saturating_add(options.max_ii_slack);
             let gap = outcome
@@ -699,6 +733,58 @@ mod tests {
         // The batch aggregate carries the mean of the measured gaps.
         let batch = PipelineReport::from_runs(SchedulerChoice::Rmca, vec![report]).unwrap();
         assert!((batch.optimality_gap.unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_node_budget_caps_the_scheduler_search() {
+        let (l, _) = motivating_loop(&MotivatingParams::default());
+        let machine = Arc::new(presets::motivating_example_machine());
+        // A one-node budget exhausts immediately: the exact pipeline fails
+        // with an exhausted II search instead of burning the 1M default.
+        let starved = Pipeline::builder()
+            .scheduler(SchedulerChoice::Exact)
+            .machine(Arc::clone(&machine))
+            .exact_node_budget(1)
+            .build()
+            .unwrap();
+        let err = starved.run(&l).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Schedule(mvp_core::ScheduleError::NoFeasibleIi { .. })
+        ));
+        // The same cap flows into the shared solve of the Exact + gap-oracle
+        // fast path.
+        let starved_gap = Pipeline::builder()
+            .scheduler(SchedulerChoice::Exact)
+            .machine(Arc::clone(&machine))
+            .exact_node_budget(1)
+            .optimality_gap(true)
+            .build()
+            .unwrap();
+        assert!(starved_gap.run(&l).is_err());
+        // A generous budget changes nothing relative to the default.
+        let roomy = Pipeline::builder()
+            .scheduler(SchedulerChoice::Exact)
+            .machine(Arc::clone(&machine))
+            .exact_node_budget(mvp_exact::ExactOptions::new().node_budget)
+            .build()
+            .unwrap();
+        let default = Pipeline::builder()
+            .scheduler(SchedulerChoice::Exact)
+            .machine(machine)
+            .build()
+            .unwrap();
+        assert_eq!(
+            roomy.run(&l).unwrap().schedule,
+            default.run(&l).unwrap().schedule
+        );
+        // Heuristic pipelines ignore the budget entirely.
+        let rmca = Pipeline::builder()
+            .scheduler(SchedulerChoice::Rmca)
+            .exact_node_budget(1)
+            .build()
+            .unwrap();
+        assert!(rmca.run(&l).is_ok());
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! Kernel-vs-validator differential fuzzing: the incremental constraint
+//! kernel (`mvp-resmodel`) and the independent legality oracle
+//! (`mvp_core::validate`) implement the same rule set twice, on purpose —
+//! the kernel incrementally while schedules are built, the validator from
+//! scratch over the finished artifact. This harness holds the two against
+//! each other on every schedule the fuzz corpus produces:
+//!
+//! * **Replay** — each scheduler-produced schedule is replayed into a
+//!   [`PartialSchedule`] placement by placement (cycle order) and transfer
+//!   by transfer (the schedule's own starts and buses). The kernel must
+//!   accept every step, and the validator must report zero violations:
+//!   *kernel says placeable ⇔ validator finds zero violations*.
+//! * **Mutants** — each schedule is then corrupted in targeted ways (cycle
+//!   bumps, cluster flips, transfer shifts/rebookings, latency lies,
+//!   miss-flag abuse, dropped transfers) and rebuilt with consistent
+//!   structural fields. For every mutant the two verdicts must again agree
+//!   exactly: a mutant the validator rejects must fail some kernel rule,
+//!   and a mutant the validator accepts (some cycle bumps stay legal) must
+//!   replay cleanly. Any disagreement means one side's rule drifted.
+//!
+//! Runtime knobs (for the nightly CI job and local deep runs):
+//!
+//! * `MVP_KERNEL_FUZZ_CASES` — number of seeded loops (default 48; the
+//!   nightly job runs 512),
+//! * `MVP_FUZZ_SEED` — base seed shared with the other fuzz harnesses,
+//! * `MVP_THREADS` — executor width (results are identical regardless).
+
+use multivliw::core::lifetime;
+use multivliw::core::schedule::{Communication, PlacedOp, Schedule};
+use multivliw::core::{validate_schedule, ListScheduler, ModuloScheduler, RmcaScheduler};
+use multivliw::exec::Executor;
+use multivliw::ir::Loop;
+use multivliw::machine::{presets, BusCount, MachineConfig};
+use multivliw::resmodel::{PartialSchedule, ResModel};
+use multivliw::workloads::generator::LoopGenerator;
+use multivliw::workloads::rng::SplitMix64;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fuzz_cases() -> usize {
+    env_u64("MVP_KERNEL_FUZZ_CASES", 48) as usize
+}
+
+fn fuzz_seed() -> u64 {
+    env_u64("MVP_FUZZ_SEED", 0xD1FF_5EED)
+}
+
+/// Replays `s` into a fresh kernel: places every operation in cycle order
+/// and books every transfer at the schedule's own (start, bus) choice.
+/// Returns whether the kernel accepts every step plus the final coverage
+/// and register-file rules — the kernel-side legality verdict.
+fn kernel_accepts(l: &Loop, machine: &MachineConfig, s: &Schedule) -> bool {
+    let Ok(model) = ResModel::new(l, machine) else {
+        return false;
+    };
+    if s.ii() == 0 || s.ops().len() != l.num_ops() {
+        return false;
+    }
+    let mut ps = PartialSchedule::new(&model, s.ii());
+
+    let mut order: Vec<&PlacedOp> = s.ops().iter().collect();
+    order.sort_by_key(|p| (p.cycle, p.op.index()));
+    for p in order {
+        if p.cluster >= machine.num_clusters() {
+            return false;
+        }
+        // Dependences towards already-placed neighbours (every edge is
+        // checked once: when its later endpoint arrives) plus the pure-II
+        // self-loop rule, which neighbour bounds deliberately exclude.
+        let bounds = ps.neighbour_bounds(p.op, p.cluster, p.assumed_latency, None, None);
+        if !bounds.admits(i64::from(p.cycle)) {
+            return false;
+        }
+        if !ps.self_edges_admit(p.op, p.assumed_latency) {
+            return false;
+        }
+        // Functional-unit row capacity + latency legality.
+        if ps
+            .try_reserve_op(
+                p.op,
+                p.cluster,
+                i64::from(p.cycle),
+                p.assumed_latency,
+                p.miss_scheduled,
+                p.op.raw(),
+            )
+            .is_err()
+        {
+            return false;
+        }
+    }
+
+    for c in s.communications() {
+        if c.src.index() >= l.num_ops() || c.dst.index() >= l.num_ops() {
+            return false;
+        }
+        // The transfer must serve some cross-cluster data edge of the pair
+        // (window rule) and fit the bus occupancy tables.
+        if !ps.transfer_serves_edge(
+            c.src,
+            c.dst,
+            c.from_cluster,
+            c.to_cluster,
+            i64::from(c.start_cycle),
+        ) {
+            return false;
+        }
+        if ps
+            .reserve_transfer_at(
+                c.src,
+                c.dst,
+                c.from_cluster,
+                c.to_cluster,
+                i64::from(c.start_cycle),
+                c.bus,
+                0,
+            )
+            .is_err()
+        {
+            return false;
+        }
+    }
+    if !ps.all_cross_edges_covered() {
+        return false;
+    }
+
+    // The final MaxLive rule, exactly as the validator recomputes it.
+    ps.final_pressure()
+        .iter()
+        .enumerate()
+        .all(|(c, &p)| p <= machine.cluster(c).register_file_size as u32)
+}
+
+/// Rebuilds a schedule from mutated parts with *consistent* structural
+/// fields (stage/row recomputed, pressure recomputed), so the validator's
+/// verdict can only come from the rules the kernel enforces too.
+fn rebuild(
+    l: &Loop,
+    machine: &MachineConfig,
+    ii: u32,
+    ops: Vec<PlacedOp>,
+    comms: Vec<Communication>,
+) -> Schedule {
+    let ops: Vec<PlacedOp> = ops
+        .into_iter()
+        .map(|mut p| {
+            p.stage = p.cycle / ii;
+            p.row = p.cycle % ii;
+            p
+        })
+        .collect();
+    let pressure = lifetime::register_pressure(l, &ops, ii, machine.num_clusters());
+    Schedule::new(machine.name.clone(), "mutant", ii, ops, comms, pressure)
+}
+
+/// Generates targeted mutants of `s`. Some stay legal (small cycle bumps
+/// inside the slack), most break exactly one rule — the harness does not
+/// need to know which, only that kernel and validator agree.
+fn mutants(l: &Loop, machine: &MachineConfig, s: &Schedule, rng: &mut SplitMix64) -> Vec<Schedule> {
+    let ii = s.ii();
+    let n = s.ops().len();
+    let mut out = Vec::new();
+    let pick = |rng: &mut SplitMix64, m: usize| (rng.next_u64() % m as u64) as usize;
+
+    // Cycle bumps (may stay legal).
+    for _ in 0..3 {
+        let k = pick(rng, n);
+        let delta = [-3i64, -2, -1, 1, 2, 3][pick(rng, 6)];
+        let new_cycle = i64::from(s.ops()[k].cycle) + delta;
+        if new_cycle < 0 {
+            continue;
+        }
+        let mut ops = s.ops().to_vec();
+        ops[k].cycle = new_cycle as u32;
+        out.push(rebuild(l, machine, ii, ops, s.communications().to_vec()));
+    }
+    // Cluster flip (usually breaks the communication rules).
+    if machine.num_clusters() > 1 {
+        let k = pick(rng, n);
+        let mut ops = s.ops().to_vec();
+        ops[k].cluster = (ops[k].cluster + 1) % machine.num_clusters();
+        out.push(rebuild(l, machine, ii, ops, s.communications().to_vec()));
+    }
+    // Latency lie.
+    {
+        let k = pick(rng, n);
+        let mut ops = s.ops().to_vec();
+        ops[k].assumed_latency += 1;
+        out.push(rebuild(l, machine, ii, ops, s.communications().to_vec()));
+    }
+    // Miss flag on a non-load.
+    if let Some(k) = (0..n).find(|&k| !l.op(s.ops()[k].op).is_load()) {
+        let mut ops = s.ops().to_vec();
+        ops[k].miss_scheduled = true;
+        out.push(rebuild(l, machine, ii, ops, s.communications().to_vec()));
+    }
+    if !s.communications().is_empty() {
+        let m = s.communications().len();
+        // Transfer start shift (may leave the window or collide on a bus).
+        {
+            let k = pick(rng, m);
+            let delta = [-2i64, -1, 1, 2][pick(rng, 4)];
+            let new_start = i64::from(s.communications()[k].start_cycle) + delta;
+            if new_start >= 0 {
+                let mut comms = s.communications().to_vec();
+                comms[k].start_cycle = new_start as u32;
+                out.push(rebuild(l, machine, ii, s.ops().to_vec(), comms));
+            }
+        }
+        // Transfer rebooked on another bus (may collide or go out of range).
+        if let BusCount::Finite(buses) = machine.register_buses.count {
+            let k = pick(rng, m);
+            let mut comms = s.communications().to_vec();
+            comms[k].bus = (comms[k].bus + 1) % (buses + 1);
+            out.push(rebuild(l, machine, ii, s.ops().to_vec(), comms));
+        }
+        // Dropped transfer (uncovers its edge).
+        {
+            let k = pick(rng, m);
+            let mut comms = s.communications().to_vec();
+            comms.remove(k);
+            out.push(rebuild(l, machine, ii, s.ops().to_vec(), comms));
+        }
+    }
+    out
+}
+
+#[test]
+fn kernel_and_validator_agree_on_fuzz_schedules_and_mutants() {
+    let cases = fuzz_cases();
+    let base_seed = fuzz_seed() ^ 0x05AC_1E00;
+    let machines = [
+        presets::two_cluster(),
+        presets::motivating_example_machine(),
+    ];
+
+    let mut meta = SplitMix64::seed_from_u64(base_seed);
+    let seeds: Vec<u64> = (0..cases).map(|_| meta.next_u64()).collect();
+
+    let per_case = Executor::global().map_indexed(&seeds, |case, &seed| {
+        let mut generator = LoopGenerator::with_seed(seed);
+        let l = generator.generate();
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0xBEEF);
+        let mut schedules = 0usize;
+        let mut mutant_count = 0usize;
+        let mut legal_mutants = 0usize;
+
+        for machine in &machines {
+            // One pipelined and one non-pipelined producer per machine; the
+            // list scheduler always succeeds, RMCA may exhaust its II search.
+            let mut produced: Vec<Schedule> = Vec::new();
+            if let Ok(s) = RmcaScheduler::new().schedule(&l, machine) {
+                produced.push(s);
+            }
+            produced.push(
+                ListScheduler::new()
+                    .schedule(&l, machine)
+                    .expect("list scheduling always succeeds on the corpus machines"),
+            );
+
+            for s in produced {
+                // Positive direction: scheduler outputs are legal by both
+                // definitions, and the kernel replay accepts them.
+                let violations = validate_schedule(&l, machine, &s);
+                assert!(
+                    violations.is_empty(),
+                    "case {case} seed {seed:#x}: {} produced an illegal schedule on {}: {violations:?}",
+                    s.scheduler_name,
+                    machine.name
+                );
+                assert!(
+                    kernel_accepts(&l, machine, &s),
+                    "case {case} seed {seed:#x}: kernel rejects a validator-clean {} schedule on {}",
+                    s.scheduler_name,
+                    machine.name
+                );
+                schedules += 1;
+
+                // Differential direction: kernel verdict ⇔ validator verdict
+                // on every mutant.
+                for mutant in mutants(&l, machine, &s, &mut rng) {
+                    let validator_ok = validate_schedule(&l, machine, &mutant).is_empty();
+                    let kernel_ok = kernel_accepts(&l, machine, &mutant);
+                    assert_eq!(
+                        kernel_ok,
+                        validator_ok,
+                        "case {case} seed {seed:#x}: kernel and validator disagree on a mutant \
+                         of {} on {} (kernel {kernel_ok}, validator {validator_ok}): {:?}",
+                        s.scheduler_name,
+                        machine.name,
+                        validate_schedule(&l, machine, &mutant),
+                    );
+                    mutant_count += 1;
+                    legal_mutants += usize::from(validator_ok);
+                }
+            }
+        }
+        (schedules, mutant_count, legal_mutants)
+    });
+
+    let (schedules, mutant_count, legal) = per_case
+        .iter()
+        .fold((0, 0, 0), |(a, b, c), &(x, y, z)| (a + x, b + y, c + z));
+    assert!(
+        schedules >= cases,
+        "every case replays at least one schedule"
+    );
+    assert!(mutant_count > 0, "mutant generation produced nothing");
+    println!(
+        "kernel oracle fuzz: {cases} loops -> {schedules} schedules replayed, \
+         {mutant_count} mutants cross-checked ({legal} legal) (base seed {base_seed:#x})"
+    );
+}
+
+#[test]
+fn kernel_rejects_the_validators_canonical_illegal_schedules() {
+    // The validator's own unit tests build canonical illegal schedules; the
+    // kernel must reject the same artifacts (spot checks, no randomness).
+    let mut b = Loop::builder("chain");
+    let i = b.dimension("I", 64);
+    let a = b.auto_array("A", 4096);
+    let ld = b.load("LD", b.array_ref(a).stride(i, 8).build());
+    let f = b.fp_op("F");
+    let st = b.store("ST", b.array_ref(a).stride(i, 8).build());
+    b.data_edge(ld, f, 0);
+    b.data_edge(f, st, 0);
+    let l = b.build().unwrap();
+
+    let place = |op: usize, cluster: usize, cycle: u32, ii: u32, lat: u32| PlacedOp {
+        op: multivliw::ir::OpId::from_index(op),
+        cluster,
+        cycle,
+        stage: cycle / ii,
+        row: cycle % ii,
+        assumed_latency: lat,
+        miss_scheduled: false,
+    };
+
+    // FU oversubscription: both memory ops in row 0 of a 1-memory-unit
+    // cluster.
+    let machine = presets::motivating_example_machine();
+    let ii = 2;
+    let ops = vec![
+        place(0, 0, 0, ii, 2),
+        place(1, 0, 2, ii, 2),
+        place(2, 0, 4, ii, 1),
+    ];
+    let s = rebuild(&l, &machine, ii, ops, vec![]);
+    assert!(!validate_schedule(&l, &machine, &s).is_empty());
+    assert!(!kernel_accepts(&l, &machine, &s));
+
+    // Dependence violation: consumer starts before the load completes.
+    let machine = presets::two_cluster();
+    let ii = 3;
+    let ops = vec![
+        place(0, 0, 0, ii, 2),
+        place(1, 0, 1, ii, 2),
+        place(2, 0, 4, ii, 1),
+    ];
+    let s = rebuild(&l, &machine, ii, ops, vec![]);
+    assert!(!validate_schedule(&l, &machine, &s).is_empty());
+    assert!(!kernel_accepts(&l, &machine, &s));
+
+    // Missing communication: F runs in cluster 1 with no transfer records.
+    let ii = 8;
+    let ops = vec![
+        place(0, 0, 0, ii, 2),
+        place(1, 1, 5, ii, 2),
+        place(2, 1, 7, ii, 1),
+    ];
+    let s = rebuild(&l, &machine, ii, ops, vec![]);
+    assert!(!validate_schedule(&l, &machine, &s).is_empty());
+    assert!(!kernel_accepts(&l, &machine, &s));
+
+    // Self-loop recurrence scheduled below its RecMII: a 2-cycle
+    // accumulator at II=1 wraps onto itself — legal in the flat schedule,
+    // illegal once the kernel repeats. (Self-loops constrain the II alone,
+    // so this is the one dependence shape neighbour bounds cannot see.)
+    let mut b = Loop::builder("acc");
+    let x = b.fp_op("X");
+    b.data_edge(x, x, 1);
+    let acc = b.build().unwrap();
+    let machine = presets::unified();
+    let s = rebuild(&acc, &machine, 1, vec![place(0, 0, 0, 1, 2)], vec![]);
+    assert!(!validate_schedule(&acc, &machine, &s).is_empty());
+    assert!(!kernel_accepts(&acc, &machine, &s));
+    // At II=2 the same placement is legal for both.
+    let s = rebuild(&acc, &machine, 2, vec![place(0, 0, 0, 2, 2)], vec![]);
+    assert!(validate_schedule(&acc, &machine, &s).is_empty());
+    assert!(kernel_accepts(&acc, &machine, &s));
+}
