@@ -1,0 +1,108 @@
+//! Batch service replay: cold pass vs warm cache-hit replays of the suite
+//! stream against the persistent executor + schedule cache.
+//!
+//! Usage: `serve [--quick] [--passes N] [--threads T] [--capacity N]`
+//!
+//! Defaults replay the full suite stream three times after the cold pass,
+//! at the environment's executor width (`MVP_THREADS` or the available
+//! parallelism). With `MVP_SERVE_CSV=<path>` the rows are written as CSV
+//! (the CI throughput-smoke job uploads this as the `serve-throughput`
+//! artifact); with `MVP_REPORT_JSON=<path>` a JSON report is written
+//! alongside.
+//!
+//! The binary exits non-zero when a warm pass misses the cache or a
+//! replayed report diverges from the cold pass — either would be a
+//! correctness bug in the cache key or the canonical translation, not
+//! noise.
+
+use mvp_bench::json::REPORT_JSON_ENV_VAR;
+use mvp_bench::report::write_env_artifact;
+use mvp_bench::serve::{render, run, to_csv, to_json, ServeParams, SERVE_CSV_ENV_VAR};
+use mvp_workloads::suite::SuiteParams;
+
+/// The value following `name`, when the flag is present. A flag with no
+/// value aborts instead of being silently ignored.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    let pos = args.iter().position(|a| a == name)?;
+    match args.get(pos + 1) {
+        Some(value) => Some(value),
+        None => {
+            eprintln!("missing value for {name}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let value = flag_value(args, name)?;
+    match value.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("invalid value for {name}: {value}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut params = ServeParams::default();
+    if args.iter().any(|a| a == "--quick") {
+        params.suite = SuiteParams::small();
+    }
+    if let Some(passes) = parsed_flag(&args, "--passes") {
+        params.warm_passes = passes;
+    }
+    if let Some(threads) = parsed_flag::<usize>(&args, "--threads") {
+        if threads == 0 {
+            eprintln!("invalid value for --threads: 0 (must be positive)");
+            std::process::exit(2);
+        }
+        params.threads = Some(threads);
+    }
+    if let Some(capacity) = parsed_flag(&args, "--capacity") {
+        params.cache_capacity = capacity;
+    }
+
+    let outcome = run(&params);
+    print!("{}", render(&outcome));
+
+    let mut failed = false;
+    if let Some(divergence) = &outcome.divergence {
+        eprintln!("replay divergence: {divergence}");
+        failed = true;
+    }
+    match outcome.warm_hit_rate() {
+        Some(rate) if rate < 1.0 => {
+            eprintln!(
+                "warm passes missed the cache: hit rate {:.3}%",
+                100.0 * rate
+            );
+            failed = true;
+        }
+        None if params.warm_passes > 0 => {
+            eprintln!("no warm lookups were counted");
+            failed = true;
+        }
+        _ => {}
+    }
+    if let Some(speedup) = outcome.warm_speedup() {
+        if speedup < 5.0 {
+            // Informational, not fatal: CI machines can be noisy, and the
+            // artifact records the raw numbers either way.
+            eprintln!("warning: warm replay speedup below 5x ({speedup:.1}x)");
+        }
+    }
+
+    write_env_artifact(
+        SERVE_CSV_ENV_VAR,
+        &format!("{} rows", outcome.rows.len()),
+        || to_csv(&outcome),
+    );
+    write_env_artifact(REPORT_JSON_ENV_VAR, "JSON report", || {
+        format!("{}\n", to_json(&outcome))
+    });
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,9 @@
 //!   (optimality-gap tables, `MVP_GAP_CSV` for the CI artifact),
 //! * `wallclock` — suite wall-clock per executor thread count
 //!   (`MVP_WALLCLOCK_CSV` for the CI artifact),
+//! * `serve` — batch service replay: cold pass vs warm cache-hit replays
+//!   of the suite stream, sustained loops/sec (`MVP_SERVE_CSV` for the CI
+//!   artifact),
 //!
 //! and the Criterion benches in `benches/` measure scheduler / simulator
 //! throughput plus the ablations called out in `DESIGN.md`.
@@ -32,6 +35,7 @@ pub mod gap;
 pub mod json;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod table1;
 pub mod wallclock;
 

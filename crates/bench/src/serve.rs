@@ -1,0 +1,391 @@
+//! Batch "service" front end: replay a workload stream against the warm
+//! persistent runtime and measure sustained throughput.
+//!
+//! The scheduling service the executor/cache refactor builds towards is a
+//! long-lived process: the worker pool spawns once and parks between
+//! batches, and the content-addressed schedule cache of `mvp-schedcache`
+//! turns repeated loops into O(1) replays. This driver exercises exactly
+//! that shape in one process:
+//!
+//! 1. **Cold pass** — every loop of the stream runs through a cached
+//!    pipeline once per scheduler, populating the cache (all misses on a
+//!    fresh cache).
+//! 2. **Warm passes** — the same stream replays; every lookup must hit,
+//!    every replayed [`LoopReport`] must equal the
+//!    cold pass's report *byte for byte*, and the sustained loops/sec is
+//!    the service's steady-state throughput.
+//!
+//! The `serve` binary fails hard on a warm-pass miss or a diverging
+//! replay — those are correctness bugs in the cache key or the canonical
+//! translation, not noise — and reports the cold-vs-warm speedup
+//! (`MVP_SERVE_CSV` / `MVP_REPORT_JSON` record the rows for CI).
+
+use crate::json::Json;
+use crate::runner::SchedulerKind;
+use multivliw::pipeline::{Pipeline, PipelineScheduleCache};
+use multivliw::LoopReport;
+use mvp_exec::Executor;
+use mvp_ir::Loop;
+use mvp_workloads::suite::{suite, SuiteParams};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Environment variable naming the CSV artifact the `serve` binary writes
+/// (the CI throughput-smoke job uploads it as `serve-throughput`).
+pub const SERVE_CSV_ENV_VAR: &str = "MVP_SERVE_CSV";
+
+/// The scheduler configurations the service replays. The exact scheduler
+/// is excluded on purpose: it may exhaust its node budget on big bodies,
+/// and a service benchmark wants a stream where every request succeeds.
+pub const SERVED_SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Baseline,
+    SchedulerKind::Rmca,
+    SchedulerKind::ListFallback,
+];
+
+/// Parameters of the serve measurement.
+#[derive(Debug, Clone)]
+pub struct ServeParams {
+    /// Workload stream sizing.
+    pub suite: SuiteParams,
+    /// Warm replay passes after the cold (populating) pass.
+    pub warm_passes: usize,
+    /// Executor width (`None`: the environment default, `MVP_THREADS` or
+    /// the available parallelism).
+    pub threads: Option<usize>,
+    /// Total schedule-cache capacity, in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeParams {
+    fn default() -> Self {
+        Self {
+            suite: SuiteParams::default(),
+            warm_passes: 3,
+            threads: None,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// One (pass, scheduler) measurement of the stream replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRow {
+    /// Pass index: 0 is the cold (populating) pass.
+    pub pass: usize,
+    /// Scheduler configuration replayed.
+    pub scheduler: SchedulerKind,
+    /// Loops in the stream.
+    pub loops: usize,
+    /// Wall-clock of the pass, in milliseconds.
+    pub wall_ms: f64,
+    /// Sustained throughput of the pass, in loops per second.
+    pub loops_per_sec: f64,
+    /// Cache hits during this pass (this scheduler's share).
+    pub hits: u64,
+    /// Cache misses during this pass (this scheduler's share).
+    pub misses: u64,
+}
+
+impl ServeRow {
+    /// Whether this row belongs to a warm (replay) pass.
+    #[must_use]
+    pub fn is_warm(&self) -> bool {
+        self.pass > 0
+    }
+}
+
+/// Everything one serve run produces: the per-pass rows plus the verdicts
+/// the binary asserts on.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Per-(pass, scheduler) measurements, pass-major in stream order.
+    pub rows: Vec<ServeRow>,
+    /// Executor width the service ran at.
+    pub threads: usize,
+    /// Workers actually spawned by the persistent pool (persists across
+    /// every pass — the pool is the service's, not a pass's).
+    pub spawned_workers: usize,
+    /// First warm-replay divergence from the cold pass, if any
+    /// (`pass`, scheduler, loop name). A populated field is a correctness
+    /// bug in the cache key or the canonical translation.
+    pub divergence: Option<String>,
+}
+
+impl ServeOutcome {
+    /// Hits over lookups across every warm pass (`None` before any warm
+    /// pass ran). The service contract pins this to exactly 1.0: a warm
+    /// replay of an unchanged stream must never re-solve a loop.
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> Option<f64> {
+        let (mut hits, mut lookups) = (0u64, 0u64);
+        for r in self.rows.iter().filter(|r| r.is_warm()) {
+            hits += r.hits;
+            lookups += r.hits + r.misses;
+        }
+        (lookups > 0).then(|| hits as f64 / lookups as f64)
+    }
+
+    /// Cold wall-clock over mean warm-pass wall-clock, totalled across the
+    /// served schedulers (`None` before any warm pass ran). This is the
+    /// headline number: how much faster the warm service answers the same
+    /// stream than first-time solving.
+    #[must_use]
+    pub fn warm_speedup(&self) -> Option<f64> {
+        let cold: f64 = self
+            .rows
+            .iter()
+            .filter(|r| !r.is_warm())
+            .map(|r| r.wall_ms)
+            .sum();
+        let warm_rows: Vec<&ServeRow> = self.rows.iter().filter(|r| r.is_warm()).collect();
+        let passes = warm_rows
+            .iter()
+            .map(|r| r.pass)
+            .collect::<std::collections::BTreeSet<_>>();
+        if passes.is_empty() {
+            return None;
+        }
+        let warm_mean: f64 = warm_rows.iter().map(|r| r.wall_ms).sum::<f64>() / passes.len() as f64;
+        (warm_mean > 0.0).then(|| cold / warm_mean)
+    }
+}
+
+/// Runs the serve measurement: one cold pass then `warm_passes` warm
+/// replays of the same stream, for every [`SERVED_SCHEDULERS`]
+/// configuration, against one shared executor and one shared cache.
+#[must_use]
+pub fn run(params: &ServeParams) -> ServeOutcome {
+    let workloads = suite(&params.suite);
+    let loops: Vec<&Loop> = workloads.iter().flat_map(|w| w.loops.iter()).collect();
+    let executor = Arc::new(match params.threads {
+        Some(t) => Executor::new(t),
+        None => Executor::from_env(),
+    });
+    let threads = executor.threads();
+    let cache = Arc::new(PipelineScheduleCache::with_capacity_and_shards(
+        params.cache_capacity,
+        threads,
+    ));
+    let pipelines: Vec<Pipeline> = SERVED_SCHEDULERS
+        .iter()
+        .map(|&scheduler| {
+            Pipeline::builder()
+                .scheduler(scheduler)
+                .executor(Arc::clone(&executor))
+                .schedule_cache(Arc::clone(&cache))
+                .build()
+                .expect("default-machine pipelines are valid")
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut divergence = None;
+    // The cold pass's reports, per scheduler, in stream order: the
+    // reference every warm replay must reproduce byte for byte.
+    let mut cold_reports: Vec<Vec<LoopReport>> = Vec::new();
+    for pass in 0..=params.warm_passes {
+        for (s, pipeline) in pipelines.iter().enumerate() {
+            let before = cache.stats();
+            let start = Instant::now();
+            let reports: Vec<LoopReport> = executor
+                .map(&loops, |l| {
+                    pipeline.run(l).expect("served schedulers never fail")
+                })
+                .into_iter()
+                .collect();
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let after = cache.stats();
+            if pass == 0 {
+                cold_reports.push(reports);
+            } else if divergence.is_none() {
+                if let Some(l) = reports
+                    .iter()
+                    .zip(&cold_reports[s])
+                    .find(|(warm, cold)| warm != cold)
+                    .map(|(warm, _)| warm.loop_name.clone())
+                {
+                    divergence = Some(format!(
+                        "pass {pass} [{}]: replay of {l} diverged from the cold report",
+                        SERVED_SCHEDULERS[s],
+                    ));
+                }
+            }
+            rows.push(ServeRow {
+                pass,
+                scheduler: SERVED_SCHEDULERS[s],
+                loops: loops.len(),
+                wall_ms,
+                loops_per_sec: if wall_ms > 0.0 {
+                    loops.len() as f64 / (wall_ms / 1e3)
+                } else {
+                    f64::INFINITY
+                },
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+            });
+        }
+    }
+    ServeOutcome {
+        rows,
+        threads,
+        spawned_workers: executor.spawned_workers(),
+        divergence,
+    }
+}
+
+/// Renders the outcome as a text table.
+#[must_use]
+pub fn render(outcome: &ServeOutcome) -> String {
+    let mut t = crate::report::Table::new(vec![
+        "pass",
+        "scheduler",
+        "loops",
+        "wall_ms",
+        "loops/s",
+        "hits",
+        "misses",
+    ]);
+    for r in &outcome.rows {
+        t.row(vec![
+            if r.is_warm() {
+                format!("warm {}", r.pass)
+            } else {
+                "cold".into()
+            },
+            r.scheduler.name().to_string(),
+            r.loops.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.0}", r.loops_per_sec),
+            r.hits.to_string(),
+            r.misses.to_string(),
+        ]);
+    }
+    let mut tail = format!(
+        "\nservice: {} threads, {} persistent workers",
+        outcome.threads, outcome.spawned_workers
+    );
+    if let Some(rate) = outcome.warm_hit_rate() {
+        tail.push_str(&format!("\nwarm hit rate: {:.1}%", 100.0 * rate));
+    }
+    if let Some(speedup) = outcome.warm_speedup() {
+        tail.push_str(&format!("\nwarm speedup over cold: {speedup:.1}x"));
+    }
+    format!(
+        "Serve throughput — cold pass vs warm replays (shared schedule cache)\n{}{}\n",
+        t.render(),
+        tail
+    )
+}
+
+/// Serialises the rows as CSV (header + one line per row).
+#[must_use]
+pub fn to_csv(outcome: &ServeOutcome) -> String {
+    let mut out = String::from("pass,scheduler,loops,wall_ms,loops_per_sec,hits,misses\n");
+    for r in &outcome.rows {
+        out.push_str(&format!(
+            "{},{},{},{:.3},{:.1},{},{}\n",
+            r.pass, r.scheduler, r.loops, r.wall_ms, r.loops_per_sec, r.hits, r.misses,
+        ));
+    }
+    out
+}
+
+/// Writes the CSV to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_csv(outcome: &ServeOutcome, path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_csv(outcome).as_bytes())
+}
+
+/// The outcome as a JSON report (for `MVP_REPORT_JSON`).
+#[must_use]
+pub fn to_json(outcome: &ServeOutcome) -> Json {
+    Json::object([
+        ("report", Json::from("serve-throughput")),
+        ("threads", Json::from(outcome.threads)),
+        ("spawned_workers", Json::from(outcome.spawned_workers)),
+        ("warm_hit_rate", Json::option(outcome.warm_hit_rate())),
+        ("warm_speedup", Json::option(outcome.warm_speedup())),
+        (
+            "rows",
+            Json::array(outcome.rows.iter().map(|r| {
+                Json::object([
+                    ("pass", Json::from(r.pass)),
+                    ("scheduler", Json::from(r.scheduler.name())),
+                    ("loops", Json::from(r.loops)),
+                    ("wall_ms", Json::from(r.wall_ms)),
+                    ("loops_per_sec", Json::from(r.loops_per_sec)),
+                    ("hits", Json::from(r.hits)),
+                    ("misses", Json::from(r.misses)),
+                ])
+            })),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ServeParams {
+        ServeParams {
+            suite: SuiteParams::small(),
+            warm_passes: 2,
+            threads: Some(2),
+            cache_capacity: 256,
+        }
+    }
+
+    #[test]
+    fn warm_passes_hit_everything_and_replay_identically() {
+        let outcome = run(&quick());
+        assert_eq!(
+            outcome.rows.len(),
+            3 * SERVED_SCHEDULERS.len(),
+            "cold + 2 warm passes per scheduler"
+        );
+        assert_eq!(outcome.divergence, None);
+        assert_eq!(outcome.warm_hit_rate(), Some(1.0));
+        // The cold pass on a fresh cache misses every lookup.
+        for r in outcome.rows.iter().filter(|r| !r.is_warm()) {
+            assert_eq!(r.hits, 0, "{}", r.scheduler);
+            assert_eq!(r.misses as usize, r.loops, "{}", r.scheduler);
+        }
+        // Warm passes never miss.
+        for r in outcome.rows.iter().filter(|r| r.is_warm()) {
+            assert_eq!(r.misses, 0, "{}", r.scheduler);
+            assert_eq!(r.hits as usize, r.loops, "{}", r.scheduler);
+        }
+        assert!(outcome.warm_speedup().expect("warm passes ran") > 0.0);
+        assert_eq!(outcome.threads, 2);
+    }
+
+    #[test]
+    fn rendered_artifacts_cover_every_row() {
+        let outcome = run(&ServeParams {
+            warm_passes: 1,
+            ..quick()
+        });
+        let text = render(&outcome);
+        assert!(text.contains("Serve throughput"));
+        assert!(text.contains("warm hit rate: 100.0%"));
+        let csv = to_csv(&outcome);
+        assert_eq!(csv.lines().count(), outcome.rows.len() + 1);
+        assert!(csv.starts_with("pass,scheduler,"));
+        let json = to_json(&outcome).to_string();
+        assert!(json.starts_with(r#"{"report":"serve-throughput""#));
+        assert_eq!(json.matches("\"pass\":").count(), outcome.rows.len());
+        let dir = std::env::temp_dir().join(format!("mvp-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve-throughput.csv");
+        write_csv(&outcome, &path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), csv);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -320,8 +320,19 @@ fn try_place(
         (None, None) => (0..=ii_i - 1).collect(),
     };
 
+    // The window is the same for every candidate cycle (no neighbour moves
+    // between probes), so it is computed once above and carried into each
+    // attempt instead of letting `place` re-derive it per candidate.
     for t in candidates {
-        if let Ok(handle) = ps.place(op, cluster, t, assumed_lat, miss_scheduled, op.raw()) {
+        if let Ok(handle) = ps.place_in_window(
+            op,
+            cluster,
+            t,
+            assumed_lat,
+            miss_scheduled,
+            op.raw(),
+            &bounds,
+        ) {
             return Some(handle);
         }
     }

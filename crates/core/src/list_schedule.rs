@@ -172,16 +172,16 @@ impl ModuloScheduler for ListScheduler {
             let hit_lat = l.op(op).kind.hit_latency(&machine.latencies);
 
             // Evaluate every cluster that can execute the operation; book the
-            // incoming transfers each candidate needs on a scratch copy of
-            // the kernel's acyclic bus table (the FU table is only read
-            // during the probe) and keep the cheapest candidate's copy.
-            let mut best: Option<(u32, usize, ClusterId, AcyclicBusTable, Vec<Communication>)> =
-                None;
+            // incoming transfers each candidate needs directly on the
+            // kernel's acyclic bus table and roll the trail back after each
+            // probe (the FU table is only read during the probe), keeping
+            // the cheapest candidate's recorded transfers for replay.
+            let mut best: Option<(u32, usize, ClusterId, Vec<Communication>)> = None;
             for c in machine.cluster_ids() {
                 if model.fu_count[c][kind.index()] == 0 {
                     continue;
                 }
-                let mut candidate_bus = bus.clone();
+                let mark = bus.checkpoint();
                 let mut candidate_comms = Vec::new();
                 let mut ready = 0u32;
                 for e in l.preds(op) {
@@ -191,7 +191,7 @@ impl ModuloScheduler for ListScheduler {
                     let (p_cluster, p_cycle, p_lat) =
                         placements[e.src.index()].expect("topological order places preds first");
                     let arrival = if e.kind == EdgeKind::Data && p_cluster != c {
-                        let (bus_idx, start) = candidate_bus.reserve_earliest(p_cycle + p_lat);
+                        let (bus_idx, start) = bus.reserve_earliest(p_cycle + p_lat);
                         candidate_comms.push(Communication {
                             src: e.src,
                             dst: op,
@@ -209,16 +209,23 @@ impl ModuloScheduler for ListScheduler {
                     ready = ready.max(arrival);
                 }
                 let t = fu.first_free(c, kind, ready);
+                // Undo the probe: every candidate starts from the same base
+                // state, exactly as the old clone-per-candidate design did.
+                bus.rollback(mark);
                 let better = match &best {
                     None => true,
-                    Some((bt, bload, bc, _, _)) => (t, cluster_load[c], c) < (*bt, *bload, *bc),
+                    Some((bt, bload, bc, _)) => (t, cluster_load[c], c) < (*bt, *bload, *bc),
                 };
                 if better {
-                    best = Some((t, cluster_load[c], c, candidate_bus, candidate_comms));
+                    best = Some((t, cluster_load[c], c, candidate_comms));
                 }
             }
-            let (t, _, c, chosen_bus, chosen_comms) =
-                best.expect("some cluster provides the unit kind");
+            let (t, _, c, chosen_comms) = best.expect("some cluster provides the unit kind");
+            // Commit the winner's probed transfers at their recorded
+            // windows (free again after the rollback, by construction).
+            for comm in &chosen_comms {
+                bus.reserve_at(comm.bus, comm.start_cycle);
+            }
 
             // Section 4.3: once the cluster is known, a load whose estimated
             // miss ratio there reaches the threshold is scheduled with the
@@ -234,7 +241,6 @@ impl ModuloScheduler for ListScheduler {
                 }
             }
 
-            bus = chosen_bus;
             comms.extend(chosen_comms);
             fu.reserve(c, kind, t);
             cluster_load[c] += 1;

@@ -12,9 +12,14 @@
 //!
 //! The functional-unit and bus tables are separate types on purpose: a
 //! scheduler evaluating candidate clusters only *tentatively books bus
-//! transfers* per candidate, so it clones the (small) [`AcyclicBusTable`]
-//! per probe and keeps the winner's copy, while the read-only
-//! [`AcyclicFuTable`] queries need no copy at all.
+//! transfers* per candidate, so the [`AcyclicBusTable`] keeps a trail of
+//! its reservations — take a [`checkpoint`](AcyclicBusTable::checkpoint)
+//! before probing a candidate, [`rollback`](AcyclicBusTable::rollback)
+//! after, and [`reserve_at`](AcyclicBusTable::reserve_at) the winner's
+//! recorded transfers once the choice is made — while the read-only
+//! [`AcyclicFuTable`] queries need no undo at all. Probing this way costs
+//! O(transfers probed) per candidate instead of cloning the whole
+//! occupancy table per candidate cluster.
 
 use crate::model::ResModel;
 use mvp_machine::{ClusterId, FuKind};
@@ -63,15 +68,27 @@ impl AcyclicFuTable {
 }
 
 /// Absolute-cycle register-bus occupancy (grows on demand; a no-op for
-/// unbounded bus sets). `Clone` so candidate transfers can be booked on a
-/// scratch copy and the cheapest candidate's copy kept.
+/// unbounded bus sets). Candidate transfers are booked directly on the
+/// table and undone through the reservation trail
+/// ([`checkpoint`](Self::checkpoint) / [`rollback`](Self::rollback)), so
+/// probing a candidate never copies the occupancy bitmaps.
 #[derive(Debug, Clone)]
 pub struct AcyclicBusTable {
     latency: u32,
     /// Per bus, per absolute cycle. Empty when the bus set is unbounded.
     busy: Vec<Vec<bool>>,
     unbounded: bool,
+    /// Every reservation made so far, in order (`(bus, start)`); rollback
+    /// pops the tail and clears exactly the bits each reservation set.
+    /// Stays empty for unbounded bus sets, which reserve nothing.
+    trail: Vec<(usize, u32)>,
 }
+
+/// A position in an [`AcyclicBusTable`]'s reservation trail, as returned by
+/// [`AcyclicBusTable::checkpoint`] and consumed by
+/// [`AcyclicBusTable::rollback`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusCheckpoint(usize);
 
 impl AcyclicBusTable {
     /// Creates an empty table for the model's machine.
@@ -84,6 +101,7 @@ impl AcyclicBusTable {
                 None => Vec::new(),
             },
             unbounded: model.num_buses.is_none(),
+            trail: Vec::new(),
         }
     }
 
@@ -108,17 +126,58 @@ impl AcyclicBusTable {
         loop {
             for bus in 0..self.busy.len() {
                 if self.window_free(bus, start) {
-                    let end = (start + self.latency) as usize;
-                    if self.busy[bus].len() < end {
-                        self.busy[bus].resize(end, false);
-                    }
-                    for d in 0..self.latency {
-                        self.busy[bus][(start + d) as usize] = true;
-                    }
+                    self.mark(bus, start);
                     return (bus, start);
                 }
             }
             start += 1;
+        }
+    }
+
+    /// Re-reserves a window previously returned by
+    /// [`reserve_earliest`](Self::reserve_earliest) and undone by
+    /// [`rollback`](Self::rollback) — how a scheduler commits the winning
+    /// candidate's probed transfers without re-searching. The window must
+    /// currently be free (debug-asserted); a no-op for unbounded bus sets.
+    pub fn reserve_at(&mut self, bus: usize, start: u32) {
+        if self.unbounded {
+            return;
+        }
+        debug_assert!(
+            self.window_free(bus, start),
+            "reserve_at({bus}, {start}) on an occupied window"
+        );
+        self.mark(bus, start);
+    }
+
+    fn mark(&mut self, bus: usize, start: u32) {
+        let end = (start + self.latency) as usize;
+        if self.busy[bus].len() < end {
+            self.busy[bus].resize(end, false);
+        }
+        for d in 0..self.latency {
+            self.busy[bus][(start + d) as usize] = true;
+        }
+        self.trail.push((bus, start));
+    }
+
+    /// The current trail position: reservations made after this point are
+    /// undone by passing it to [`rollback`](Self::rollback).
+    #[must_use]
+    pub fn checkpoint(&self) -> BusCheckpoint {
+        BusCheckpoint(self.trail.len())
+    }
+
+    /// Undoes every reservation made since `mark`, restoring the table to
+    /// its exact state at [`checkpoint`](Self::checkpoint) time (each
+    /// reservation's window was free when it was booked, so clearing its
+    /// bits is an exact inverse).
+    pub fn rollback(&mut self, mark: BusCheckpoint) {
+        while self.trail.len() > mark.0 {
+            let (bus, start) = self.trail.pop().expect("trail is non-empty above the mark");
+            for d in 0..self.latency {
+                self.busy[bus][(start + d) as usize] = false;
+            }
         }
     }
 }
@@ -162,14 +221,60 @@ mod tests {
     }
 
     #[test]
+    fn rollback_restores_the_exact_pre_probe_state() {
+        let l = tiny();
+        let machine = presets::motivating_example_machine(); // 1 bus, latency 2
+        let model = ResModel::new(&l, &machine).unwrap();
+        let mut bus = AcyclicBusTable::new(&model);
+        assert_eq!(bus.reserve_earliest(0), (0, 0));
+
+        // Probe: two tentative transfers, then undo both.
+        let mark = bus.checkpoint();
+        assert_eq!(bus.reserve_earliest(0), (0, 2));
+        assert_eq!(bus.reserve_earliest(0), (0, 4));
+        bus.rollback(mark);
+
+        // The probe left no trace: the same requests land identically, and
+        // a nested probe rolls back to its own mark only.
+        let mark2 = bus.checkpoint();
+        assert_eq!(mark, mark2);
+        assert_eq!(bus.reserve_earliest(0), (0, 2));
+        let inner = bus.checkpoint();
+        assert_eq!(bus.reserve_earliest(0), (0, 4));
+        bus.rollback(inner);
+        assert_eq!(bus.reserve_earliest(0), (0, 4));
+    }
+
+    #[test]
+    fn reserve_at_commits_a_probed_window() {
+        let l = tiny();
+        let machine = presets::motivating_example_machine();
+        let model = ResModel::new(&l, &machine).unwrap();
+        let mut bus = AcyclicBusTable::new(&model);
+        let mark = bus.checkpoint();
+        let (b, start) = bus.reserve_earliest(3);
+        bus.rollback(mark);
+        bus.reserve_at(b, start);
+        // The committed window really is occupied again.
+        assert_eq!(bus.reserve_earliest(3), (0, 5));
+    }
+
+    #[test]
     fn unbounded_buses_never_slide() {
         let l = tiny();
         let machine =
             presets::two_cluster().with_register_buses(mvp_machine::BusConfig::unbounded(2));
         let model = ResModel::new(&l, &machine).unwrap();
         let mut bus = AcyclicBusTable::new(&model);
+        let mark = bus.checkpoint();
         for i in 0..10 {
             assert_eq!(bus.reserve_earliest(i), (0, i));
         }
+        // Unbounded sets reserve nothing, so the trail stays empty and
+        // rollback / commit are no-ops.
+        assert_eq!(bus.checkpoint(), mark);
+        bus.rollback(mark);
+        bus.reserve_at(0, 3);
+        assert_eq!(bus.reserve_earliest(3), (0, 3));
     }
 }

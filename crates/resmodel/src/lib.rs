@@ -66,7 +66,7 @@ pub mod model;
 pub mod partial;
 pub mod schedule;
 
-pub use acyclic::{AcyclicBusTable, AcyclicFuTable};
+pub use acyclic::{AcyclicBusTable, AcyclicFuTable, BusCheckpoint};
 pub use error::ModelError;
 pub use model::ResModel;
 pub use partial::{

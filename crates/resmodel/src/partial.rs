@@ -519,9 +519,56 @@ impl<'r, 'l, 'm> PartialSchedule<'r, 'l, 'm> {
         token: Token,
     ) -> Result<PlaceHandle, PlaceError> {
         let bounds = self.neighbour_bounds(op, cluster, assumed_latency, None, None);
+        self.place_in_window(
+            op,
+            cluster,
+            cycle,
+            assumed_latency,
+            miss_scheduled,
+            token,
+            &bounds,
+        )
+    }
+
+    /// [`place`](Self::place) with a caller-supplied dependence window.
+    ///
+    /// [`place`](Self::place) recomputes
+    /// [`neighbour_bounds`](Self::neighbour_bounds) — an O(degree) walk
+    /// over the operation's edges — on *every* call, but a scheduler probing many candidate
+    /// cycles for one `(op, cluster, latency)` choice faces the same window
+    /// each time: no neighbour moves between candidates. This variant lets
+    /// the caller compute the window once per choice and sweep the
+    /// candidate cycles against it, which is the list schedulers' hottest
+    /// placement loop.
+    ///
+    /// `bounds` must come from [`neighbour_bounds`](Self::neighbour_bounds)
+    /// for the same `(op, cluster, assumed_latency)` against the *current*
+    /// kernel state (no placements or releases in between), possibly
+    /// tightened by an initial window; debug builds re-derive the window
+    /// and assert the cycle is genuinely legal.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlaceError`]; see [`place`](Self::place).
+    #[allow(clippy::too_many_arguments)]
+    pub fn place_in_window(
+        &mut self,
+        op: OpId,
+        cluster: ClusterId,
+        cycle: i64,
+        assumed_latency: u32,
+        miss_scheduled: bool,
+        token: Token,
+        bounds: &NeighbourBounds,
+    ) -> Result<PlaceHandle, PlaceError> {
         if !bounds.admits(cycle) {
             return Err(PlaceError::OutsideWindow);
         }
+        debug_assert!(
+            self.neighbour_bounds(op, cluster, assumed_latency, None, None)
+                .admits(cycle),
+            "stale caller window admitted cycle {cycle} for {op}"
+        );
         self.try_reserve_op(op, cluster, cycle, assumed_latency, miss_scheduled, token)?;
 
         let ii = i64::from(self.ii);

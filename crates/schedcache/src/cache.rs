@@ -1,0 +1,302 @@
+//! The sharded, bounded, content-addressed cache itself.
+//!
+//! [`ScheduleCache`] maps 128-bit [`CacheKey`]s to cached artifacts of a
+//! caller-chosen type `V` (the pipeline stores canonicalized loop
+//! reports). The design targets the persistent service runtime:
+//!
+//! * **Sharding.** Entries are spread over `shards` independent
+//!   `Mutex<HashMap>`s selected by the key's low bits; size the shard
+//!   count to the worker pool ([`ScheduleCache::with_capacity_and_shards`])
+//!   and concurrent batch jobs practically never contend on one lock.
+//! * **Bounded capacity + LRU eviction.** Every shard holds at most
+//!   `capacity / shards` entries; inserting into a full shard evicts its
+//!   least-recently-touched entry (a global atomic clock stamps every hit
+//!   and insert). A busy service therefore holds its hot set and sheds the
+//!   tail instead of growing without bound.
+//! * **Counters.** Lifetime hits, misses and evictions are kept in atomics
+//!   and reported by [`ScheduleCache::stats`]; the `serve` bin asserts a
+//!   100% warm-pass hit rate from exactly these numbers.
+
+use crate::fx::{CacheKey, FxBuildHasher};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default total capacity (entries) of [`ScheduleCache::default`].
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Lifetime counters and occupancy of a [`ScheduleCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently stored (across all shards).
+    pub entries: usize,
+    /// Maximum entries the cache will hold (across all shards).
+    pub capacity: usize,
+    /// Number of independently locked shards.
+    pub shards: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups, in `[0, 1]` (`0` when nothing was looked up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    /// Last-touched stamp from the cache's global clock (bigger = more
+    /// recent); the eviction victim is the shard minimum.
+    stamp: u64,
+}
+
+/// One independently-locked slice of the key space.
+type Shard<V> = Mutex<HashMap<CacheKey, Entry<V>, FxBuildHasher>>;
+
+/// A sharded, bounded, content-addressed map from [`CacheKey`] to cached
+/// artifacts (see the [module docs](self)).
+pub struct ScheduleCache<V> {
+    shards: Box<[Shard<V>]>,
+    per_shard_capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V> ScheduleCache<V> {
+    /// A cache holding at most `capacity` entries, sharded for `threads`
+    /// concurrent participants (shard count = next power of two ≥
+    /// `4 * threads`, so pool-wide batch jobs rarely meet on a lock).
+    #[must_use]
+    pub fn with_capacity_and_shards(capacity: usize, threads: usize) -> Self {
+        let shards = (4 * threads.max(1)).next_power_of_two();
+        let per_shard_capacity = capacity.max(1).div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(HashMap::with_hasher(FxBuildHasher)))
+                .collect(),
+            per_shard_capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache holding at most `capacity` entries, sharded for the
+    /// machine's available parallelism.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::with_capacity_and_shards(capacity, threads)
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Entry<V>, FxBuildHasher>> {
+        // Shard count is a power of two; the key's low bits select.
+        &self.shards[(key.lo as usize) & (self.shards.len() - 1)]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit. Counts one hit or
+    /// one miss.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<V>
+    where
+        V: Clone,
+    {
+        let stamp = self.tick();
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        match shard.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key`, replacing any existing entry; evicts the
+    /// shard's least-recently-touched entry when the shard is full.
+    pub fn insert(&self, key: CacheKey, value: V) {
+        let stamp = self.tick();
+        let mut shard = self.shard(&key).lock().expect("cache shard lock");
+        if let Some(entry) = shard.get_mut(&key) {
+            entry.value = value;
+            entry.stamp = stamp;
+            return;
+        }
+        if shard.len() >= self.per_shard_capacity {
+            if let Some(victim) = shard.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) {
+                shard.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.insert(key, Entry { value, stamp });
+    }
+
+    /// Number of entries currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
+    }
+
+    /// Whether the cache currently stores nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters keep their lifetime values).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("cache shard lock").clear();
+        }
+    }
+
+    /// Lifetime counters and occupancy.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.per_shard_capacity * self.shards.len(),
+            shards: self.shards.len(),
+        }
+    }
+}
+
+impl<V> Default for ScheduleCache<V> {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl<V> fmt::Debug for ScheduleCache<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScheduleCache")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> CacheKey {
+        CacheKey {
+            lo: i,
+            hi: i.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache: ScheduleCache<u32> = ScheduleCache::with_capacity_and_shards(64, 2);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), 10);
+        assert_eq!(cache.get(&key(1)), Some(10));
+        assert_eq!(cache.get(&key(1)), Some(10));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 1, 0));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.entries, 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn inserting_an_existing_key_replaces_without_evicting() {
+        let cache: ScheduleCache<u32> = ScheduleCache::with_capacity_and_shards(8, 1);
+        cache.insert(key(1), 10);
+        cache.insert(key(1), 20);
+        assert_eq!(cache.get(&key(1)), Some(20));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn full_shards_evict_the_least_recently_touched_entry() {
+        // 1 thread -> 4 shards; capacity 4 -> 1 entry per shard. Keys with
+        // equal low bits land in the same shard.
+        let cache: ScheduleCache<u32> = ScheduleCache::with_capacity_and_shards(4, 1);
+        assert_eq!(cache.stats().shards, 4);
+        let a = CacheKey { lo: 0, hi: 1 };
+        let b = CacheKey { lo: 4, hi: 2 }; // same shard as `a` (lo & 3 == 0)
+        cache.insert(a, 1);
+        cache.insert(b, 2);
+        assert_eq!(cache.stats().evictions, 1, "shard held only one entry");
+        assert!(cache.get(&a).is_none(), "oldest entry was evicted");
+        assert_eq!(cache.get(&b), Some(2));
+
+        // Touching an entry protects it: insert a, touch a, insert b again.
+        let cache: ScheduleCache<u32> = ScheduleCache::with_capacity_and_shards(8, 1);
+        assert_eq!(cache.stats().shards, 4);
+        let c = CacheKey { lo: 8, hi: 3 }; // same shard again, capacity 2
+        cache.insert(a, 1);
+        cache.insert(b, 2);
+        assert_eq!(cache.get(&a), Some(1)); // refresh a; b is now LRU
+        cache.insert(c, 3);
+        assert_eq!(cache.get(&a), Some(1));
+        assert!(cache.get(&b).is_none(), "LRU entry b was the victim");
+        assert_eq!(cache.get(&c), Some(3));
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_counters() {
+        let cache: ScheduleCache<u32> = ScheduleCache::with_capacity(16);
+        cache.insert(key(1), 1);
+        assert_eq!(cache.get(&key(1)), Some(1));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe_and_counts_add_up() {
+        let cache: std::sync::Arc<ScheduleCache<u64>> =
+            std::sync::Arc::new(ScheduleCache::with_capacity_and_shards(1024, 8));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        let k = key(t * 1000 + i);
+                        assert!(cache.get(&k).is_none());
+                        cache.insert(k, i);
+                        assert_eq!(cache.get(&k), Some(i));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 800);
+        assert_eq!(stats.misses, 800);
+        assert_eq!(stats.entries, 800);
+    }
+}

@@ -1,0 +1,412 @@
+//! Canonical DDG hashing: relabeling-invariant keys plus the permutation
+//! that translates cached artifacts between isomorphic loops.
+//!
+//! Two loops that differ only in *names* (of ops, arrays, induction
+//! variables) or in the *numbering* of their operations describe the same
+//! scheduling problem, and a content-addressed cache should treat them as
+//! one entry. [`canonicalize`] computes:
+//!
+//! * a canonical ordering of the operations via **Weisfeiler–Leman colour
+//!   refinement**: every op starts with a colour hashed from its local
+//!   signature (op kind + memory-reference shape), then repeatedly absorbs
+//!   the sorted colour multisets of its dependence neighbourhood (edge kind,
+//!   distance, direction included) until the colour partition stops
+//!   refining. Sorting ops by `(colour, original index)` yields the
+//!   canonical order — for *identical* loops the same order on both sides,
+//!   so cached artifacts round-trip exactly;
+//! * the loop's structural key, fed into a [`KeyHasher`] **in canonical
+//!   order**: the key hashes the full canonical description (not just the
+//!   colour multiset), so equal keys mean equal canonical forms;
+//! * the permutation ([`CanonicalLoop::to_canon`] /
+//!   [`CanonicalLoop::from_canon`]) with which the pipeline translates
+//!   schedules into and out of canonical op-id space.
+//!
+//! WL refinement is a (complete in practice, incomplete in theory) graph
+//! canonicalization: ops that WL cannot distinguish are tie-broken by
+//! original index, so two differently-numbered automorphic-looking loops
+//! could in principle canonicalize differently and *miss* — never the wrong
+//! hit. Names never enter the hash; addresses, sizes, strides and trip
+//! counts do (they change scheduling and simulation results).
+
+use crate::fx::KeyHasher;
+use mvp_ir::{EdgeKind, Loop, OpId, OpKind};
+use mvp_machine::{BusConfig, BusCount, FuKind, MachineConfig};
+
+/// The canonical form of one loop: its structural key plus the permutation
+/// between original and canonical op numbering.
+#[derive(Debug, Clone)]
+pub struct CanonicalLoop {
+    /// Key accumulator pre-fed with the canonical structural description of
+    /// the loop (callers continue feeding machine + scheduler + options).
+    structure: KeyHasher,
+    /// `to_canon[original_index] = canonical_index`.
+    pub to_canon: Vec<usize>,
+    /// `from_canon[canonical_index] = original_index` (inverse of
+    /// [`to_canon`](CanonicalLoop::to_canon)).
+    pub from_canon: Vec<usize>,
+}
+
+impl CanonicalLoop {
+    /// A [`KeyHasher`] already fed with the loop's canonical structure;
+    /// feed the machine ([`hash_machine`]) and scheduler options into it,
+    /// then [`finish`](KeyHasher::finish) it into the cache key.
+    #[must_use]
+    pub fn key_hasher(&self) -> KeyHasher {
+        self.structure.clone()
+    }
+}
+
+/// Stable tag for an op kind (independent of enum layout).
+fn op_kind_tag(kind: OpKind) -> u64 {
+    match kind {
+        OpKind::IntOp => 1,
+        OpKind::FpOp => 2,
+        OpKind::Load => 3,
+        OpKind::Store => 4,
+    }
+}
+
+/// Stable tag for an edge kind.
+fn edge_kind_tag(kind: EdgeKind) -> u64 {
+    match kind {
+        EdgeKind::Data => 1,
+        EdgeKind::Memory => 2,
+    }
+}
+
+/// Quick FxHash fold of a word sequence (for colour signatures).
+fn fold(seed: u64, words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = crate::fx::FxHasher::with_seed(seed);
+    use std::hash::Hasher;
+    for w in words {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
+/// The local (name-free) signature of one operation: kind plus, for memory
+/// ops, the full affine reference shape and the referenced array's
+/// placement (base addresses change cache behaviour, so they are part of
+/// the content address).
+fn op_signature(l: &Loop, op: OpId) -> u64 {
+    let mut words: Vec<u64> = vec![op_kind_tag(l.op(op).kind)];
+    if let Some(r) = l.memory_ref_of(op) {
+        let array = l.array(r.array);
+        words.push(array.base_address);
+        words.push(array.size_bytes);
+        words.push(r.offset as u64);
+        words.push(u64::from(r.element_bytes));
+        words.push(r.strides.len() as u64);
+        words.extend(r.strides.iter().map(|&s| s as u64));
+    }
+    fold(0x0b5e_7a71_0e5e_ed00, words)
+}
+
+/// Runs Weisfeiler–Leman colour refinement and returns the canonical form
+/// of `l`: a structural key invariant under op/array/dimension renaming and
+/// op re-numbering, plus the canonical permutation (see the [module
+/// docs](self)).
+#[must_use]
+pub fn canonicalize(l: &Loop) -> CanonicalLoop {
+    let n = l.num_ops();
+    let mut colors: Vec<u64> = l.op_ids().map(|op| op_signature(l, op)).collect();
+
+    // Refine until the partition stops getting finer (≤ n rounds, tiny in
+    // practice: loop bodies here are tens of ops).
+    let mut distinct = count_distinct(&colors);
+    loop {
+        let next: Vec<u64> = l
+            .op_ids()
+            .map(|op| {
+                let mut preds: Vec<u64> = l
+                    .preds(op)
+                    .map(|e| {
+                        fold(
+                            0x11ed_ce5e_ed11_0001,
+                            [
+                                colors[e.src.index()],
+                                edge_kind_tag(e.kind),
+                                u64::from(e.distance),
+                            ],
+                        )
+                    })
+                    .collect();
+                let mut succs: Vec<u64> = l
+                    .succs(op)
+                    .map(|e| {
+                        fold(
+                            0x11ed_ce5e_ed11_0002,
+                            [
+                                colors[e.dst.index()],
+                                edge_kind_tag(e.kind),
+                                u64::from(e.distance),
+                            ],
+                        )
+                    })
+                    .collect();
+                preds.sort_unstable();
+                succs.sort_unstable();
+                fold(
+                    colors[op.index()],
+                    preds.into_iter().chain([u64::MAX]).chain(succs),
+                )
+            })
+            .collect();
+        let next_distinct = count_distinct(&next);
+        colors = next;
+        if next_distinct <= distinct {
+            break;
+        }
+        distinct = next_distinct;
+    }
+
+    // Canonical order: by (colour, original index). The original-index
+    // tie-break keeps the permutation deterministic, and identical loops on
+    // both cache sides derive identical permutations, so artifact
+    // translation round-trips exactly.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (colors[i], i));
+    let from_canon = order;
+    let mut to_canon = vec![0usize; n];
+    for (canon, &orig) in from_canon.iter().enumerate() {
+        to_canon[orig] = canon;
+    }
+
+    // Feed the *full canonical description* — not just colour hashes — so
+    // equal keys mean equal canonical forms.
+    let mut k = KeyHasher::new();
+    k.usize(n);
+    k.usize(l.nest().num_dims());
+    for dim in l.nest().dims() {
+        k.u64(dim.trip_count);
+    }
+    k.u64(l.iterations());
+    k.u64(l.times_executed());
+    k.usize(l.arrays().len());
+    for array in l.arrays() {
+        k.u64(array.base_address);
+        k.u64(array.size_bytes);
+    }
+    for &orig in &from_canon {
+        let op = OpId::from_index(orig);
+        k.u64(op_kind_tag(l.op(op).kind));
+        match l.memory_ref_of(op) {
+            None => k.bool(false),
+            Some(r) => {
+                k.bool(true);
+                k.usize(r.array.index());
+                k.i64(r.offset);
+                k.u32(r.element_bytes);
+                k.usize(r.strides.len());
+                for &s in &r.strides {
+                    k.i64(s);
+                }
+            }
+        }
+    }
+    let mut edges: Vec<(usize, usize, u64, u32)> = l
+        .edges()
+        .iter()
+        .map(|e| {
+            (
+                to_canon[e.src.index()],
+                to_canon[e.dst.index()],
+                edge_kind_tag(e.kind),
+                e.distance,
+            )
+        })
+        .collect();
+    edges.sort_unstable();
+    k.usize(edges.len());
+    for (src, dst, kind, distance) in edges {
+        k.usize(src);
+        k.usize(dst);
+        k.u64(kind);
+        k.u32(distance);
+    }
+
+    CanonicalLoop {
+        structure: k,
+        to_canon,
+        from_canon,
+    }
+}
+
+fn count_distinct(colors: &[u64]) -> usize {
+    let mut sorted = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+fn hash_bus(k: &mut KeyHasher, bus: &BusConfig) {
+    match bus.count {
+        BusCount::Finite(n) => {
+            k.bool(true);
+            k.usize(n);
+        }
+        BusCount::Unbounded => k.bool(false),
+    }
+    k.u32(bus.latency);
+}
+
+/// Feeds the complete machine configuration into a cache key: cluster
+/// count, per-cluster FU mix / register file / cache geometry, both bus
+/// sets, and every operation latency. Two machines that schedule or
+/// simulate differently in *any* way feed different words.
+pub fn hash_machine(k: &mut KeyHasher, machine: &MachineConfig) {
+    k.str(&machine.name);
+    k.usize(machine.num_clusters());
+    for (_, cluster) in machine.clusters() {
+        for kind in FuKind::ALL {
+            k.usize(cluster.fu_count(kind));
+        }
+        k.usize(cluster.register_file_size);
+        k.u64(cluster.cache.capacity_bytes);
+        k.u64(cluster.cache.block_bytes);
+        k.u64(cluster.cache.associativity);
+        k.usize(cluster.cache.mshr_entries);
+    }
+    hash_bus(k, &machine.register_buses);
+    hash_bus(k, &machine.memory_buses);
+    k.u32(machine.latencies.int_op);
+    k.u32(machine.latencies.fp_op);
+    k.u32(machine.latencies.load_hit);
+    k.u32(machine.latencies.store);
+    k.u32(machine.latencies.main_memory);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvp_ir::ArrayRef;
+
+    /// The motivating-example shape: two loads, a multiply, an add with a
+    /// loop-carried self-dependence, a store.
+    fn sample_loop(names: [&str; 5], reverse_ops: bool) -> Loop {
+        let mut b = Loop::builder("sample");
+        let i = b.dimension("I", 100);
+        let a = b.array("A", 0x1000, 800);
+        let c = b.array("C", 0x4000, 800);
+        let ref_a = ArrayRef::builder(a).stride(i, 8).element_bytes(8).build();
+        let ref_c = ArrayRef::builder(c).stride(i, 8).element_bytes(8).build();
+        // Insertion order flips, names change — structure stays the same.
+        if reverse_ops {
+            let st = b.store(names[4], ref_c.clone());
+            let add = b.fp_op(names[3]);
+            let mul = b.fp_op(names[2]);
+            let ld2 = b.load(names[1], ref_a.clone());
+            let ld1 = b.load(names[0], ref_a);
+            b.data_edge(ld1, mul, 0)
+                .data_edge(ld2, mul, 0)
+                .data_edge(mul, add, 0)
+                .data_edge(add, add, 1)
+                .data_edge(add, st, 0);
+        } else {
+            let ld1 = b.load(names[0], ref_a.clone());
+            let ld2 = b.load(names[1], ref_a);
+            let mul = b.fp_op(names[2]);
+            let add = b.fp_op(names[3]);
+            let st = b.store(names[4], ref_c);
+            b.data_edge(ld1, mul, 0)
+                .data_edge(ld2, mul, 0)
+                .data_edge(mul, add, 0)
+                .data_edge(add, add, 1)
+                .data_edge(add, st, 0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn permutations_are_inverse_of_each_other() {
+        let l = sample_loop(["L1", "L2", "M", "A", "S"], false);
+        let canon = canonicalize(&l);
+        assert_eq!(canon.to_canon.len(), l.num_ops());
+        for orig in 0..l.num_ops() {
+            assert_eq!(canon.from_canon[canon.to_canon[orig]], orig);
+        }
+    }
+
+    #[test]
+    fn identical_loops_canonicalize_identically() {
+        let a = canonicalize(&sample_loop(["L1", "L2", "M", "A", "S"], false));
+        let b = canonicalize(&sample_loop(["L1", "L2", "M", "A", "S"], false));
+        assert_eq!(a.key_hasher().finish(), b.key_hasher().finish());
+        assert_eq!(a.to_canon, b.to_canon);
+    }
+
+    #[test]
+    fn relabeled_isomorphic_loops_hash_equal() {
+        // Different op names, reversed insertion order: same key, and the
+        // permutations compose into the relabeling.
+        let a = canonicalize(&sample_loop(["L1", "L2", "M", "A", "S"], false));
+        let b = canonicalize(&sample_loop(["x", "y", "z", "w", "v"], true));
+        assert_eq!(a.key_hasher().finish(), b.key_hasher().finish());
+    }
+
+    #[test]
+    fn structural_changes_change_the_key() {
+        let base = canonicalize(&sample_loop(["L1", "L2", "M", "A", "S"], false))
+            .key_hasher()
+            .finish();
+
+        // Different recurrence distance.
+        let mut b = Loop::builder("sample");
+        let i = b.dimension("I", 100);
+        let a = b.array("A", 0x1000, 800);
+        let c = b.array("C", 0x4000, 800);
+        let ref_a = ArrayRef::builder(a).stride(i, 8).element_bytes(8).build();
+        let ref_c = ArrayRef::builder(c).stride(i, 8).element_bytes(8).build();
+        let ld1 = b.load("L1", ref_a.clone());
+        let ld2 = b.load("L2", ref_a);
+        let mul = b.fp_op("M");
+        let add = b.fp_op("A");
+        let st = b.store("S", ref_c);
+        b.data_edge(ld1, mul, 0)
+            .data_edge(ld2, mul, 0)
+            .data_edge(mul, add, 0)
+            .data_edge(add, add, 2) // distance 1 -> 2
+            .data_edge(add, st, 0);
+        let distance = canonicalize(&b.build().unwrap()).key_hasher().finish();
+        assert_ne!(base, distance);
+
+        // Different trip count.
+        let mut b2 = Loop::builder("sample");
+        let i = b2.dimension("I", 101);
+        let a = b2.array("A", 0x1000, 800);
+        let c = b2.array("C", 0x4000, 800);
+        let ref_a = ArrayRef::builder(a).stride(i, 8).element_bytes(8).build();
+        let ref_c = ArrayRef::builder(c).stride(i, 8).element_bytes(8).build();
+        let ld1 = b2.load("L1", ref_a.clone());
+        let ld2 = b2.load("L2", ref_a);
+        let mul = b2.fp_op("M");
+        let add = b2.fp_op("A");
+        let st = b2.store("S", ref_c);
+        b2.data_edge(ld1, mul, 0)
+            .data_edge(ld2, mul, 0)
+            .data_edge(mul, add, 0)
+            .data_edge(add, add, 1)
+            .data_edge(add, st, 0);
+        let trips = canonicalize(&b2.build().unwrap()).key_hasher().finish();
+        assert_ne!(base, trips);
+    }
+
+    #[test]
+    fn machines_feed_distinct_keys() {
+        use mvp_machine::presets;
+        let machines = [
+            presets::unified(),
+            presets::two_cluster(),
+            presets::four_cluster(),
+        ];
+        let mut keys = Vec::new();
+        for m in &machines {
+            let mut k = KeyHasher::new();
+            hash_machine(&mut k, m);
+            keys.push(k.finish());
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), machines.len());
+    }
+}

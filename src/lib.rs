@@ -15,8 +15,11 @@
 //!   contribution),
 //! * [`exact`] — the branch-and-bound exact scheduler: an optimality oracle
 //!   that proves how far the heuristics land from the best possible II,
-//! * [`exec`] — the work-stealing executor every heavy path (per-loop
-//!   pipeline runs, gap-oracle calls, bench sweeps, fuzz cases) runs on,
+//! * [`exec`] — the persistent parked-worker executor every heavy path
+//!   (per-loop pipeline runs, gap-oracle calls, bench sweeps, fuzz cases)
+//!   runs on,
+//! * [`schedcache`] — the sharded, content-addressed schedule cache the
+//!   service runtime replays repeated loops from,
 //! * [`sim`] — the cycle-level simulator with distributed coherent caches,
 //! * [`workloads`] — the synthetic SPECfp95-modelled kernels and the
 //!   Figure-3 motivating example.
@@ -54,7 +57,10 @@ pub mod error;
 pub mod pipeline;
 
 pub use error::{Error, Result};
-pub use pipeline::{LoopReport, Pipeline, PipelineBuilder, PipelineReport, SchedulerChoice};
+pub use pipeline::{
+    CachedLoopReport, LoopReport, Pipeline, PipelineBuilder, PipelineReport, PipelineScheduleCache,
+    SchedulerChoice,
+};
 
 pub use mvp_cache as cache;
 pub use mvp_core as core;
@@ -63,5 +69,6 @@ pub use mvp_exec as exec;
 pub use mvp_ir as ir;
 pub use mvp_machine as machine;
 pub use mvp_resmodel as resmodel;
+pub use mvp_schedcache as schedcache;
 pub use mvp_sim as sim;
 pub use mvp_workloads as workloads;

@@ -26,13 +26,14 @@
 
 use crate::error::{Error, Result};
 use mvp_core::{
-    BaselineScheduler, FallbackScheduler, ModuloScheduler, RmcaScheduler, Schedule,
-    SchedulerOptions,
+    BaselineScheduler, Communication, FallbackScheduler, ModuloScheduler, PlacedOp, RmcaScheduler,
+    Schedule, SchedulerOptions,
 };
 use mvp_exact::{ExactOptions, ExactScheduler};
 use mvp_exec::Executor;
-use mvp_ir::Loop;
+use mvp_ir::{Loop, OpId};
 use mvp_machine::{presets, MachineConfig};
+use mvp_schedcache::{canonicalize, hash_machine, CacheKey, CanonicalLoop, ScheduleCache};
 use mvp_sim::memory_system::MemoryCounters;
 use mvp_sim::{simulate, SimOptions, SimStats};
 use mvp_workloads::Workload;
@@ -125,6 +126,12 @@ impl fmt::Display for SchedulerChoice {
     }
 }
 
+/// The concrete [`ScheduleCache`] instantiation the pipeline shares:
+/// canonicalized loop reports keyed by content hash. Build one, wrap it in
+/// an [`Arc`], and hand it to every pipeline of a service via
+/// [`PipelineBuilder::schedule_cache`].
+pub type PipelineScheduleCache = ScheduleCache<CachedLoopReport>;
+
 /// Builder for a [`Pipeline`].
 #[derive(Debug, Clone)]
 pub struct PipelineBuilder {
@@ -135,6 +142,7 @@ pub struct PipelineBuilder {
     gap_oracle: Option<ExactOptions>,
     exact_node_budget: Option<u64>,
     executor: Option<Arc<Executor>>,
+    schedule_cache: Option<Arc<PipelineScheduleCache>>,
 }
 
 impl Default for PipelineBuilder {
@@ -147,6 +155,7 @@ impl Default for PipelineBuilder {
             gap_oracle: None,
             exact_node_budget: None,
             executor: None,
+            schedule_cache: None,
         }
     }
 }
@@ -252,6 +261,27 @@ impl PipelineBuilder {
         self
     }
 
+    /// Attaches a content-addressed schedule cache (off by default).
+    ///
+    /// With a cache attached, [`Pipeline::run`] first canonicalizes the
+    /// loop, derives a [`CacheKey`] from the loop's structure plus the
+    /// machine configuration and every option that can influence the
+    /// report, and looks the key up; a hit skips scheduling, the gap
+    /// oracle *and* simulation entirely, replaying the stored
+    /// [`LoopReport`] translated back into the query loop's operation ids.
+    /// A miss solves as usual and stores the result.
+    ///
+    /// Share one `Arc` across all pipelines of a service (the cache is
+    /// sharded internally and safe for concurrent batch jobs). Results are
+    /// bit-identical with and without the cache: the key covers everything
+    /// the report depends on, and the canonicalizer only ever identifies
+    /// loops whose canonical descriptions are equal word for word.
+    #[must_use]
+    pub fn schedule_cache(mut self, cache: Arc<PipelineScheduleCache>) -> Self {
+        self.schedule_cache = Some(cache);
+        self
+    }
+
     /// Validates the configuration and builds the [`Pipeline`].
     ///
     /// # Errors
@@ -287,6 +317,7 @@ impl PipelineBuilder {
             gap_oracle: self.gap_oracle,
             exact_node_budget: self.exact_node_budget,
             executor: self.executor.unwrap_or_else(Executor::global),
+            schedule_cache: self.schedule_cache,
         })
     }
 }
@@ -309,6 +340,7 @@ pub struct Pipeline {
     gap_oracle: Option<ExactOptions>,
     exact_node_budget: Option<u64>,
     executor: Arc<Executor>,
+    schedule_cache: Option<Arc<PipelineScheduleCache>>,
 }
 
 impl fmt::Debug for Pipeline {
@@ -352,13 +384,89 @@ impl Pipeline {
         &self.executor
     }
 
+    /// The schedule cache attached via
+    /// [`PipelineBuilder::schedule_cache`], if any.
+    #[must_use]
+    pub fn schedule_cache(&self) -> Option<&Arc<PipelineScheduleCache>> {
+        self.schedule_cache.as_ref()
+    }
+
+    /// The content-addressed cache key [`run`](Pipeline::run) would look
+    /// `l` up under: the loop's canonical structure, the machine
+    /// configuration, and every pipeline option that can influence the
+    /// report. Exposed so service front ends can log and correlate keys.
+    #[must_use]
+    pub fn cache_key(&self, l: &Loop) -> CacheKey {
+        self.cache_key_of(&canonicalize(l))
+    }
+
+    fn cache_key_of(&self, canon: &CanonicalLoop) -> CacheKey {
+        let mut k = canon.key_hasher();
+        hash_machine(&mut k, &self.machine);
+        k.str(self.choice.name());
+        k.f64_bits(self.scheduler_options.miss_threshold);
+        k.u32(self.scheduler_options.max_ii_slack);
+        k.usize(self.scheduler_options.locality_window);
+        k.bool(self.scheduler_options.enforce_register_pressure);
+        k.u64(self.sim_options.max_inner_iterations);
+        k.bool(self.sim_options.flush_between_executions);
+        k.bool(self.gap_oracle.is_some());
+        if let Some(oracle) = &self.gap_oracle {
+            k.u32(oracle.max_ii_slack);
+            k.u64(oracle.node_budget);
+            k.u32(oracle.horizon_stages);
+            k.bool(oracle.enforce_register_pressure);
+        }
+        k.bool(self.exact_node_budget.is_some());
+        if let Some(budget) = self.exact_node_budget {
+            k.u64(budget);
+        }
+        k.finish()
+    }
+
     /// Schedules and simulates one loop.
+    ///
+    /// With a [schedule cache](PipelineBuilder::schedule_cache) attached,
+    /// consults it first and replays the stored report on a hit; the
+    /// reported artifact is identical either way.
     ///
     /// # Errors
     ///
     /// Propagates scheduling failures as [`Error::Schedule`] (or
     /// [`Error::Machine`] when the root cause is the machine model).
+    /// Failures are not cached: a loop that failed once is re-attempted on
+    /// every run.
     pub fn run(&self, l: &Loop) -> Result<LoopReport> {
+        let Some(cache) = &self.schedule_cache else {
+            return self.solve(l);
+        };
+        let canon = canonicalize(l);
+        let key = self.cache_key_of(&canon);
+        if let Some(cached) = cache.get(&key) {
+            let report = cached.into_report(l, &canon);
+            // A replayed schedule went through the debug validator when it
+            // was first produced, but a hit may translate it onto a loop
+            // that is merely isomorphic to the original — re-validate the
+            // translated artifact in debug builds.
+            #[cfg(debug_assertions)]
+            {
+                let violations = mvp_core::validate_schedule(l, &self.machine, &report.schedule);
+                debug_assert!(
+                    violations.is_empty(),
+                    "cache hit replayed an illegal schedule for {} on {}: {violations:?}",
+                    l.name(),
+                    self.machine.name,
+                );
+            }
+            return Ok(report);
+        }
+        let report = self.solve(l)?;
+        cache.insert(key, CachedLoopReport::from_report(&report, &canon));
+        Ok(report)
+    }
+
+    /// The uncached schedule → (gap oracle) → simulate path.
+    fn solve(&self, l: &Loop) -> Result<LoopReport> {
         // When the pipeline's own scheduler *is* the exact search and the
         // gap oracle is on, one solve provides both the schedule and the
         // bound — running `ExactScheduler::schedule` and then the oracle
@@ -526,6 +634,116 @@ impl fmt::Display for LoopReport {
             write!(f, ", gap={:.0}%", 100.0 * gap)?;
         }
         Ok(())
+    }
+}
+
+/// A [`LoopReport`] as stored in the [`PipelineScheduleCache`]: the same
+/// payload, but with every operation id translated into the loop's
+/// *canonical* numbering (the relabeling-invariant order computed by
+/// [`canonicalize`]). Storing in canonical space is what lets a hit replay
+/// onto any loop with the same canonical form — including relabeled
+/// isomorphs of the loop that populated the entry — by translating ids
+/// back through the query loop's own canonical maps.
+#[derive(Debug, Clone)]
+pub struct CachedLoopReport {
+    scheduler: SchedulerChoice,
+    ii: u32,
+    communications: usize,
+    miss_scheduled_loads: usize,
+    optimality_gap: Option<f64>,
+    machine_name: String,
+    scheduler_name: String,
+    /// Placements with canonical op ids, sorted by canonical id.
+    ops: Vec<PlacedOp>,
+    /// Communications with canonical op ids, in booking order.
+    comms: Vec<Communication>,
+    register_pressure: Vec<u32>,
+    stats: SimStats,
+}
+
+impl CachedLoopReport {
+    /// Translates a freshly solved report into canonical op-id space.
+    fn from_report(report: &LoopReport, canon: &CanonicalLoop) -> Self {
+        let mut ops: Vec<PlacedOp> = report
+            .schedule
+            .ops()
+            .iter()
+            .map(|p| PlacedOp {
+                op: OpId::from_index(canon.to_canon[p.op.index()]),
+                ..*p
+            })
+            .collect();
+        ops.sort_by_key(|p| p.op.index());
+        let comms = report
+            .schedule
+            .communications()
+            .iter()
+            .map(|c| Communication {
+                src: OpId::from_index(canon.to_canon[c.src.index()]),
+                dst: OpId::from_index(canon.to_canon[c.dst.index()]),
+                ..*c
+            })
+            .collect();
+        Self {
+            scheduler: report.scheduler,
+            ii: report.ii,
+            communications: report.communications,
+            miss_scheduled_loads: report.miss_scheduled_loads,
+            optimality_gap: report.optimality_gap,
+            machine_name: report.schedule.machine_name.clone(),
+            scheduler_name: report.schedule.scheduler_name.clone(),
+            ops,
+            comms,
+            register_pressure: report.schedule.register_pressure().to_vec(),
+            stats: report.stats,
+        }
+    }
+
+    /// Replays the cached artifact onto `l`, translating canonical op ids
+    /// back into `l`'s own numbering.
+    ///
+    /// For the very loop that populated the entry this round-trips
+    /// byte-identically: `from_canon ∘ to_canon` is the identity, both
+    /// schedulers emit placements in op-id order (restored here by the
+    /// sort), and communications keep their booking order throughout.
+    fn into_report(self, l: &Loop, canon: &CanonicalLoop) -> LoopReport {
+        let mut ops: Vec<PlacedOp> = self
+            .ops
+            .iter()
+            .map(|p| PlacedOp {
+                op: OpId::from_index(canon.from_canon[p.op.index()]),
+                ..*p
+            })
+            .collect();
+        ops.sort_by_key(|p| p.op.index());
+        let comms = self
+            .comms
+            .iter()
+            .map(|c| Communication {
+                src: OpId::from_index(canon.from_canon[c.src.index()]),
+                dst: OpId::from_index(canon.from_canon[c.dst.index()]),
+                ..*c
+            })
+            .collect();
+        let schedule = Schedule::new(
+            self.machine_name,
+            self.scheduler_name,
+            self.ii,
+            ops,
+            comms,
+            self.register_pressure,
+        );
+        LoopReport {
+            loop_name: l.name().to_string(),
+            scheduler: self.scheduler,
+            ii: self.ii,
+            stage_count: schedule.stage_count(),
+            communications: self.communications,
+            miss_scheduled_loads: self.miss_scheduled_loads,
+            optimality_gap: self.optimality_gap,
+            schedule,
+            stats: self.stats,
+        }
     }
 }
 
@@ -821,6 +1039,46 @@ mod tests {
             sequential.run_workloads(&workloads).unwrap(),
             parallel.run_workloads(&workloads).unwrap()
         );
+    }
+
+    #[test]
+    fn schedule_cache_hits_replay_identical_reports() {
+        let (l, _) = motivating_loop(&MotivatingParams::default());
+        let cache = Arc::new(PipelineScheduleCache::with_capacity_and_shards(64, 2));
+        let p = Pipeline::builder()
+            .scheduler(SchedulerChoice::Rmca)
+            .machine(presets::motivating_example_machine())
+            .schedule_cache(Arc::clone(&cache))
+            .build()
+            .unwrap();
+        let cold = p.run(&l).unwrap();
+        let warm = p.run(&l).unwrap();
+        assert_eq!(cold, warm, "a hit replays the cold report exactly");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // The key is observable and stable.
+        assert_eq!(p.cache_key(&l), p.cache_key(&l));
+
+        // A pipeline differing in any keyed option misses.
+        let other = Pipeline::builder()
+            .scheduler(SchedulerChoice::Baseline)
+            .machine(presets::motivating_example_machine())
+            .schedule_cache(Arc::clone(&cache))
+            .build()
+            .unwrap();
+        assert_ne!(other.cache_key(&l), p.cache_key(&l));
+        other.run(&l).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().entries, 2);
+
+        // An uncached pipeline reports the same artifact.
+        let uncached = Pipeline::builder()
+            .scheduler(SchedulerChoice::Rmca)
+            .machine(presets::motivating_example_machine())
+            .build()
+            .unwrap();
+        assert!(uncached.schedule_cache().is_none());
+        assert_eq!(uncached.run(&l).unwrap(), cold);
     }
 
     #[test]

@@ -102,3 +102,85 @@ fn panics_in_jobs_propagate_to_the_caller() {
     // The executor is reusable after a panicking batch (nothing poisoned).
     assert_eq!(executor.map(&[1u32, 2, 3], |&x| x * 2), vec![2, 4, 6]);
 }
+
+#[test]
+fn the_pool_persists_across_batches_instead_of_respawning() {
+    // The persistent-service contract: workers spawn once (lazily, on the
+    // first parallel batch) and the same threads serve every later batch.
+    let executor = Executor::new(4);
+    assert_eq!(executor.spawned_workers(), 0, "spawning is lazy");
+
+    let items: Vec<u64> = (0..64).collect();
+    let mut worker_ids: std::collections::HashSet<std::thread::ThreadId> =
+        std::collections::HashSet::new();
+    for batch in 0..10 {
+        let ids = executor.map(&items, |_| std::thread::current().id());
+        worker_ids.extend(ids);
+        assert_eq!(
+            executor.spawned_workers(),
+            3,
+            "batch {batch}: 3 workers + caller"
+        );
+    }
+    assert_eq!(executor.batches_run(), 10);
+    // Every batch ran on the same thread set: the caller plus at most the
+    // three persistent workers, never a fresh spawn per batch.
+    assert!(
+        worker_ids.len() <= 4,
+        "expected at most 4 distinct threads over 10 batches, saw {}",
+        worker_ids.len()
+    );
+}
+
+#[test]
+fn parked_workers_wake_for_late_batches() {
+    // Between batches the workers park; a batch arriving after a long idle
+    // gap must wake them and still produce ordered, complete results.
+    let executor = Executor::new(4);
+    let items: Vec<u32> = (0..32).collect();
+    for pause_ms in [0, 20, 50] {
+        std::thread::sleep(std::time::Duration::from_millis(pause_ms));
+        let doubled = executor.map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+    // The pool also survives interleaving with pipeline work (parking and
+    // waking around real scheduling jobs, not just arithmetic).
+    let workloads = suite(&SuiteParams::small());
+    let p = Pipeline::builder()
+        .scheduler(SchedulerChoice::Rmca)
+        .executor(Arc::new(Executor::new(4)))
+        .build()
+        .unwrap();
+    let first = p.run_workloads(&workloads).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let second = p.run_workloads(&workloads).unwrap();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn a_panicking_batch_leaves_the_persistent_pool_usable() {
+    // Sharper than `panics_in_jobs_propagate_to_the_caller`: the *same*
+    // worker threads (not a respawned set) must keep serving batches after
+    // one of them unwound through a job panic.
+    let executor = Executor::new(4);
+    let items: Vec<u32> = (0..32).collect();
+    assert_eq!(executor.map(&items, |&x| x + 1).len(), 32);
+    let spawned_before = executor.spawned_workers();
+
+    for round in 0..3 {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            executor.map(&items, |&x| {
+                if x == 7 {
+                    panic!("round {round}");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err(), "round {round}: the panic must propagate");
+        // No worker died and none was respawned: the pool is the service's
+        // long-lived resource, not a per-batch scratch team.
+        assert_eq!(executor.spawned_workers(), spawned_before, "round {round}");
+        let recovered = executor.map(&items, |&x| x * 3);
+        assert_eq!(recovered, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+    }
+}
