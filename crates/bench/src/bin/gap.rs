@@ -1,7 +1,12 @@
 //! Optimality-gap table: heuristic II vs the exact scheduler's certified
 //! bound on every machine preset.
 //!
-//! Usage: `gap [--loops N] [--max-ops N] [--seed S] [--budget NODES]`
+//! Usage: `gap [--loops N] [--max-ops N] [--seed S] [--budget NODES]
+//! [--solver bnb|sat|portfolio]`
+//!
+//! The exact engine pricing the rows defaults to branch-and-bound; pass
+//! `--solver` (or set `MVP_GAP_SOLVER`) to price with the CDCL SAT backend
+//! or the racing portfolio instead.
 //!
 //! Every (loop, machine) point of the table is one job on the shared
 //! work-stealing executor (`MVP_THREADS` to override the width); rows are
@@ -15,6 +20,19 @@
 use mvp_bench::gap::{render, run, to_csv, to_json, GapParams};
 use mvp_bench::json::REPORT_JSON_ENV_VAR;
 use mvp_bench::report::write_env_artifact;
+use mvp_exact::SolverKind;
+
+fn parse_solver(value: &str) -> SolverKind {
+    match value {
+        "bnb" => SolverKind::BranchAndBound,
+        "sat" => SolverKind::Sat,
+        "portfolio" => SolverKind::Portfolio,
+        other => {
+            eprintln!("invalid solver {other:?}: expected bnb, sat or portfolio");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn arg<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
     let pos = args.iter().position(|a| a == name)?;
@@ -45,6 +63,12 @@ fn main() {
     }
     if let Some(b) = arg(&args, "--budget") {
         params.node_budget = b;
+    }
+    if let Ok(solver) = std::env::var("MVP_GAP_SOLVER") {
+        params.solver = parse_solver(&solver);
+    }
+    if let Some(solver) = arg::<String>(&args, "--solver") {
+        params.solver = parse_solver(&solver);
     }
 
     let rows = run(&params);

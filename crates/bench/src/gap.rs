@@ -12,7 +12,7 @@
 
 use crate::report::Table;
 use mvp_core::{BaselineScheduler, ModuloScheduler, RmcaScheduler};
-use mvp_exact::{solve, ExactOptions};
+use mvp_exact::{solve_with, ExactBackend, ExactOptions, SolverKind};
 use mvp_exec::Executor;
 use mvp_ir::Loop;
 use mvp_machine::{presets, MachineConfig};
@@ -34,6 +34,11 @@ pub struct GapParams {
     pub max_ops: usize,
     /// Node budget of the exact search, per loop.
     pub node_budget: u64,
+    /// The exact engine pricing the rows (default: branch-and-bound, which
+    /// keeps the historical tables and the Figure-3 node-count pins
+    /// byte-identical). [`SolverKind::Portfolio`] races on the process-wide
+    /// executor.
+    pub solver: SolverKind,
 }
 
 impl Default for GapParams {
@@ -46,7 +51,19 @@ impl Default for GapParams {
             // the per-probe node cost of the larger bodies affordable.
             max_ops: 12,
             node_budget: ExactOptions::new().node_budget,
+            solver: SolverKind::BranchAndBound,
         }
+    }
+}
+
+/// The [`ExactBackend`] a [`SolverKind`] selection names. The portfolio
+/// races on the process-wide executor.
+#[must_use]
+pub fn backend_of(solver: SolverKind) -> ExactBackend {
+    match solver {
+        SolverKind::BranchAndBound => ExactBackend::BranchAndBound,
+        SolverKind::Sat => ExactBackend::Sat,
+        SolverKind::Portfolio => ExactBackend::portfolio(Executor::global()),
     }
 }
 
@@ -67,8 +84,12 @@ pub struct GapRow {
     pub exact_ii: Option<u32>,
     /// Whether the exact schedule is proven optimal.
     pub proved_optimal: bool,
-    /// Search nodes the exact probe consumed.
+    /// Branch-and-bound search nodes the exact probes consumed.
     pub nodes: u64,
+    /// SAT steps (decisions + conflicts) the exact probes consumed.
+    pub conflicts: u64,
+    /// The exact engine that priced the row.
+    pub solver: SolverKind,
     /// Baseline scheduler II (`None` = II search exhausted).
     pub baseline_ii: Option<u32>,
     /// RMCA scheduler II (`None` = II search exhausted).
@@ -150,6 +171,7 @@ pub fn run(params: &GapParams) -> Vec<GapRow> {
 #[must_use]
 pub fn run_on(params: &GapParams, executor: &Executor) -> Vec<GapRow> {
     let options = ExactOptions::new().with_node_budget(params.node_budget);
+    let backend = backend_of(params.solver);
     let loops = corpus(params);
     let machines = machines();
     let grid: Vec<(&MachineConfig, &Loop)> = machines
@@ -157,7 +179,7 @@ pub fn run_on(params: &GapParams, executor: &Executor) -> Vec<GapRow> {
         .flat_map(|machine| loops.iter().map(move |l| (machine, l)))
         .collect();
     let rows = executor.map(&grid, |&(machine, l)| {
-        let Ok(outcome) = solve(l, machine, &options) else {
+        let Ok(outcome) = solve_with(l, machine, &options, &backend) else {
             return None; // loop uses a unit kind the machine lacks
         };
         let heuristic_ii = |s: Result<mvp_core::Schedule, _>| s.ok().map(|s| s.ii());
@@ -170,6 +192,8 @@ pub fn run_on(params: &GapParams, executor: &Executor) -> Vec<GapRow> {
             exact_ii: outcome.schedule_ii(),
             proved_optimal: outcome.proved_optimal,
             nodes: outcome.nodes,
+            conflicts: outcome.conflicts,
+            solver: params.solver,
             baseline_ii: heuristic_ii(BaselineScheduler::new().schedule(l, machine)),
             rmca_ii: heuristic_ii(RmcaScheduler::new().schedule(l, machine)),
         };
@@ -202,7 +226,7 @@ fn fmt_gap(gap: Option<f64>) -> String {
 pub fn render(rows: &[GapRow]) -> String {
     let mut t = Table::new(vec![
         "machine", "loop", "ops", "mII", "bound", "exact", "proved", "baseline", "rmca",
-        "base-gap", "rmca-gap",
+        "base-gap", "rmca-gap", "solver",
     ]);
     for r in rows {
         t.row(vec![
@@ -217,6 +241,7 @@ pub fn render(rows: &[GapRow]) -> String {
             fmt_ii(r.rmca_ii),
             fmt_gap(r.baseline_gap()),
             fmt_gap(r.rmca_gap()),
+            r.solver.to_string(),
         ]);
     }
     let proved = rows.iter().filter(|r| r.proved_optimal).count();
@@ -232,13 +257,15 @@ pub fn render(rows: &[GapRow]) -> String {
 /// Serialises the rows as CSV (header + one line per row).
 #[must_use]
 pub fn to_csv(rows: &[GapRow]) -> String {
+    // The new solver/conflicts columns sit at the end so positional
+    // consumers (the CI summary cuts fields 1-3 and 8) keep working.
     let mut out = String::from(
-        "machine,loop,ops,min_ii,lower_bound,exact_ii,proved_optimal,nodes,baseline_ii,rmca_ii,baseline_gap,rmca_gap\n",
+        "machine,loop,ops,min_ii,lower_bound,exact_ii,proved_optimal,nodes,baseline_ii,rmca_ii,baseline_gap,rmca_gap,solver,conflicts\n",
     );
     for r in rows {
         let gap_csv = |g: Option<f64>| g.map_or_else(String::new, |g| format!("{g:.4}"));
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.machine,
             r.loop_name,
             r.num_ops,
@@ -251,6 +278,8 @@ pub fn to_csv(rows: &[GapRow]) -> String {
             r.rmca_ii.map_or_else(String::new, |x| x.to_string()),
             gap_csv(r.baseline_gap()),
             gap_csv(r.rmca_gap()),
+            r.solver,
+            r.conflicts,
         ));
     }
     out
@@ -289,6 +318,8 @@ pub fn to_json(rows: &[GapRow]) -> crate::json::Json {
                     ("exact_ii", Json::option(r.exact_ii)),
                     ("proved_optimal", Json::from(r.proved_optimal)),
                     ("nodes", Json::from(r.nodes)),
+                    ("conflicts", Json::from(r.conflicts)),
+                    ("solver", Json::from(r.solver.label())),
                     ("baseline_ii", Json::option(r.baseline_ii)),
                     ("rmca_ii", Json::option(r.rmca_ii)),
                     ("baseline_gap", Json::option(r.baseline_gap())),
@@ -336,6 +367,27 @@ mod tests {
             .expect("fig3 row present");
         assert_eq!(fig3.exact_ii, Some(3));
         assert_eq!(fig3.baseline_ii, Some(4));
+    }
+
+    #[test]
+    fn the_sat_engine_prices_the_same_figure3_row() {
+        let params = GapParams {
+            solver: SolverKind::Sat,
+            ..small()
+        };
+        let rows = run(&params);
+        let fig3 = rows
+            .iter()
+            .find(|r| r.loop_name == "motivating" && r.machine == "motivating-2-cluster")
+            .expect("fig3 row present");
+        assert_eq!(fig3.exact_ii, Some(3));
+        assert!(fig3.proved_optimal);
+        assert_eq!(fig3.solver, SolverKind::Sat);
+        assert_eq!(fig3.nodes, 0, "the SAT engine charges conflicts, not nodes");
+        assert!(fig3.conflicts > 0);
+        let csv = to_csv(&rows);
+        assert!(csv.lines().next().unwrap().ends_with("solver,conflicts"));
+        assert!(csv.contains(",sat,"));
     }
 
     #[test]

@@ -7,7 +7,11 @@
 //! * `fig5`  — the unbounded-bus sweep (Figure 5a/5b),
 //! * `fig6`  — the realistic-bus sweep (Figure 6a/6b),
 //! * `gap`   — heuristic II vs the exact scheduler's certified bound
-//!   (optimality-gap tables, `MVP_GAP_CSV` for the CI artifact),
+//!   (optimality-gap tables, `MVP_GAP_CSV` for the CI artifact;
+//!   `--solver`/`MVP_GAP_SOLVER` picks the exact engine),
+//! * `portfolio` — nightly SAT-vs-branch-and-bound differential over the
+//!   gap corpus with a per-probe portfolio race (`MVP_PORTFOLIO_CSV` for
+//!   the `portfolio-solvers.csv` artifact),
 //! * `wallclock` — suite wall-clock per executor thread count
 //!   (`MVP_WALLCLOCK_CSV` for the CI artifact),
 //! * `serve` — batch service replay: cold pass vs warm cache-hit replays
@@ -33,6 +37,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod gap;
 pub mod json;
+pub mod portfolio;
 pub mod report;
 pub mod runner;
 pub mod serve;

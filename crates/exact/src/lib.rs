@@ -12,6 +12,14 @@
 //! or a **certified lower bound** when the node budget trips
 //! ([`ExactOutcome`]).
 //!
+//! A second, fully independent engine lowers the same rule set to CNF and
+//! hands it to the in-workspace CDCL solver of `mvp-sat`
+//! ([`ExactBackend::Sat`]); [`ExactBackend::Portfolio`] races both engines
+//! per probe on a persistent `mvp-exec` pool — first certificate wins, the
+//! rival is cancelled through a shared poison flag, and agreeing
+//! certificates are cross-checked (a disagreement panics rather than
+//! picking a side).
+//!
 //! # The constraint model is the validator's rule set
 //!
 //! The model deliberately reuses the vocabulary of the independent legality
@@ -101,13 +109,14 @@ pub mod model;
 pub mod options;
 pub mod outcome;
 pub mod propagate;
+mod sat_backend;
 pub mod scheduler;
 mod search;
 
 pub use model::Problem;
 pub use options::ExactOptions;
-pub use outcome::{ExactOutcome, IiProbe, IiVerdict};
-pub use scheduler::{solve, ExactScheduler};
+pub use outcome::{ExactOutcome, IiProbe, IiVerdict, SolverKind};
+pub use scheduler::{solve, solve_with, ExactBackend, ExactScheduler};
 
 #[cfg(test)]
 mod tests {

@@ -3,6 +3,37 @@
 use mvp_core::Schedule;
 use std::fmt;
 
+/// The engine that decided a probe (or backed a whole search).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// The branch-and-bound search ([`crate::solve`]'s default engine).
+    BranchAndBound,
+    /// The CDCL SAT backend (CNF encoding per fixed-II probe).
+    Sat,
+    /// Both engines raced on the executor; only meaningful as an
+    /// outcome-level label — individual probes always name the engine
+    /// whose certificate won.
+    Portfolio,
+}
+
+impl SolverKind {
+    /// Short stable label for CSV columns: `bnb`, `sat` or `portfolio`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverKind::BranchAndBound => "bnb",
+            SolverKind::Sat => "sat",
+            SolverKind::Portfolio => "portfolio",
+        }
+    }
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Verdict of one fixed-II probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IiVerdict {
@@ -33,8 +64,15 @@ pub struct IiProbe {
     pub ii: u32,
     /// How the probe ended.
     pub verdict: IiVerdict,
-    /// Search nodes the probe consumed.
+    /// Branch-and-bound search nodes the probe consumed (including a
+    /// cancelled portfolio rival's).
     pub nodes: u64,
+    /// SAT solver steps (decisions + conflicts) the probe consumed
+    /// (including a cancelled portfolio rival's).
+    pub conflicts: u64,
+    /// The engine whose certificate decided the probe. For an undecided
+    /// probe (budget), the backend that was asked.
+    pub solver: SolverKind,
 }
 
 /// Outcome of the exact II search for one loop on one machine.
@@ -64,8 +102,12 @@ pub struct ExactOutcome {
     pub lower_bound: u32,
     /// Whether `schedule` is proven optimal (`schedule.ii() == lower_bound`).
     pub proved_optimal: bool,
-    /// Total search nodes consumed across all probes.
+    /// Total branch-and-bound search nodes consumed across all probes.
     pub nodes: u64,
+    /// Total SAT solver steps (decisions + conflicts) across all probes.
+    pub conflicts: u64,
+    /// The backend the search ran with.
+    pub backend: SolverKind,
     /// Per-II probe log, in probing order.
     pub probes: Vec<IiProbe>,
 }
@@ -96,6 +138,14 @@ impl ExactOutcome {
     pub fn optimality_gap_of(&self, heuristic_ii: u32) -> f64 {
         let bound = self.lower_bound.max(1);
         (f64::from(heuristic_ii) - f64::from(bound)) / f64::from(bound)
+    }
+
+    /// Total search steps across engines: branch-and-bound nodes plus SAT
+    /// decisions/conflicts. The portfolio's "strictly fewer total steps"
+    /// claims are measured in this unit.
+    #[must_use]
+    pub fn search_steps(&self) -> u64 {
+        self.nodes + self.conflicts
     }
 }
 
@@ -131,16 +181,24 @@ mod tests {
             lower_bound: 4,
             proved_optimal: false,
             nodes: 10,
+            conflicts: 7,
+            backend: SolverKind::Portfolio,
             probes: vec![IiProbe {
                 ii: 3,
                 verdict: IiVerdict::Infeasible,
                 nodes: 10,
+                conflicts: 7,
+                solver: SolverKind::Sat,
             }],
         };
         assert!((outcome.optimality_gap_of(4)).abs() < 1e-12);
         assert!((outcome.optimality_gap_of(6) - 0.5).abs() < 1e-12);
         assert_eq!(outcome.exact_ii(), None);
+        assert_eq!(outcome.search_steps(), 17);
         assert!(outcome.to_string().contains("II >= 4"));
         assert_eq!(IiVerdict::Unknown.to_string(), "unknown");
+        assert_eq!(SolverKind::BranchAndBound.label(), "bnb");
+        assert_eq!(SolverKind::Sat.to_string(), "sat");
+        assert_eq!(SolverKind::Portfolio.label(), "portfolio");
     }
 }

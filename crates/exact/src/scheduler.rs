@@ -5,21 +5,95 @@
 //! ([`IiVerdict`]): *feasible* (a legal schedule is assembled and the search
 //! stops), *infeasible* (the lower bound advances past this II — but only
 //! while the chain of certificates from the minimum II is unbroken), or
-//! *unknown* (the node budget ran out; the search stops and reports the
-//! bound certified so far). The result is either a provably optimal
-//! schedule, a schedule plus a smaller certified lower bound, or a lower
-//! bound alone.
+//! *unknown* (the budget ran out; the search stops and reports the bound
+//! certified so far). The result is either a provably optimal schedule, a
+//! schedule plus a smaller certified lower bound, or a lower bound alone.
+//!
+//! # Backends
+//!
+//! The probe engine is pluggable ([`ExactBackend`]): the branch-and-bound
+//! search of the `search` module, the CDCL SAT encoder of the `sat_backend`
+//! module, or a **portfolio** that races both engines per probe on a
+//! persistent [`Executor`]. In the portfolio the first certificate wins and
+//! raises a shared poison flag the rival polls on every step; when both
+//! engines decide the same probe, their verdicts are cross-checked — a
+//! Feasible/Infeasible disagreement is a soundness bug in one of them and
+//! panics rather than picking a side. All engines draw from one shared
+//! budget pool measured in *search steps* (branch-and-bound nodes plus SAT
+//! decisions/conflicts).
 
 use crate::model::Problem;
 use crate::options::ExactOptions;
-use crate::outcome::{ExactOutcome, IiProbe, IiVerdict};
+use crate::outcome::{ExactOutcome, IiProbe, IiVerdict, SolverKind};
+use crate::sat_backend::solve_fixed_ii_sat;
 use crate::search::{solve_fixed_ii, FixedIiOutcome};
 use mvp_core::error::ScheduleError;
 use mvp_core::{lifetime, Communication, ModuloScheduler, Schedule, SchedulerOptions};
+use mvp_exec::Executor;
 use mvp_ir::{mii, Loop};
 use mvp_machine::MachineConfig;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-/// Runs the exact II search for `l` on `machine`.
+/// The engine (or engine combination) driving the fixed-II probes.
+#[derive(Clone, Default)]
+pub enum ExactBackend {
+    /// The branch-and-bound search (the default; every certificate is an
+    /// exhausted search tree).
+    #[default]
+    BranchAndBound,
+    /// The CDCL SAT encoder (every certificate is a CNF refutation; every
+    /// schedule is decoded back through the constraint kernel and
+    /// re-validated by the independent oracle).
+    Sat,
+    /// Both engines raced per probe on the given executor; the first
+    /// certificate wins and cancels the rival via a shared poison flag.
+    /// With a 1-thread executor the race degenerates to "SAT first, then
+    /// branch-and-bound if still undecided" — fully deterministic.
+    Portfolio(Arc<Executor>),
+}
+
+impl ExactBackend {
+    /// A portfolio backend racing on the given executor.
+    #[must_use]
+    pub fn portfolio(executor: Arc<Executor>) -> Self {
+        ExactBackend::Portfolio(executor)
+    }
+
+    /// The outcome-level tag for this backend.
+    #[must_use]
+    pub fn kind(&self) -> SolverKind {
+        match self {
+            ExactBackend::BranchAndBound => SolverKind::BranchAndBound,
+            ExactBackend::Sat => SolverKind::Sat,
+            ExactBackend::Portfolio(_) => SolverKind::Portfolio,
+        }
+    }
+
+    /// The scheduler name stamped on emitted schedules.
+    #[must_use]
+    pub fn scheduler_name(&self) -> &'static str {
+        match self {
+            ExactBackend::BranchAndBound => "exact",
+            ExactBackend::Sat => "exact-sat",
+            ExactBackend::Portfolio(_) => "exact-portfolio",
+        }
+    }
+}
+
+impl fmt::Debug for ExactBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExactBackend::BranchAndBound => f.write_str("BranchAndBound"),
+            ExactBackend::Sat => f.write_str("Sat"),
+            ExactBackend::Portfolio(e) => write!(f, "Portfolio({} threads)", e.threads()),
+        }
+    }
+}
+
+/// Runs the exact II search for `l` on `machine` with the default
+/// branch-and-bound backend (see [`solve_with`]).
 ///
 /// # Errors
 ///
@@ -33,6 +107,20 @@ pub fn solve(
     machine: &MachineConfig,
     options: &ExactOptions,
 ) -> Result<ExactOutcome, ScheduleError> {
+    solve_with(l, machine, options, &ExactBackend::BranchAndBound)
+}
+
+/// Runs the exact II search with an explicit probe [`ExactBackend`].
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub fn solve_with(
+    l: &Loop,
+    machine: &MachineConfig,
+    options: &ExactOptions,
+    backend: &ExactBackend,
+) -> Result<ExactOutcome, ScheduleError> {
     let p = Problem::new(l, machine)?;
     let min_ii = mii::minimum_ii(l, machine);
     if min_ii == u32::MAX {
@@ -43,32 +131,37 @@ pub fn solve(
     let max_ii = min_ii.saturating_add(options.max_ii_slack);
 
     let mut nodes = 0u64;
+    let mut conflicts = 0u64;
     let mut probes = Vec::new();
     let mut lower_bound = min_ii;
     let mut chain_unbroken = true;
     let mut schedule = None;
 
     for ii in min_ii..=max_ii {
-        // The node budget is shared across probes: each gets the remainder.
-        let remaining = options.node_budget.saturating_sub(nodes);
+        // The step budget is shared across probes (and, in the portfolio,
+        // across both rival engines): each probe gets the remainder.
+        let remaining = options.node_budget.saturating_sub(nodes + conflicts);
         if remaining == 0 {
             break;
         }
         let probe_options = options.with_node_budget(remaining);
-        let before = nodes;
-        let outcome = solve_fixed_ii(&p, ii, &probe_options, &mut nodes);
+        let before = (nodes, conflicts);
+        let (outcome, solver) =
+            run_probe(&p, ii, &probe_options, backend, &mut nodes, &mut conflicts);
         let verdict = match outcome {
             FixedIiOutcome::Feasible { ops, comms } => {
-                schedule = Some(assemble(&p, ii, ops, comms));
+                schedule = Some(assemble(&p, ii, ops, comms, backend.scheduler_name()));
                 IiVerdict::Feasible
             }
             FixedIiOutcome::Infeasible => IiVerdict::Infeasible,
-            FixedIiOutcome::Budget => IiVerdict::Unknown,
+            FixedIiOutcome::Budget | FixedIiOutcome::Cancelled => IiVerdict::Unknown,
         };
         probes.push(IiProbe {
             ii,
             verdict,
-            nodes: nodes - before,
+            nodes: nodes - before.0,
+            conflicts: conflicts - before.1,
+            solver,
         });
         match verdict {
             IiVerdict::Feasible => break,
@@ -95,8 +188,109 @@ pub fn solve(
         lower_bound,
         proved_optimal,
         nodes,
+        conflicts,
+        backend: backend.kind(),
         probes,
     })
+}
+
+/// Runs one probe on the chosen backend, charging branch-and-bound nodes to
+/// `nodes` and SAT steps to `conflicts`.
+fn run_probe(
+    p: &Problem<'_, '_>,
+    ii: u32,
+    options: &ExactOptions,
+    backend: &ExactBackend,
+    nodes: &mut u64,
+    conflicts: &mut u64,
+) -> (FixedIiOutcome, SolverKind) {
+    match backend {
+        ExactBackend::BranchAndBound => (
+            solve_fixed_ii(p, ii, options, nodes, None),
+            SolverKind::BranchAndBound,
+        ),
+        ExactBackend::Sat => (
+            solve_fixed_ii_sat(p, ii, options, conflicts, None),
+            SolverKind::Sat,
+        ),
+        ExactBackend::Portfolio(executor) => race_probe(p, ii, options, executor, nodes, conflicts),
+    }
+}
+
+/// Whether a probe outcome is a certificate (rather than an exhausted budget
+/// or a cancellation).
+fn decided(outcome: &FixedIiOutcome) -> bool {
+    matches!(
+        outcome,
+        FixedIiOutcome::Feasible { .. } | FixedIiOutcome::Infeasible
+    )
+}
+
+/// Races the SAT and branch-and-bound engines on one probe. The first
+/// engine to reach a certificate raises the poison flag; the rival aborts
+/// at its next step and charges only the steps it actually took. Both
+/// engines' steps count against the shared pool — the portfolio pays for
+/// its parallelism in steps, and its headline claim (fewer *total* steps
+/// than branch-and-bound alone) is measured on that inclusive sum.
+fn race_probe(
+    p: &Problem<'_, '_>,
+    ii: u32,
+    options: &ExactOptions,
+    executor: &Executor,
+    nodes: &mut u64,
+    conflicts: &mut u64,
+) -> (FixedIiOutcome, SolverKind) {
+    let poison = AtomicBool::new(false);
+    let rivals = [SolverKind::Sat, SolverKind::BranchAndBound];
+    let mut results = executor.map(&rivals, |&kind| {
+        let mut steps = 0u64;
+        let outcome = match kind {
+            SolverKind::Sat => solve_fixed_ii_sat(p, ii, options, &mut steps, Some(&poison)),
+            _ => solve_fixed_ii(p, ii, options, &mut steps, Some(&poison)),
+        };
+        if decided(&outcome) {
+            poison.store(true, Ordering::Relaxed);
+        }
+        (outcome, steps)
+    });
+    let (bnb_outcome, bnb_steps) = results.pop().expect("two rivals ran");
+    let (sat_outcome, sat_steps) = results.pop().expect("two rivals ran");
+    *conflicts += sat_steps;
+    *nodes += bnb_steps;
+
+    if decided(&sat_outcome) && decided(&bnb_outcome) {
+        // Differential cross-check: two independent engines must agree on
+        // every certificate. A mismatch is a soundness bug, not a tie to
+        // break.
+        let sat_feasible = matches!(sat_outcome, FixedIiOutcome::Feasible { .. });
+        let bnb_feasible = matches!(bnb_outcome, FixedIiOutcome::Feasible { .. });
+        assert_eq!(
+            sat_feasible,
+            bnb_feasible,
+            "portfolio rivals disagree at II={ii} for {}: SAT says {}, B&B says {}",
+            p.l.name(),
+            if sat_feasible {
+                "feasible"
+            } else {
+                "infeasible"
+            },
+            if bnb_feasible {
+                "feasible"
+            } else {
+                "infeasible"
+            },
+        );
+    }
+
+    if decided(&sat_outcome) {
+        (sat_outcome, SolverKind::Sat)
+    } else if decided(&bnb_outcome) {
+        (bnb_outcome, SolverKind::BranchAndBound)
+    } else {
+        // Neither decided: the poison flag was never raised, so both ran
+        // out of budget.
+        (FixedIiOutcome::Budget, SolverKind::Portfolio)
+    }
 }
 
 /// Assembles the search solution into a public [`Schedule`], computing the
@@ -106,9 +300,17 @@ fn assemble(
     ii: u32,
     ops: Vec<mvp_core::PlacedOp>,
     comms: Vec<Communication>,
+    scheduler_name: &str,
 ) -> Schedule {
     let pressure = lifetime::register_pressure(p.l, &ops, ii, p.machine.num_clusters());
-    let schedule = Schedule::new(p.machine.name.clone(), "exact", ii, ops, comms, pressure);
+    let schedule = Schedule::new(
+        p.machine.name.clone(),
+        scheduler_name,
+        ii,
+        ops,
+        comms,
+        pressure,
+    );
     debug_assert!(
         mvp_core::validate_schedule(p.l, p.machine, &schedule).is_empty(),
         "the exact scheduler produced an illegal schedule for {}: {:?}",
@@ -119,12 +321,12 @@ fn assemble(
 }
 
 /// The exact scheduler as a drop-in [`ModuloScheduler`]: schedules with the
-/// smallest II the branch-and-bound search can find and certify.
+/// smallest II its backend can find and certify.
 ///
-/// Unlike [`solve`] — which exposes bounds and probe logs — this front-end
-/// fits the common pipeline interface: a loop either gets a legal schedule
-/// or a [`ScheduleError::NoFeasibleIi`] when the search range or node budget
-/// is exhausted without finding one.
+/// Unlike [`solve_with`] — which exposes bounds and probe logs — this
+/// front-end fits the common pipeline interface: a loop either gets a legal
+/// schedule or a [`ScheduleError::NoFeasibleIi`] when the search range or
+/// budget is exhausted without finding one.
 ///
 /// # Example
 ///
@@ -149,21 +351,34 @@ fn assemble(
 #[derive(Debug, Clone, Default)]
 pub struct ExactScheduler {
     options: ExactOptions,
+    backend: ExactBackend,
 }
 
 impl ExactScheduler {
-    /// Creates an exact scheduler with default options.
+    /// Creates an exact scheduler with default options and the
+    /// branch-and-bound backend.
     #[must_use]
     pub fn new() -> Self {
         Self {
             options: ExactOptions::new(),
+            backend: ExactBackend::BranchAndBound,
         }
     }
 
     /// Creates an exact scheduler with the given options.
     #[must_use]
     pub fn with_options(options: ExactOptions) -> Self {
-        Self { options }
+        Self {
+            options,
+            backend: ExactBackend::BranchAndBound,
+        }
+    }
+
+    /// Returns a copy using the given probe backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExactBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Creates an exact scheduler configured from the shared
@@ -172,6 +387,7 @@ impl ExactScheduler {
     pub fn from_scheduler_options(options: &SchedulerOptions) -> Self {
         Self {
             options: ExactOptions::from_scheduler_options(options),
+            backend: ExactBackend::BranchAndBound,
         }
     }
 
@@ -181,23 +397,29 @@ impl ExactScheduler {
         &self.options
     }
 
+    /// The probe backend in use.
+    #[must_use]
+    pub fn backend(&self) -> &ExactBackend {
+        &self.backend
+    }
+
     /// Full search outcome (schedule, certified lower bound, probe log).
     ///
     /// # Errors
     ///
     /// Same contract as [`solve`].
     pub fn solve(&self, l: &Loop, machine: &MachineConfig) -> Result<ExactOutcome, ScheduleError> {
-        solve(l, machine, &self.options)
+        solve_with(l, machine, &self.options, &self.backend)
     }
 }
 
 impl ModuloScheduler for ExactScheduler {
     fn name(&self) -> &'static str {
-        "exact"
+        self.backend.scheduler_name()
     }
 
     fn schedule(&self, l: &Loop, machine: &MachineConfig) -> Result<Schedule, ScheduleError> {
-        let outcome = solve(l, machine, &self.options)?;
+        let outcome = self.solve(l, machine)?;
         let max_ii = outcome.min_ii.saturating_add(self.options.max_ii_slack);
         outcome.schedule.ok_or(ScheduleError::NoFeasibleIi {
             min_ii: outcome.min_ii,
@@ -224,6 +446,19 @@ mod tests {
         b.build().unwrap()
     }
 
+    /// fp X → Y (distance 0), Y → X (distance 2): `min_ii = RecMII = 2`,
+    /// but II=2 is only refutable by *search* (window propagation and
+    /// resource counts both pass), making it the canonical
+    /// budget-exhausts-at-an-intermediate-II fixture. II=3 is feasible.
+    fn search_refuted_recurrence() -> Loop {
+        let mut b = Loop::builder("slack-rec");
+        let x = b.fp_op("X");
+        let y = b.fp_op("Y");
+        b.data_edge(x, y, 0);
+        b.data_edge(y, x, 2);
+        b.build().unwrap()
+    }
+
     #[test]
     fn chains_are_proved_optimal_at_the_minimum_ii() {
         let l = chain();
@@ -240,6 +475,8 @@ mod tests {
             assert_eq!(outcome.exact_ii(), Some(s.ii()));
             assert!(validate_schedule(&l, &machine, s).is_empty());
             assert_eq!(outcome.probes.len(), 1);
+            assert_eq!(outcome.backend, SolverKind::BranchAndBound);
+            assert_eq!(outcome.conflicts, 0);
         }
     }
 
@@ -283,10 +520,125 @@ mod tests {
         let scheduler = ExactScheduler::new();
         assert_eq!(scheduler.name(), "exact");
         assert_eq!(scheduler.options(), &ExactOptions::new());
+        assert!(matches!(scheduler.backend(), ExactBackend::BranchAndBound));
         let s = scheduler.schedule(&l, &machine).unwrap();
         let outcome = scheduler.solve(&l, &machine).unwrap();
         assert_eq!(Some(s.ii()), outcome.schedule_ii());
         assert_eq!(s.scheduler_name, "exact");
         assert_eq!(s.machine_name, machine.name);
+    }
+
+    #[test]
+    fn the_sat_backend_agrees_with_branch_and_bound() {
+        let loops = [chain(), search_refuted_recurrence()];
+        for l in &loops {
+            for machine in [
+                presets::unified(),
+                presets::two_cluster(),
+                presets::motivating_example_machine(),
+            ] {
+                let bnb = solve(l, &machine, &ExactOptions::new()).unwrap();
+                let sat =
+                    solve_with(l, &machine, &ExactOptions::new(), &ExactBackend::Sat).unwrap();
+                assert_eq!(
+                    sat.lower_bound,
+                    bnb.lower_bound,
+                    "{} on {}",
+                    l.name(),
+                    machine.name
+                );
+                assert_eq!(
+                    sat.proved_optimal,
+                    bnb.proved_optimal,
+                    "{} on {}",
+                    l.name(),
+                    machine.name
+                );
+                assert_eq!(sat.schedule_ii(), bnb.schedule_ii());
+                assert_eq!(sat.backend, SolverKind::Sat);
+                assert_eq!(sat.nodes, 0, "the SAT backend charges steps, not nodes");
+                let s = sat.schedule.as_ref().expect("feasible");
+                assert_eq!(s.scheduler_name, "exact-sat");
+                assert!(validate_schedule(l, &machine, s).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn the_portfolio_matches_both_engines_and_records_the_winner() {
+        let l = search_refuted_recurrence();
+        let machine = presets::motivating_example_machine();
+        let backend = ExactBackend::portfolio(Arc::new(Executor::new(2)));
+        let outcome = solve_with(&l, &machine, &ExactOptions::new(), &backend).unwrap();
+        assert_eq!(outcome.min_ii, 2);
+        assert_eq!(outcome.schedule_ii(), Some(3));
+        assert!(outcome.proved_optimal);
+        assert_eq!(outcome.backend, SolverKind::Portfolio);
+        for probe in &outcome.probes {
+            assert_ne!(
+                probe.solver,
+                SolverKind::Portfolio,
+                "decided probes name the winning engine"
+            );
+        }
+        let s = outcome.schedule.as_ref().unwrap();
+        assert_eq!(s.scheduler_name, "exact-portfolio");
+        assert!(validate_schedule(&l, &machine, s).is_empty());
+    }
+
+    #[test]
+    fn a_single_threaded_portfolio_is_deterministic_and_sat_wins() {
+        let l = chain();
+        let machine = presets::two_cluster();
+        let backend = ExactBackend::portfolio(Arc::new(Executor::new(1)));
+        let a = solve_with(&l, &machine, &ExactOptions::new(), &backend).unwrap();
+        let b = solve_with(&l, &machine, &ExactOptions::new(), &backend).unwrap();
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.conflicts, b.conflicts);
+        assert_eq!(a.schedule, b.schedule);
+        // SAT runs first on a 1-thread executor and decides the probe; the
+        // branch-and-bound rival is poisoned before charging a node.
+        assert_eq!(a.probes.last().unwrap().solver, SolverKind::Sat);
+        assert_eq!(a.nodes, 0);
+        let scheduler = ExactScheduler::new().with_backend(backend);
+        assert_eq!(scheduler.name(), "exact-portfolio");
+        assert_eq!(
+            scheduler.schedule(&l, &machine).unwrap().scheduler_name,
+            "exact-portfolio"
+        );
+    }
+
+    #[test]
+    fn intermediate_ii_budget_exhaustion_keeps_the_bound_on_every_backend() {
+        // The II=2 probe is refuted by search alone; give each backend just
+        // enough budget to certify it but not to finish II=3. The outcome
+        // must report lower_bound = 3 with no optimum claim, and the gap
+        // helper must price a heuristic II=3 schedule at gap 0.
+        let l = search_refuted_recurrence();
+        let machine = presets::motivating_example_machine();
+        for backend in [ExactBackend::BranchAndBound, ExactBackend::Sat] {
+            let full = solve_with(&l, &machine, &ExactOptions::new(), &backend).unwrap();
+            assert_eq!(full.schedule_ii(), Some(3), "{backend:?}");
+            assert!(full.proved_optimal);
+            assert_eq!(full.probes[0].verdict, IiVerdict::Infeasible);
+            let refute_cost = full.probes[0].nodes + full.probes[0].conflicts;
+            assert!(refute_cost > 0, "{backend:?} refuted II=2 by search");
+
+            let starved = solve_with(
+                &l,
+                &machine,
+                &ExactOptions::new().with_node_budget(refute_cost + 1),
+                &backend,
+            )
+            .unwrap();
+            assert_eq!(starved.lower_bound, 3, "{backend:?}");
+            assert!(starved.schedule.is_none(), "{backend:?}");
+            assert!(!starved.proved_optimal, "{backend:?}");
+            assert_eq!(starved.probes.last().unwrap().verdict, IiVerdict::Unknown);
+            assert_eq!(starved.probes.last().unwrap().ii, 3);
+            // The certified bound prices heuristics even without an optimum.
+            assert!((starved.optimality_gap_of(3)).abs() < 1e-12);
+            assert!((starved.optimality_gap_of(6) - 1.0).abs() < 1e-12);
+        }
     }
 }

@@ -46,6 +46,7 @@ use mvp_core::lifetime;
 use mvp_core::schedule::{Communication, PlacedOp};
 use mvp_ir::OpId;
 use mvp_resmodel::{PartialSchedule, PlaceError, Token, TransferPair};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Result of one fixed-II probe.
 #[derive(Debug)]
@@ -62,6 +63,9 @@ pub(crate) enum FixedIiOutcome {
     Infeasible,
     /// The node budget ran out before the probe was decided.
     Budget,
+    /// A portfolio rival raised the poison flag before the probe was
+    /// decided (never produced without a cancellation flag).
+    Cancelled,
 }
 
 /// Result of the subtree rooted at one decision level.
@@ -113,11 +117,21 @@ struct Searcher<'p, 'l, 'm> {
     enforce_pressure: bool,
     nodes: u64,
     budget: u64,
+    /// Portfolio poison flag: polled on every charged node so a rival
+    /// solver's certificate aborts this search promptly.
+    cancel: Option<&'p AtomicBool>,
+    cancelled: bool,
     solution: Option<RawSolution>,
 }
 
 impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
-    fn new(p: &'p Problem<'l, 'm>, ii: u32, win: &'p Windows, options: &ExactOptions) -> Self {
+    fn new(
+        p: &'p Problem<'l, 'm>,
+        ii: u32,
+        win: &'p Windows,
+        options: &ExactOptions,
+        cancel: Option<&'p AtomicBool>,
+    ) -> Self {
         let order = p.branch_order(&win.widths());
         Self {
             p,
@@ -130,11 +144,17 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
             enforce_pressure: options.enforce_register_pressure,
             nodes: 0,
             budget: options.node_budget,
+            cancel,
+            cancelled: false,
             solution: None,
         }
     }
 
     fn charge_node(&mut self) -> bool {
+        if self.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            self.cancelled = true;
+            return false;
+        }
         self.nodes += 1;
         self.nodes <= self.budget
     }
@@ -376,6 +396,7 @@ pub(crate) fn solve_fixed_ii(
     ii: u32,
     options: &ExactOptions,
     nodes_used: &mut u64,
+    cancel: Option<&AtomicBool>,
 ) -> FixedIiOutcome {
     if ii == 0 || p.resource_infeasible(ii) {
         return FixedIiOutcome::Infeasible;
@@ -383,7 +404,7 @@ pub(crate) fn solve_fixed_ii(
     let Some(win) = windows(p, ii, |asap| p.horizon(asap, ii, options)) else {
         return FixedIiOutcome::Infeasible;
     };
-    let mut searcher = Searcher::new(p, ii, &win, options);
+    let mut searcher = Searcher::new(p, ii, &win, options, cancel);
     let step = searcher.dfs(0);
     *nodes_used += searcher.nodes;
     match step {
@@ -393,6 +414,7 @@ pub(crate) fn solve_fixed_ii(
                 .expect("solved searches record a solution");
             FixedIiOutcome::Feasible { ops, comms }
         }
+        Step::Budget if searcher.cancelled => FixedIiOutcome::Cancelled,
         Step::Budget => FixedIiOutcome::Budget,
         Step::Fail(_) => FixedIiOutcome::Infeasible,
     }
@@ -407,7 +429,7 @@ mod tests {
     fn probe(l: &Loop, machine: &mvp_machine::MachineConfig, ii: u32) -> FixedIiOutcome {
         let p = Problem::new(l, machine).unwrap();
         let mut nodes = 0;
-        solve_fixed_ii(&p, ii, &ExactOptions::new(), &mut nodes)
+        solve_fixed_ii(&p, ii, &ExactOptions::new(), &mut nodes, None)
     }
 
     fn chain() -> Loop {
@@ -475,9 +497,27 @@ mod tests {
         let machine = presets::two_cluster();
         let p = Problem::new(&l, &machine).unwrap();
         let mut nodes = 0;
-        let out = solve_fixed_ii(&p, 1, &ExactOptions::new().with_node_budget(1), &mut nodes);
+        let out = solve_fixed_ii(
+            &p,
+            1,
+            &ExactOptions::new().with_node_budget(1),
+            &mut nodes,
+            None,
+        );
         assert!(matches!(out, FixedIiOutcome::Budget), "{out:?}");
         assert!(nodes >= 1);
+    }
+
+    #[test]
+    fn a_raised_poison_flag_cancels_the_probe() {
+        let l = chain();
+        let machine = presets::two_cluster();
+        let p = Problem::new(&l, &machine).unwrap();
+        let cancel = AtomicBool::new(true);
+        let mut nodes = 0;
+        let out = solve_fixed_ii(&p, 1, &ExactOptions::new(), &mut nodes, Some(&cancel));
+        assert!(matches!(out, FixedIiOutcome::Cancelled), "{out:?}");
+        assert_eq!(nodes, 0, "cancelled probes charge no nodes");
     }
 
     #[test]

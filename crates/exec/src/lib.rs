@@ -139,13 +139,27 @@ impl Executor {
     }
 
     /// The worker count `from_env` derives from an `MVP_THREADS` value
-    /// (`None` = variable unset). Non-numeric or zero values fall back to
-    /// the available parallelism, like an unset variable.
+    /// (`None` = variable unset). Non-numeric values fall back to the
+    /// available parallelism, like an unset variable. `0` parses but names
+    /// no usable width — a zero-thread executor cannot run anything — so it
+    /// falls back too, with a warning on stderr: silently treating an
+    /// explicit `MVP_THREADS=0` as "all cores" is the exact opposite of
+    /// what a user throttling a shared box asked for.
     #[must_use]
     pub fn parse_threads(env_value: Option<&str>) -> usize {
-        match env_value.and_then(|v| v.trim().parse::<usize>().ok()) {
-            Some(n) if n >= 1 => n,
-            _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        let fallback =
+            || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        match env_value.map(|v| v.trim().parse::<usize>()) {
+            Some(Ok(0)) => {
+                let threads = fallback();
+                eprintln!(
+                    "warning: {THREADS_ENV_VAR}=0 names no usable width; \
+                     falling back to the available parallelism ({threads})"
+                );
+                threads
+            }
+            Some(Ok(n)) => n,
+            Some(Err(_)) | None => fallback(),
         }
     }
 
@@ -679,9 +693,20 @@ mod tests {
         assert_eq!(Executor::parse_threads(Some(" 12 ")), 12);
         let fallback = Executor::parse_threads(None);
         assert!(fallback >= 1);
+        // An explicit 0 is rejected (with a stderr warning), like junk.
         assert_eq!(Executor::parse_threads(Some("0")), fallback);
+        assert_eq!(Executor::parse_threads(Some(" 0 ")), fallback);
         assert_eq!(Executor::parse_threads(Some("many")), fallback);
         assert_eq!(Executor::parse_threads(Some("")), fallback);
+        // Values usize::parse rejects outright: signs, decimals, overflow.
+        assert_eq!(Executor::parse_threads(Some("-4")), fallback);
+        assert_eq!(Executor::parse_threads(Some("+4")), 4, "parse accepts +");
+        assert_eq!(Executor::parse_threads(Some("3.5")), fallback);
+        assert_eq!(Executor::parse_threads(Some("0x8")), fallback);
+        assert_eq!(
+            Executor::parse_threads(Some("99999999999999999999999999")),
+            fallback
+        );
         assert_eq!(Executor::new(0).threads(), 1);
     }
 

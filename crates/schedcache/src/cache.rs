@@ -10,8 +10,11 @@
 //!   and concurrent batch jobs practically never contend on one lock.
 //! * **Bounded capacity + LRU eviction.** Every shard holds at most
 //!   `capacity / shards` entries; inserting into a full shard evicts its
-//!   least-recently-touched entry (a global atomic clock stamps every hit
-//!   and insert). A busy service therefore holds its hot set and sheds the
+//!   least-recently-touched entry. Recency stamps come from a *per-shard*
+//!   clock advanced inside the shard's critical section: stamp order is
+//!   exactly lock-acquisition order in the only scope eviction ever
+//!   compares stamps in, and concurrent shards never contend on a shared
+//!   cache line. A busy service therefore holds its hot set and sheds the
 //!   tail instead of growing without bound.
 //! * **Counters.** Lifetime hits, misses and evictions are kept in atomics
 //!   and reported by [`ScheduleCache::stats`]; the `serve` bin asserts a
@@ -58,20 +61,38 @@ impl CacheStats {
 
 struct Entry<V> {
     value: V,
-    /// Last-touched stamp from the cache's global clock (bigger = more
+    /// Last-touched stamp from the owning shard's clock (bigger = more
     /// recent); the eviction victim is the shard minimum.
     stamp: u64,
 }
 
+/// The lock-protected state of one shard: its slice of the key space plus
+/// its own recency clock. Keeping the clock *inside* the mutex (rather
+/// than a process-wide atomic ticked before the lock) makes stamp order
+/// identical to lock-acquisition order — a hit that reaches the lock after
+/// a racing insert can never stamp its entry as older than that insert —
+/// and removes the one cache line every shard used to contend on.
+struct ShardState<V> {
+    map: HashMap<CacheKey, Entry<V>, FxBuildHasher>,
+    clock: u64,
+}
+
+impl<V> ShardState<V> {
+    fn tick(&mut self) -> u64 {
+        let stamp = self.clock;
+        self.clock += 1;
+        stamp
+    }
+}
+
 /// One independently-locked slice of the key space.
-type Shard<V> = Mutex<HashMap<CacheKey, Entry<V>, FxBuildHasher>>;
+type Shard<V> = Mutex<ShardState<V>>;
 
 /// A sharded, bounded, content-addressed map from [`CacheKey`] to cached
 /// artifacts (see the [module docs](self)).
 pub struct ScheduleCache<V> {
     shards: Box<[Shard<V>]>,
     per_shard_capacity: usize,
-    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -79,18 +100,35 @@ pub struct ScheduleCache<V> {
 
 impl<V> ScheduleCache<V> {
     /// A cache holding at most `capacity` entries, sharded for `threads`
-    /// concurrent participants (shard count = next power of two ≥
-    /// `4 * threads`, so pool-wide batch jobs rarely meet on a lock).
+    /// concurrent participants. The shard count is always rounded up to a
+    /// power of two (at least `4 * threads`, so pool-wide batch jobs
+    /// rarely meet on a lock) — the shard selector masks the key's low
+    /// bits and would silently skew toward low shards otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `capacity == 0`: a cache that can hold nothing would turn
+    /// every insert into an immediate eviction, which no caller ever
+    /// wants — misconfiguration should fail loudly, not thrash silently.
     #[must_use]
     pub fn with_capacity_and_shards(capacity: usize, threads: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "a ScheduleCache needs a nonzero capacity (got 0)"
+        );
         let shards = (4 * threads.max(1)).next_power_of_two();
-        let per_shard_capacity = capacity.max(1).div_ceil(shards).max(1);
+        assert!(shards.is_power_of_two(), "shard selector masks low bits");
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
         Self {
             shards: (0..shards)
-                .map(|_| Mutex::new(HashMap::with_hasher(FxBuildHasher)))
+                .map(|_| {
+                    Mutex::new(ShardState {
+                        map: HashMap::with_hasher(FxBuildHasher),
+                        clock: 0,
+                    })
+                })
                 .collect(),
             per_shard_capacity,
-            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -105,13 +143,9 @@ impl<V> ScheduleCache<V> {
         Self::with_capacity_and_shards(capacity, threads)
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Entry<V>, FxBuildHasher>> {
+    fn shard(&self, key: &CacheKey) -> &Shard<V> {
         // Shard count is a power of two; the key's low bits select.
         &self.shards[(key.lo as usize) & (self.shards.len() - 1)]
-    }
-
-    fn tick(&self) -> u64 {
-        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Looks `key` up, refreshing its recency on a hit. Counts one hit or
@@ -121,9 +155,9 @@ impl<V> ScheduleCache<V> {
     where
         V: Clone,
     {
-        let stamp = self.tick();
         let mut shard = self.shard(key).lock().expect("cache shard lock");
-        match shard.get_mut(key) {
+        let stamp = shard.tick();
+        match shard.map.get_mut(key) {
             Some(entry) => {
                 entry.stamp = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -139,20 +173,25 @@ impl<V> ScheduleCache<V> {
     /// Stores `value` under `key`, replacing any existing entry; evicts the
     /// shard's least-recently-touched entry when the shard is full.
     pub fn insert(&self, key: CacheKey, value: V) {
-        let stamp = self.tick();
         let mut shard = self.shard(&key).lock().expect("cache shard lock");
-        if let Some(entry) = shard.get_mut(&key) {
+        let stamp = shard.tick();
+        if let Some(entry) = shard.map.get_mut(&key) {
             entry.value = value;
             entry.stamp = stamp;
             return;
         }
-        if shard.len() >= self.per_shard_capacity {
-            if let Some(victim) = shard.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) {
-                shard.remove(&victim);
+        if shard.map.len() >= self.per_shard_capacity {
+            if let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        shard.insert(key, Entry { value, stamp });
+        shard.map.insert(key, Entry { value, stamp });
     }
 
     /// Number of entries currently stored.
@@ -160,7 +199,7 @@ impl<V> ScheduleCache<V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard lock").len())
+            .map(|s| s.lock().expect("cache shard lock").map.len())
             .sum()
     }
 
@@ -173,7 +212,7 @@ impl<V> ScheduleCache<V> {
     /// Drops every entry (counters keep their lifetime values).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.lock().expect("cache shard lock").clear();
+            shard.lock().expect("cache shard lock").map.clear();
         }
     }
 
@@ -265,6 +304,70 @@ mod tests {
         assert_eq!(cache.get(&a), Some(1));
         assert!(cache.get(&b).is_none(), "LRU entry b was the victim");
         assert_eq!(cache.get(&c), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero capacity")]
+    fn zero_capacity_is_rejected() {
+        let _: ScheduleCache<u32> = ScheduleCache::with_capacity_and_shards(0, 1);
+    }
+
+    #[test]
+    fn shard_counts_are_always_powers_of_two() {
+        // The shard selector masks the key's low bits, so a non-power-of-two
+        // count would leave high shards unreachable and skew the rest.
+        for threads in [1, 2, 3, 5, 7, 12, 100] {
+            let cache: ScheduleCache<u32> = ScheduleCache::with_capacity_and_shards(64, threads);
+            let stats = cache.stats();
+            assert!(stats.shards.is_power_of_two(), "threads={threads}");
+            assert!(stats.shards >= 4 * threads, "threads={threads}");
+            assert!(stats.capacity >= 64, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn contended_evictions_stay_bounded_and_accounted() {
+        // Hammer ONE shard from 8 threads with far more distinct keys than
+        // it can hold, interleaving hits on a shared hot key. Whatever the
+        // interleaving: the shard never exceeds its capacity, and every
+        // new-key insert into the full shard evicts exactly one entry, so
+        // the lifetime ledger `inserted = evicted + resident` must balance.
+        // (This is the regression test for the per-shard LRU clock: stamps
+        // are taken inside the shard's critical section, so concurrent
+        // threads can no longer interleave stale stamps past each other.)
+        let cache: std::sync::Arc<ScheduleCache<u64>> =
+            std::sync::Arc::new(ScheduleCache::with_capacity_and_shards(16, 1));
+        let shards = cache.stats().shards as u64;
+        let per_shard = 16 / shards as usize;
+        let hot = CacheKey { lo: 0, hi: 0 };
+        cache.insert(hot, u64::MAX);
+        const KEYS_PER_THREAD: u64 = 200;
+        std::thread::scope(|scope| {
+            for t in 1..=8u64 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..KEYS_PER_THREAD {
+                        // lo multiples of the shard count all select shard 0.
+                        let k = CacheKey {
+                            lo: (t * KEYS_PER_THREAD + i) * shards,
+                            hi: t,
+                        };
+                        cache.insert(k, i);
+                        let _ = cache.get(&hot);
+                        let _ = cache.get(&k);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert!(
+            stats.entries <= per_shard,
+            "shard 0 holds {} > {per_shard} entries",
+            stats.entries
+        );
+        let inserted = 1 + 8 * KEYS_PER_THREAD; // hot + every thread's keys, all distinct
+        assert_eq!(stats.evictions, inserted - stats.entries as u64);
+        assert_eq!(stats.hits + stats.misses, 2 * 8 * KEYS_PER_THREAD);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use mvp_core::{
     BaselineScheduler, Communication, FallbackScheduler, ModuloScheduler, PlacedOp, RmcaScheduler,
     Schedule, SchedulerOptions,
 };
-use mvp_exact::{ExactOptions, ExactScheduler};
+use mvp_exact::{ExactBackend, ExactOptions, ExactScheduler};
 use mvp_exec::Executor;
 use mvp_ir::{Loop, OpId};
 use mvp_machine::{presets, MachineConfig};
@@ -62,6 +62,14 @@ pub enum SchedulerChoice {
     /// exhausted II search when the node budget trips first. Intended as an
     /// optimality oracle on small loops, not as a production scheduler.
     Exact,
+    /// The exact scheduler on its CDCL SAT backend: the same certified
+    /// search, but every probe is decided by CNF refutation / model
+    /// decoding instead of branch-and-bound.
+    ExactSat,
+    /// The exact scheduler racing the SAT and branch-and-bound engines per
+    /// probe on the pipeline's executor — first certificate wins, rival
+    /// cancelled, agreeing certificates cross-checked.
+    Portfolio,
 }
 
 impl SchedulerChoice {
@@ -90,10 +98,32 @@ impl SchedulerChoice {
             SchedulerChoice::Unified => "unified",
             SchedulerChoice::ListFallback => "list-fallback",
             SchedulerChoice::Exact => "exact",
+            SchedulerChoice::ExactSat => "exact-sat",
+            SchedulerChoice::Portfolio => "portfolio",
         }
     }
 
-    /// Builds the scheduler implementation with the given options.
+    /// The probe backend of the exact-family choices ([`Exact`],
+    /// [`ExactSat`], [`Portfolio`]); `None` for the heuristics. The
+    /// portfolio races on `executor`.
+    ///
+    /// [`Exact`]: SchedulerChoice::Exact
+    /// [`ExactSat`]: SchedulerChoice::ExactSat
+    /// [`Portfolio`]: SchedulerChoice::Portfolio
+    #[must_use]
+    pub fn exact_backend(self, executor: &Arc<Executor>) -> Option<ExactBackend> {
+        match self {
+            SchedulerChoice::Exact => Some(ExactBackend::BranchAndBound),
+            SchedulerChoice::ExactSat => Some(ExactBackend::Sat),
+            SchedulerChoice::Portfolio => Some(ExactBackend::portfolio(Arc::clone(executor))),
+            _ => None,
+        }
+    }
+
+    /// Builds the scheduler implementation with the given options. The
+    /// [`Portfolio`](SchedulerChoice::Portfolio) configuration races on the
+    /// process-wide [`Executor::global`] here; pipelines built through
+    /// [`PipelineBuilder`] race on the pipeline's own executor instead.
     #[must_use]
     pub fn build(self, options: SchedulerOptions) -> Box<dyn ModuloScheduler + Send + Sync> {
         match self {
@@ -105,7 +135,12 @@ impl SchedulerChoice {
                 RmcaScheduler::with_options(options),
                 options,
             )),
-            SchedulerChoice::Exact => Box::new(ExactScheduler::from_scheduler_options(&options)),
+            SchedulerChoice::Exact | SchedulerChoice::ExactSat | SchedulerChoice::Portfolio => {
+                let backend = self
+                    .exact_backend(&Executor::global())
+                    .expect("exact-family choice");
+                Box::new(ExactScheduler::from_scheduler_options(&options).with_backend(backend))
+            }
         }
     }
 
@@ -230,15 +265,16 @@ impl PipelineBuilder {
         self
     }
 
-    /// Caps the node budget of the exact branch-and-bound *scheduler* (the
-    /// [`SchedulerChoice::Exact`] configuration). Without this, exact
-    /// pipelines always solve under the 1M-node default of
+    /// Caps the search-step budget of the exact *scheduler* configurations
+    /// ([`SchedulerChoice::Exact`], [`SchedulerChoice::ExactSat`],
+    /// [`SchedulerChoice::Portfolio`]). Without this, exact
+    /// pipelines always solve under the 1M-step default of
     /// [`ExactOptions`] — far more than a suite-scale `EVERY` run wants to
     /// spend per loop. A loop whose probe exhausts the budget fails with an
     /// exhausted II search instead of an answer, exactly as an
     /// under-budgeted [`mvp_exact::solve`] would.
     ///
-    /// Only consulted by [`SchedulerChoice::Exact`]; the heuristic
+    /// Only consulted by the exact-family choices; the heuristic
     /// configurations have no node budget, and the *gap oracle's* budget is
     /// configured separately via
     /// [`optimality_gap_options`](Self::optimality_gap_options) (except for
@@ -300,13 +336,16 @@ impl PipelineBuilder {
                 machine.num_clusters()
             )));
         }
-        let scheduler = match (self.scheduler, self.exact_node_budget) {
-            (SchedulerChoice::Exact, Some(budget)) => Box::new(ExactScheduler::with_options(
-                ExactOptions::from_scheduler_options(&self.scheduler_options)
-                    .with_node_budget(budget),
-            ))
-                as Box<dyn ModuloScheduler + Send + Sync>,
-            (choice, _) => choice.build(self.scheduler_options),
+        let executor = self.executor.unwrap_or_else(Executor::global);
+        let scheduler = if let Some(backend) = self.scheduler.exact_backend(&executor) {
+            let mut options = ExactOptions::from_scheduler_options(&self.scheduler_options);
+            if let Some(budget) = self.exact_node_budget {
+                options = options.with_node_budget(budget);
+            }
+            Box::new(ExactScheduler::with_options(options).with_backend(backend))
+                as Box<dyn ModuloScheduler + Send + Sync>
+        } else {
+            self.scheduler.build(self.scheduler_options)
         };
         Ok(Pipeline {
             choice: self.scheduler,
@@ -316,7 +355,7 @@ impl PipelineBuilder {
             sim_options: self.sim_options,
             gap_oracle: self.gap_oracle,
             exact_node_budget: self.exact_node_budget,
-            executor: self.executor.unwrap_or_else(Executor::global),
+            executor,
             schedule_cache: self.schedule_cache,
         })
     }
@@ -467,18 +506,19 @@ impl Pipeline {
 
     /// The uncached schedule → (gap oracle) → simulate path.
     fn solve(&self, l: &Loop) -> Result<LoopReport> {
-        // When the pipeline's own scheduler *is* the exact search and the
-        // gap oracle is on, one solve provides both the schedule and the
-        // bound — running `ExactScheduler::schedule` and then the oracle
-        // would repeat the identical branch-and-bound search. The solve uses
+        // When the pipeline's own scheduler *is* the exact search (any
+        // backend) and the gap oracle is on, one solve provides both the
+        // schedule and the bound — running `ExactScheduler::schedule` and
+        // then the oracle would repeat the identical search. The solve uses
         // the options the scheduler itself was built with (not the oracle's),
         // so toggling the gap flag never changes the schedule produced.
-        if self.choice == SchedulerChoice::Exact && self.gap_oracle.is_some() {
+        let exact_backend = self.choice.exact_backend(&self.executor);
+        if let (Some(backend), Some(_)) = (&exact_backend, &self.gap_oracle) {
             let mut options = ExactOptions::from_scheduler_options(&self.scheduler_options);
             if let Some(budget) = self.exact_node_budget {
                 options = options.with_node_budget(budget);
             }
-            let outcome = mvp_exact::solve(l, &self.machine, &options)?;
+            let outcome = mvp_exact::solve_with(l, &self.machine, &options, backend)?;
             let max_ii = outcome.min_ii.saturating_add(options.max_ii_slack);
             let gap = outcome
                 .schedule_ii()
@@ -930,6 +970,62 @@ mod tests {
         assert!(report.to_string().contains("gap=0%"));
         assert_eq!(SchedulerChoice::Exact.name(), "exact");
         assert_eq!(SchedulerChoice::Exact.default_machine().name, "2-cluster");
+    }
+
+    #[test]
+    fn sat_pipeline_matches_the_exact_figure3_pin() {
+        let (l, _) = motivating_loop(&MotivatingParams::default());
+        let report = Pipeline::builder()
+            .scheduler(SchedulerChoice::ExactSat)
+            .machine(presets::motivating_example_machine())
+            .optimality_gap(true)
+            .build()
+            .unwrap()
+            .run(&l)
+            .unwrap();
+        assert_eq!(report.schedule.scheduler_name, "exact-sat");
+        assert_eq!(report.ii, 3);
+        assert_eq!(report.optimality_gap, Some(0.0));
+        assert_eq!(SchedulerChoice::ExactSat.name(), "exact-sat");
+        assert_eq!(
+            SchedulerChoice::ExactSat.default_machine().name,
+            "2-cluster"
+        );
+    }
+
+    #[test]
+    fn portfolio_retires_the_figure3_node_count() {
+        // Branch-and-bound alone needs 490,291 nodes to prove II=3 on the
+        // figure-3 loop; the portfolio must beat that on the *inclusive*
+        // total (its own SAT steps plus every cancelled rival's nodes). A
+        // 1-thread executor makes the race deterministic: SAT runs first,
+        // the branch-and-bound rival is poisoned before charging a node.
+        let (l, _) = motivating_loop(&MotivatingParams::default());
+        let machine = presets::motivating_example_machine();
+        let backend = ExactBackend::portfolio(Arc::new(Executor::new(1)));
+        let outcome = mvp_exact::solve_with(&l, &machine, &ExactOptions::new(), &backend).unwrap();
+        assert_eq!(outcome.schedule_ii(), Some(3));
+        assert!(outcome.proved_optimal);
+        assert!(
+            outcome.search_steps() < 490_291,
+            "portfolio took {} steps",
+            outcome.search_steps()
+        );
+
+        // The same race through the pipeline front end.
+        let report = Pipeline::builder()
+            .scheduler(SchedulerChoice::Portfolio)
+            .machine(machine)
+            .executor(Arc::new(Executor::new(1)))
+            .optimality_gap(true)
+            .build()
+            .unwrap()
+            .run(&l)
+            .unwrap();
+        assert_eq!(report.schedule.scheduler_name, "exact-portfolio");
+        assert_eq!(report.ii, 3);
+        assert_eq!(report.optimality_gap, Some(0.0));
+        assert_eq!(SchedulerChoice::Portfolio.name(), "portfolio");
     }
 
     #[test]
