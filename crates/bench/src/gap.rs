@@ -94,6 +94,12 @@ pub struct GapRow {
     pub baseline_ii: Option<u32>,
     /// RMCA scheduler II (`None` = II search exhausted).
     pub rmca_ii: Option<u32>,
+    /// Wall-clock of the two heuristic schedules, in milliseconds. Timing
+    /// columns are the only thread-count-dependent part of a row; compare
+    /// rows through [`GapRow::without_timing`] when checking determinism.
+    pub schedule_ms: f64,
+    /// Wall-clock of the exact solve pricing the row, in milliseconds.
+    pub oracle_ms: f64,
 }
 
 impl GapRow {
@@ -116,6 +122,18 @@ impl GapRow {
     #[must_use]
     pub fn rmca_gap(&self) -> Option<f64> {
         self.gap_of(self.rmca_ii)
+    }
+
+    /// The row with its wall-clock columns zeroed: everything left is a
+    /// pure function of (loop, machine, solver) and must be byte-identical
+    /// at any executor width.
+    #[must_use]
+    pub fn without_timing(&self) -> GapRow {
+        GapRow {
+            schedule_ms: 0.0,
+            oracle_ms: 0.0,
+            ..self.clone()
+        }
     }
 }
 
@@ -179,10 +197,18 @@ pub fn run_on(params: &GapParams, executor: &Executor) -> Vec<GapRow> {
         .flat_map(|machine| loops.iter().map(move |l| (machine, l)))
         .collect();
     let rows = executor.map(&grid, |&(machine, l)| {
-        let Ok(outcome) = solve_with(l, machine, &options, &backend) else {
+        let (outcome, oracle_ns) =
+            mvp_trace::timed("gap.oracle", || solve_with(l, machine, &options, &backend));
+        let Ok(outcome) = outcome else {
             return None; // loop uses a unit kind the machine lacks
         };
         let heuristic_ii = |s: Result<mvp_core::Schedule, _>| s.ok().map(|s| s.ii());
+        let (heuristics, schedule_ns) = mvp_trace::timed("gap.schedule", || {
+            (
+                heuristic_ii(BaselineScheduler::new().schedule(l, machine)),
+                heuristic_ii(RmcaScheduler::new().schedule(l, machine)),
+            )
+        });
         let row = GapRow {
             machine: machine.name.clone(),
             loop_name: l.name().to_string(),
@@ -194,8 +220,10 @@ pub fn run_on(params: &GapParams, executor: &Executor) -> Vec<GapRow> {
             nodes: outcome.nodes,
             conflicts: outcome.conflicts,
             solver: params.solver,
-            baseline_ii: heuristic_ii(BaselineScheduler::new().schedule(l, machine)),
-            rmca_ii: heuristic_ii(RmcaScheduler::new().schedule(l, machine)),
+            baseline_ii: heuristics.0,
+            rmca_ii: heuristics.1,
+            schedule_ms: schedule_ns as f64 / 1e6,
+            oracle_ms: oracle_ns as f64 / 1e6,
         };
         // A hard assert, not a debug_assert: the gap bin runs in release
         // mode in CI, and a heuristic beating a "certified" bound means
@@ -260,12 +288,12 @@ pub fn to_csv(rows: &[GapRow]) -> String {
     // The new solver/conflicts columns sit at the end so positional
     // consumers (the CI summary cuts fields 1-3 and 8) keep working.
     let mut out = String::from(
-        "machine,loop,ops,min_ii,lower_bound,exact_ii,proved_optimal,nodes,baseline_ii,rmca_ii,baseline_gap,rmca_gap,solver,conflicts\n",
+        "machine,loop,ops,min_ii,lower_bound,exact_ii,proved_optimal,nodes,baseline_ii,rmca_ii,baseline_gap,rmca_gap,solver,conflicts,schedule_ms,oracle_ms\n",
     );
     for r in rows {
         let gap_csv = |g: Option<f64>| g.map_or_else(String::new, |g| format!("{g:.4}"));
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3}\n",
             r.machine,
             r.loop_name,
             r.num_ops,
@@ -280,6 +308,8 @@ pub fn to_csv(rows: &[GapRow]) -> String {
             gap_csv(r.rmca_gap()),
             r.solver,
             r.conflicts,
+            r.schedule_ms,
+            r.oracle_ms,
         ));
     }
     out
@@ -324,6 +354,8 @@ pub fn to_json(rows: &[GapRow]) -> crate::json::Json {
                     ("rmca_ii", Json::option(r.rmca_ii)),
                     ("baseline_gap", Json::option(r.baseline_gap())),
                     ("rmca_gap", Json::option(r.rmca_gap())),
+                    ("schedule_ms", Json::from(r.schedule_ms)),
+                    ("oracle_ms", Json::from(r.oracle_ms)),
                 ])
             })),
         ),
@@ -386,7 +418,11 @@ mod tests {
         assert_eq!(fig3.nodes, 0, "the SAT engine charges conflicts, not nodes");
         assert!(fig3.conflicts > 0);
         let csv = to_csv(&rows);
-        assert!(csv.lines().next().unwrap().ends_with("solver,conflicts"));
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("solver,conflicts,schedule_ms,oracle_ms"));
         assert!(csv.contains(",sat,"));
     }
 

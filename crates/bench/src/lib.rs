@@ -17,6 +17,10 @@
 //! * `serve` — batch service replay: cold pass vs warm cache-hit replays
 //!   of the suite stream, sustained loops/sec (`MVP_SERVE_CSV` for the CI
 //!   artifact),
+//! * `trace` — observability showcase: a chrome://tracing JSON export
+//!   covering every instrumented layer plus the deterministic
+//!   stable-counter snapshot (`MVP_TRACE_JSON` / `MVP_METRICS_CSV` for the
+//!   CI artifacts),
 //!
 //! and the Criterion benches in `benches/` measure scheduler / simulator
 //! throughput plus the ablations called out in `DESIGN.md`.
@@ -42,6 +46,7 @@ pub mod report;
 pub mod runner;
 pub mod serve;
 pub mod table1;
+pub mod trace;
 pub mod wallclock;
 
 pub use runner::{run_loop, run_suite, RunConfig, RunResult, SchedulerKind, SuiteResult};

@@ -23,6 +23,7 @@
 use crate::json::Json;
 use crate::runner::SchedulerKind;
 use multivliw::pipeline::{Pipeline, PipelineScheduleCache};
+use multivliw::schedcache::ShardStats;
 use multivliw::LoopReport;
 use mvp_exec::Executor;
 use mvp_ir::Loop;
@@ -87,6 +88,12 @@ pub struct ServeRow {
     pub hits: u64,
     /// Cache misses during this pass (this scheduler's share).
     pub misses: u64,
+    /// Entries stored across all cache shards after this pass.
+    pub cache_entries: usize,
+    /// Cumulative cache evictions after this pass.
+    pub cache_evictions: u64,
+    /// Cumulative executor batches after this pass.
+    pub batches_run: u64,
 }
 
 impl ServeRow {
@@ -108,6 +115,11 @@ pub struct ServeOutcome {
     /// Workers actually spawned by the persistent pool (persists across
     /// every pass — the pool is the service's, not a pass's).
     pub spawned_workers: usize,
+    /// Total executor batches the service ran across every pass.
+    pub batches_run: u64,
+    /// Final per-shard cache occupancy and eviction counts, in shard-index
+    /// order: the skew across this vector is the cache's load balance.
+    pub shards: Vec<ShardStats>,
     /// First warm-replay divergence from the cold pass, if any
     /// (`pass`, scheduler, loop name). A populated field is a correctness
     /// bug in the cache key or the canonical translation.
@@ -225,6 +237,9 @@ pub fn run(params: &ServeParams) -> ServeOutcome {
                 },
                 hits: after.hits - before.hits,
                 misses: after.misses - before.misses,
+                cache_entries: after.entries,
+                cache_evictions: after.evictions,
+                batches_run: executor.batches_run(),
             });
         }
     }
@@ -232,6 +247,8 @@ pub fn run(params: &ServeParams) -> ServeOutcome {
         rows,
         threads,
         spawned_workers: executor.spawned_workers(),
+        batches_run: executor.batches_run(),
+        shards: cache.shard_stats(),
         divergence,
     }
 }
@@ -264,9 +281,17 @@ pub fn render(outcome: &ServeOutcome) -> String {
         ]);
     }
     let mut tail = format!(
-        "\nservice: {} threads, {} persistent workers",
-        outcome.threads, outcome.spawned_workers
+        "\nservice: {} threads, {} persistent workers, {} executor batches",
+        outcome.threads, outcome.spawned_workers, outcome.batches_run
     );
+    let (entries, evictions) = (
+        outcome.shards.iter().map(|s| s.entries).sum::<usize>(),
+        outcome.shards.iter().map(|s| s.evictions).sum::<u64>(),
+    );
+    tail.push_str(&format!(
+        "\ncache: {entries} entries across {} shards ({evictions} evicted)",
+        outcome.shards.len()
+    ));
     if let Some(rate) = outcome.warm_hit_rate() {
         tail.push_str(&format!("\nwarm hit rate: {:.1}%", 100.0 * rate));
     }
@@ -283,11 +308,23 @@ pub fn render(outcome: &ServeOutcome) -> String {
 /// Serialises the rows as CSV (header + one line per row).
 #[must_use]
 pub fn to_csv(outcome: &ServeOutcome) -> String {
-    let mut out = String::from("pass,scheduler,loops,wall_ms,loops_per_sec,hits,misses\n");
+    let mut out = String::from(
+        "pass,scheduler,loops,wall_ms,loops_per_sec,hits,misses,\
+         cache_entries,cache_evictions,batches_run\n",
+    );
     for r in &outcome.rows {
         out.push_str(&format!(
-            "{},{},{},{:.3},{:.1},{},{}\n",
-            r.pass, r.scheduler, r.loops, r.wall_ms, r.loops_per_sec, r.hits, r.misses,
+            "{},{},{},{:.3},{:.1},{},{},{},{},{}\n",
+            r.pass,
+            r.scheduler,
+            r.loops,
+            r.wall_ms,
+            r.loops_per_sec,
+            r.hits,
+            r.misses,
+            r.cache_entries,
+            r.cache_evictions,
+            r.batches_run,
         ));
     }
     out
@@ -310,8 +347,18 @@ pub fn to_json(outcome: &ServeOutcome) -> Json {
         ("report", Json::from("serve-throughput")),
         ("threads", Json::from(outcome.threads)),
         ("spawned_workers", Json::from(outcome.spawned_workers)),
+        ("batches_run", Json::from(outcome.batches_run)),
         ("warm_hit_rate", Json::option(outcome.warm_hit_rate())),
         ("warm_speedup", Json::option(outcome.warm_speedup())),
+        (
+            "shards",
+            Json::array(outcome.shards.iter().map(|s| {
+                Json::object([
+                    ("entries", Json::from(s.entries)),
+                    ("evictions", Json::from(s.evictions)),
+                ])
+            })),
+        ),
         (
             "rows",
             Json::array(outcome.rows.iter().map(|r| {
@@ -364,6 +411,22 @@ mod tests {
         }
         assert!(outcome.warm_speedup().expect("warm passes ran") > 0.0);
         assert_eq!(outcome.threads, 2);
+        // The service surfaces its runtime state: the cache never evicted
+        // (capacity exceeds the stream), every pass left it holding one
+        // entry per (loop, scheduler), and the per-shard slices sum to the
+        // cache-wide ledger.
+        let last = outcome.rows.last().expect("rows exist");
+        assert_eq!(last.cache_entries, last.loops * SERVED_SCHEDULERS.len());
+        assert_eq!(last.cache_evictions, 0);
+        let shard_entries: usize = outcome.shards.iter().map(|s| s.entries).sum();
+        assert_eq!(shard_entries, last.cache_entries);
+        // Each (pass, scheduler) measurement is at least one executor
+        // batch, and the counter only grows.
+        assert!(outcome.batches_run >= outcome.rows.len() as u64);
+        assert!(outcome
+            .rows
+            .windows(2)
+            .all(|w| w[0].batches_run <= w[1].batches_run));
     }
 
     #[test]

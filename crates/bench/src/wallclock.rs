@@ -90,6 +90,17 @@ pub struct WallclockRow {
     /// Mean optimality gap over the loops that measured one
     /// (thread-count-independent).
     pub mean_gap: Option<f64>,
+    /// CPU time the batch spent in the schedule phase, in milliseconds,
+    /// from the `pipeline.schedule.ns` trace accumulator. Summed across
+    /// worker threads: the three phase columns can exceed `wall_ms` on a
+    /// multi-threaded run.
+    pub schedule_ms: f64,
+    /// CPU time in the simulate phase (`pipeline.sim.ns`), in milliseconds.
+    pub sim_ms: f64,
+    /// CPU time in the gap-oracle phase (`pipeline.gap_oracle.ns`), in
+    /// milliseconds. Exact-scheduler rows report 0: their fused solve is
+    /// charged to the schedule phase.
+    pub oracle_ms: f64,
 }
 
 impl WallclockRow {
@@ -117,6 +128,19 @@ pub fn run(params: &WallclockParams) -> Vec<WallclockRow> {
     let loops: Vec<&Loop> = workloads.iter().flat_map(|w| w.loops.iter()).collect();
     let gap_options = ExactOptions::new().with_node_budget(params.gap_node_budget);
 
+    // The phase-breakdown columns read the `pipeline.*.ns` accumulators,
+    // which only tick in `Timing` (or `Full`) mode: raise the global mode
+    // for the measurement and restore the caller's afterwards.
+    let prior_mode = mvp_trace::mode();
+    if prior_mode == mvp_trace::TraceMode::Off {
+        mvp_trace::set_mode(mvp_trace::TraceMode::Timing);
+    }
+    let phase_counters = [
+        mvp_trace::counter_handle!("pipeline.schedule.ns", Runtime),
+        mvp_trace::counter_handle!("pipeline.sim.ns", Runtime),
+        mvp_trace::counter_handle!("pipeline.gap_oracle.ns", Runtime),
+    ];
+
     let mut rows = Vec::new();
     for &threads in &params.threads {
         let executor = Arc::new(Executor::new(threads));
@@ -132,9 +156,12 @@ pub fn run(params: &WallclockParams) -> Vec<WallclockRow> {
                 .exact_node_budget(params.gap_node_budget)
                 .build()
                 .expect("default-machine pipelines are valid");
+            let phases_before = phase_counters.map(mvp_trace::Counter::get);
             let start = Instant::now();
             let reports = executor.map(&loops, |l| pipeline.run(l).ok());
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let [schedule_ms, sim_ms, oracle_ms] =
+                std::array::from_fn(|i| (phase_counters[i].get() - phases_before[i]) as f64 / 1e6);
 
             let scheduled = reports.iter().flatten().count();
             let total_cycles = reports.iter().flatten().map(|r| r.total_cycles()).sum();
@@ -152,9 +179,13 @@ pub fn run(params: &WallclockParams) -> Vec<WallclockRow> {
                 wall_ms,
                 total_cycles,
                 mean_gap,
+                schedule_ms,
+                sim_ms,
+                oracle_ms,
             });
         }
     }
+    mvp_trace::set_mode(prior_mode);
     rows
 }
 
@@ -250,10 +281,13 @@ pub fn render(rows: &[WallclockRow]) -> String {
 /// Serialises the rows as CSV (header + one line per row).
 #[must_use]
 pub fn to_csv(rows: &[WallclockRow]) -> String {
-    let mut out = String::from("scheduler,threads,loops,scheduled,wall_ms,total_cycles,mean_gap\n");
+    let mut out = String::from(
+        "scheduler,threads,loops,scheduled,wall_ms,total_cycles,mean_gap,\
+         schedule_ms,sim_ms,oracle_ms\n",
+    );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{},{:.3},{},{}\n",
+            "{},{},{},{},{:.3},{},{},{:.3},{:.3},{:.3}\n",
             r.scheduler,
             r.threads,
             r.loops,
@@ -261,6 +295,9 @@ pub fn to_csv(rows: &[WallclockRow]) -> String {
             r.wall_ms,
             r.total_cycles,
             r.mean_gap.map_or_else(String::new, |g| format!("{g:.4}")),
+            r.schedule_ms,
+            r.sim_ms,
+            r.oracle_ms,
         ));
     }
     out
@@ -293,6 +330,9 @@ pub fn to_json(rows: &[WallclockRow]) -> Json {
                     ("wall_ms", Json::from(r.wall_ms)),
                     ("total_cycles", Json::from(r.total_cycles)),
                     ("mean_gap", Json::option(r.mean_gap)),
+                    ("schedule_ms", Json::from(r.schedule_ms)),
+                    ("sim_ms", Json::from(r.sim_ms)),
+                    ("oracle_ms", Json::from(r.oracle_ms)),
                 ])
             })),
         ),
@@ -302,6 +342,18 @@ pub fn to_json(rows: &[WallclockRow]) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serialises the tests that call [`run`]: the phase-breakdown columns
+    /// are deltas of process-global trace counters, so two concurrent
+    /// measurements would leak time into each other's windows.
+    static RUN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn measured(params: &WallclockParams) -> Vec<WallclockRow> {
+        let _guard = RUN_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        run(params)
+    }
 
     fn quick_params(threads: Vec<usize>) -> WallclockParams {
         WallclockParams {
@@ -314,12 +366,22 @@ mod tests {
 
     #[test]
     fn rows_are_deterministic_across_thread_counts() {
-        let rows = run(&quick_params(vec![1, 4]));
+        let rows = measured(&quick_params(vec![1, 4]));
         assert_eq!(rows.len(), 2 * SchedulerKind::EVERY.len());
         assert_eq!(determinism_violation(&rows), None);
         for r in &rows {
             assert!(r.scheduled <= r.loops);
             assert!(r.wall_ms >= 0.0);
+            // The phase breakdown ticked: a suite pass spends measurable
+            // time scheduling and simulating.
+            assert!(r.schedule_ms > 0.0, "{}", r.scheduler);
+            assert!(r.sim_ms > 0.0, "{}", r.scheduler);
+            // The fused exact solve is charged to the schedule phase.
+            if r.scheduler == SchedulerKind::Exact {
+                assert_eq!(r.oracle_ms, 0.0);
+            } else {
+                assert!(r.oracle_ms > 0.0, "{}", r.scheduler);
+            }
             // Only the exact scheduler may drop loops on budget exhaustion.
             if r.scheduler != SchedulerKind::Exact {
                 assert_eq!(r.scheduled, r.loops, "{}", r.scheduler);
@@ -333,7 +395,7 @@ mod tests {
 
     #[test]
     fn divergent_outcomes_are_reported() {
-        let rows = run(&quick_params(vec![1]));
+        let rows = measured(&quick_params(vec![1]));
         assert_eq!(determinism_violation(&rows), None);
         assert_eq!(overall_speedup(&rows), None); // no multi-threaded pass
         let mut broken = rows.clone();
@@ -357,6 +419,9 @@ mod tests {
             wall_ms,
             total_cycles: 1000,
             mean_gap: None,
+            schedule_ms: 0.0,
+            sim_ms: 0.0,
+            oracle_ms: 0.0,
         };
         // A [1, 8, 32, 1] bracket: the two 1-thread passes (100 + 120 each
         // split over two schedulers) average to 110; the 8-thread pass
@@ -378,7 +443,7 @@ mod tests {
 
     #[test]
     fn csv_and_json_cover_every_row() {
-        let rows = run(&quick_params(vec![1]));
+        let rows = measured(&quick_params(vec![1]));
         let csv = to_csv(&rows);
         assert_eq!(csv.lines().count(), rows.len() + 1);
         assert!(csv.starts_with("scheduler,threads,"));

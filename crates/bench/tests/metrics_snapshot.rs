@@ -1,0 +1,62 @@
+//! Snapshot determinism: the stable-counter metrics artifact is
+//! byte-identical at any executor width.
+//!
+//! This is the metrics half of the observability acceptance bar (the
+//! event half lives in `trace_export.rs`). The deterministic pass of the
+//! trace showcase runs the corpus through the RMCA-plus-gap-oracle and
+//! SAT-exact pipelines; every [`mvp_trace::CounterClass::Stable`] counter
+//! it ticks — solver decisions and conflicts, search nodes, encoded CNF
+//! sizes, pipeline run counts — is a pure function of the work performed,
+//! so `MVP_THREADS=1` and `MVP_THREADS=8` must produce the same
+//! `counter,value` bytes.
+//!
+//! The trace registry is process-global, so both widths run inside one
+//! test function (integration tests get their own process; in-process
+//! parallelism is what this file must avoid).
+
+use mvp_bench::trace::{deterministic_pass, TraceParams};
+use mvp_exec::Executor;
+use std::sync::Arc;
+
+fn snapshot_at(threads: usize, params: &TraceParams) -> String {
+    mvp_trace::set_mode(mvp_trace::TraceMode::Off);
+    mvp_trace::reset();
+    let executor = Arc::new(Executor::new(threads));
+    deterministic_pass(params, &executor);
+    mvp_trace::snapshot_csv()
+}
+
+#[test]
+fn stable_counter_snapshot_is_byte_identical_for_1_and_8_threads() {
+    let params = TraceParams::default();
+    let sequential = snapshot_at(1, &params);
+    let parallel = snapshot_at(8, &params);
+    assert!(
+        sequential.lines().count() > 5,
+        "the pass registered stable counters:\n{sequential}"
+    );
+    // Byte-for-byte: same counters, same order, same values.
+    assert_eq!(sequential, parallel);
+    // The artifact carries no class column, no timestamps and only stable
+    // rows: every line is exactly `name,value`.
+    let mut lines = sequential.lines();
+    assert_eq!(lines.next(), Some("counter,value"));
+    for line in lines {
+        let (name, value) = line.split_once(',').expect("two columns");
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+        );
+        let _: u64 = value.parse().expect("integer value");
+        assert!(!line.contains("runtime"), "runtime counters are excluded");
+    }
+    // The headline stable counters are present with non-trivial values.
+    for needle in ["sat.decisions,", "exact.bnb.nodes,", "pipeline.runs,"] {
+        assert!(
+            sequential.contains(needle),
+            "missing {needle}:\n{sequential}"
+        );
+    }
+}

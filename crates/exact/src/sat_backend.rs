@@ -583,6 +583,10 @@ pub(crate) fn solve_fixed_ii_sat(
         return FixedIiOutcome::Infeasible;
     };
     let mut enc = Encoder::new(p, ii, &win);
+    let _span = mvp_trace::span!("exact.sat.probe", ii = ii, vars = enc.solver.num_vars());
+    mvp_trace::counter_handle!("exact.sat.encoded_vars", Stable).add(enc.solver.num_vars() as u64);
+    mvp_trace::counter_handle!("exact.sat.encoded_clauses", Stable)
+        .add(enc.solver.num_clauses() as u64);
     let outcome = loop {
         let remaining = options.node_budget.saturating_sub(enc.solver.steps());
         if remaining == 0 {
@@ -604,6 +608,8 @@ pub(crate) fn solve_fixed_ii_sat(
                 .any(|(&used, &cap)| used > cap)
             {
                 enc.block_current_model();
+                mvp_trace::counter_handle!("exact.sat.cegar_rounds", Stable).incr();
+                mvp_trace::instant!("exact.sat.cegar_round", ii = ii);
                 continue;
             }
         }

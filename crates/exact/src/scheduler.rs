@@ -146,6 +146,7 @@ pub fn solve_with(
         }
         let probe_options = options.with_node_budget(remaining);
         let before = (nodes, conflicts);
+        let _probe = mvp_trace::span!("exact.probe", ii = ii);
         let (outcome, solver) =
             run_probe(&p, ii, &probe_options, backend, &mut nodes, &mut conflicts);
         let verdict = match outcome {
@@ -251,10 +252,15 @@ fn race_probe(
         if decided(&outcome) {
             poison.store(true, Ordering::Relaxed);
         }
-        (outcome, steps)
+        let done_ns = if mvp_trace::timing_enabled() {
+            mvp_trace::now_ns()
+        } else {
+            0
+        };
+        (outcome, steps, done_ns)
     });
-    let (bnb_outcome, bnb_steps) = results.pop().expect("two rivals ran");
-    let (sat_outcome, sat_steps) = results.pop().expect("two rivals ran");
+    let (bnb_outcome, bnb_steps, bnb_done_ns) = results.pop().expect("two rivals ran");
+    let (sat_outcome, sat_steps, sat_done_ns) = results.pop().expect("two rivals ran");
     *conflicts += sat_steps;
     *nodes += bnb_steps;
 
@@ -282,15 +288,33 @@ fn race_probe(
         );
     }
 
-    if decided(&sat_outcome) {
+    let (sat_decided, bnb_decided) = (decided(&sat_outcome), decided(&bnb_outcome));
+    let (outcome, winner) = if sat_decided {
         (sat_outcome, SolverKind::Sat)
-    } else if decided(&bnb_outcome) {
+    } else if bnb_decided {
         (bnb_outcome, SolverKind::BranchAndBound)
     } else {
         // Neither decided: the poison flag was never raised, so both ran
         // out of budget.
         (FixedIiOutcome::Budget, SolverKind::Portfolio)
+    };
+    match winner {
+        SolverKind::Sat => mvp_trace::counter_handle!("portfolio.sat_wins", Runtime).incr(),
+        SolverKind::BranchAndBound => {
+            mvp_trace::counter_handle!("portfolio.bnb_wins", Runtime).incr();
+        }
+        SolverKind::Portfolio => {}
     }
+    // Poison latency: how long the loser kept running after the winner's
+    // certificate. Only measurable when timing is on (done_ns is 0 otherwise)
+    // and only meaningful when exactly one rival decided — a double decide is
+    // the cross-checked case, not a cancellation.
+    if bnb_done_ns != 0 && sat_done_ns != 0 && sat_decided != bnb_decided {
+        mvp_trace::counter_handle!("portfolio.poison.latency_ns", Runtime)
+            .add(bnb_done_ns.abs_diff(sat_done_ns));
+    }
+    mvp_trace::instant!("portfolio.winner", ii = ii, solver = winner);
+    (outcome, winner)
 }
 
 /// Assembles the search solution into a public [`Schedule`], computing the

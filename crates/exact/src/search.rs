@@ -116,6 +116,12 @@ struct Searcher<'p, 'l, 'm> {
     stage0_capable_unplaced: usize,
     enforce_pressure: bool,
     nodes: u64,
+    /// Conflict-driven backjumps taken (a `DeepFail` propagated past a
+    /// whole decision level).
+    backjumps: u64,
+    /// Levels whose candidate range was capped by the time-shift dominance
+    /// anchor.
+    dominance_cuts: u64,
     budget: u64,
     /// Portfolio poison flag: polled on every charged node so a rival
     /// solver's certificate aborts this search promptly.
@@ -143,6 +149,8 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
             stage0_capable_unplaced: win.earliest.iter().filter(|&&e| e == 0).count(),
             enforce_pressure: options.enforce_register_pressure,
             nodes: 0,
+            backjumps: 0,
+            dominance_cuts: 0,
             budget: options.node_budget,
             cancel,
             cancelled: false,
@@ -298,6 +306,7 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
             self.stage0_placed == 0 && self.stage0_capable_unplaced - usize::from(capable) == 0;
         if must_take_stage0 {
             conservative = true;
+            self.dominance_cuts += 1;
         }
 
         let cluster_cap = if self.p.homogeneous {
@@ -375,7 +384,10 @@ impl<'p, 'l, 'm> Searcher<'p, 'l, 'm> {
                     TransferStep::Budget => return Step::Budget,
                     // The conflict provably excludes this level: no other
                     // candidate here can fix it either — backjump.
-                    TransferStep::DeepFail(t) => return Step::Fail(t),
+                    TransferStep::DeepFail(t) => {
+                        self.backjumps += 1;
+                        return Step::Fail(t);
+                    }
                     TransferStep::CandidateFail(m) => fail_target = fail_target.max(m),
                 }
             }
@@ -407,6 +419,12 @@ pub(crate) fn solve_fixed_ii(
     let mut searcher = Searcher::new(p, ii, &win, options, cancel);
     let step = searcher.dfs(0);
     *nodes_used += searcher.nodes;
+    // One registry flush per probe; the search loop itself touches no
+    // atomics. Stable for non-racing runs (a cancelled portfolio rival's
+    // partial node count is scheduling-dependent, like the SAT side).
+    mvp_trace::counter_handle!("exact.bnb.nodes", Stable).add(searcher.nodes);
+    mvp_trace::counter_handle!("exact.bnb.backjumps", Stable).add(searcher.backjumps);
+    mvp_trace::counter_handle!("exact.bnb.dominance_cuts", Stable).add(searcher.dominance_cuts);
     match step {
         Step::Solved => {
             let (ops, comms) = searcher

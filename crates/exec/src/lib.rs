@@ -69,6 +69,15 @@
 //! `n - 1` persistent workers; the calling thread is the `n`-th
 //! participant.
 //!
+//! # Observability
+//!
+//! Batches report through [`mvp_trace`]: an `exec.batch` span on the
+//! caller, an `exec.worker.batch` span per participating worker, an
+//! `exec.job` span per job, and the runtime counters `exec.batches`,
+//! `exec.steals`, `exec.parks` and `exec.wakes`. Workers flush their
+//! thread-local event buffers at every batch boundary, so a parked pool
+//! never holds events back from [`mvp_trace::drain`].
+//!
 //! # Example
 //!
 //! ```
@@ -232,8 +241,18 @@ impl Executor {
     {
         // Sequential paths: a 1-thread executor, a trivial batch, or a
         // nested call from inside a batch participant (see the module docs).
+        // These still trace `exec.job` spans (deque -1: no deque was
+        // involved) so a 1-thread trace shows the same per-job structure a
+        // parallel one does; they are not counted as batches.
         if self.threads == 1 || items.len() <= 1 || Self::is_worker_thread() {
-            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    let _job = mvp_trace::span!("exec.job", job = i, deque = -1);
+                    f(i, x)
+                })
+                .collect();
         }
 
         let queue = DequePool::new(items.len(), self.threads);
@@ -247,6 +266,7 @@ impl Executor {
         // finishing a batch that is about to panic costs little.
         let runner = |deque: usize| {
             while let Some(idx) = queue.next_job(deque) {
+                let _job = mvp_trace::span!("exec.job", job = idx, deque = deque);
                 match catch_unwind(AssertUnwindSafe(|| f(idx, &items[idx]))) {
                     Ok(r) => *results[idx].lock().expect("result slot lock") = Some(r),
                     Err(payload) => {
@@ -259,7 +279,13 @@ impl Executor {
                 }
             }
         };
-        self.pool.run_batch(&runner);
+        {
+            let _batch = mvp_trace::span!("exec.batch", jobs = items.len(), threads = self.threads);
+            self.pool.run_batch(&runner);
+        }
+        // The caller participated in the batch; hand its buffered events to
+        // the central sink at the batch boundary (workers flush themselves).
+        mvp_trace::flush_thread();
 
         if let Some((_, payload)) = panicked.into_inner().expect("panic slot lock") {
             resume_unwind(payload);
@@ -406,9 +432,11 @@ impl Pool {
             if won {
                 injected.push(worker);
                 worker.join.thread().unpark();
+                mvp_trace::counter_handle!("exec.wakes", Runtime).incr();
             }
         }
         self.batches.fetch_add(1, Ordering::Relaxed);
+        mvp_trace::counter_handle!("exec.batches", Runtime).incr();
 
         // The caller is the batch's first participant (deque 0); nested
         // maps issued by its jobs run inline, like on any worker.
@@ -468,10 +496,17 @@ fn worker_main(index: usize, inbox: &AtomicPtr<Batch>, shared: &PoolShared) {
             // increment below — it cannot retract a pointer we already
             // swapped out, so it waits for us instead.
             let batch = unsafe { &*batch_ptr };
-            // SAFETY: `ctx` points at the caller's live runner closure (see
-            // above); worker `index` owns deque `index + 1` (the caller
-            // owns deque 0).
-            unsafe { (batch.run)(batch.ctx, index + 1) };
+            {
+                let _span = mvp_trace::span!("exec.worker.batch", worker = index);
+                // SAFETY: `ctx` points at the caller's live runner closure
+                // (see above); worker `index` owns deque `index + 1` (the
+                // caller owns deque 0).
+                unsafe { (batch.run)(batch.ctx, index + 1) };
+            }
+            // Flush this worker's buffered events before it parks again —
+            // a parked worker's thread-local buffer is unreachable from
+            // `mvp_trace::drain`.
+            mvp_trace::flush_thread();
             let caller = batch.caller.clone();
             batch.detached.fetch_add(1, Ordering::Release);
             // After the increment the batch may be gone; wake the caller
@@ -482,6 +517,7 @@ fn worker_main(index: usize, inbox: &AtomicPtr<Batch>, shared: &PoolShared) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
+        mvp_trace::counter_handle!("exec.parks", Runtime).incr();
         std::thread::park();
     }
 }
@@ -533,6 +569,7 @@ impl DequePool {
                     // The victim may have drained between the census and the
                     // steal; retry the census rather than giving up.
                     if let Some(idx) = self.deques[v].lock().expect("deque lock").pop_back() {
+                        mvp_trace::counter_handle!("exec.steals", Runtime).incr();
                         return Some(idx);
                     }
                 }

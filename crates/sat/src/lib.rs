@@ -169,6 +169,8 @@ pub struct Solver {
     model: Vec<bool>,
     steps: u64,
     conflicts: u64,
+    restarts: u64,
+    learned: u64,
     seen: Vec<bool>,
 }
 
@@ -199,6 +201,8 @@ impl Solver {
             model: Vec::new(),
             steps: 0,
             conflicts: 0,
+            restarts: 0,
+            learned: 0,
             seen: Vec::new(),
         }
     }
@@ -234,6 +238,26 @@ impl Solver {
     #[must_use]
     pub fn conflicts(&self) -> u64 {
         self.conflicts
+    }
+
+    /// Total Luby restarts across all solves.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Total learnt clauses attached to the clause database across all
+    /// solves (learnt *units* backjump to level 0 instead of attaching and
+    /// are not counted).
+    #[must_use]
+    pub fn learned_clauses(&self) -> u64 {
+        self.learned
+    }
+
+    /// Number of clauses currently in the database (original + learnt).
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
     }
 
     /// Whether the formula is still possibly satisfiable (`false` once
@@ -553,6 +577,25 @@ impl Solver {
     /// stored (read via [`Solver::value`]) and the trail is rewound, so
     /// more clauses can be added and the solver re-run.
     pub fn solve(&mut self, budget: Option<u64>, cancel: Option<&AtomicBool>) -> SolveResult {
+        let _span = mvp_trace::span!("sat.solve", vars = self.num_vars());
+        let (steps0, conflicts0) = (self.steps, self.conflicts);
+        let (restarts0, learned0) = (self.restarts, self.learned);
+        let result = self.solve_inner(budget, cancel);
+        // Flush this solve's deltas into the metrics registry in one shot —
+        // the CDCL loop itself never touches an atomic. The counters are
+        // stable: a solver run on a fixed formula with a fixed budget does
+        // the same work at any executor width (portfolio *races* cancel
+        // rivals nondeterministically, which is why the deterministic
+        // snapshot is taken from non-racing passes).
+        let conflicts = self.conflicts - conflicts0;
+        mvp_trace::counter_handle!("sat.decisions", Stable).add(self.steps - steps0 - conflicts);
+        mvp_trace::counter_handle!("sat.conflicts", Stable).add(conflicts);
+        mvp_trace::counter_handle!("sat.restarts", Stable).add(self.restarts - restarts0);
+        mvp_trace::counter_handle!("sat.learned_clauses", Stable).add(self.learned - learned0);
+        result
+    }
+
+    fn solve_inner(&mut self, budget: Option<u64>, cancel: Option<&AtomicBool>) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -592,6 +635,7 @@ impl Solver {
                     debug_assert!(enqueued, "asserting literal must be free after backjump");
                 } else {
                     let cref = self.attach_clause(learnt);
+                    self.learned += 1;
                     let assert_lit = self.clauses[cref as usize].lits[0];
                     let enqueued = self.enqueue(assert_lit, Some(cref));
                     debug_assert!(enqueued, "asserting literal must be free after backjump");
@@ -609,6 +653,7 @@ impl Solver {
                 conflicts_since_restart = 0;
                 restart_idx += 1;
                 restart_limit = Self::luby(restart_idx) * RESTART_UNIT;
+                self.restarts += 1;
                 self.backtrack(0);
             } else {
                 match self.pick_branch() {
@@ -654,6 +699,7 @@ impl Solver {
             return;
         }
         // s[i][j] ("the count over lits[..=i] is > j") for i in 0..n-1.
+        mvp_trace::counter_handle!("sat.atmostk.aux_vars", Stable).add(((n - 1) * k) as u64);
         let s: Vec<Vec<Lit>> = (0..n - 1)
             .map(|_| (0..k).map(|_| Lit::positive(self.new_var())).collect())
             .collect();

@@ -18,7 +18,14 @@
 //!   tail instead of growing without bound.
 //! * **Counters.** Lifetime hits, misses and evictions are kept in atomics
 //!   and reported by [`ScheduleCache::stats`]; the `serve` bin asserts a
-//!   100% warm-pass hit rate from exactly these numbers.
+//!   100% warm-pass hit rate from exactly these numbers. Per-shard
+//!   occupancy and eviction counts are reported by
+//!   [`ScheduleCache::shard_stats`].
+//! * **Tracing.** Every lookup and eviction also reports through
+//!   [`mvp_trace`]: `schedcache.hit` / `schedcache.miss` /
+//!   `schedcache.evict` instant events carrying the shard index, plus the
+//!   runtime counters `schedcache.hits`, `schedcache.misses` and
+//!   `schedcache.evictions`.
 
 use crate::fx::{CacheKey, FxBuildHasher};
 use std::collections::HashMap;
@@ -59,6 +66,16 @@ impl CacheStats {
     }
 }
 
+/// Occupancy and lifetime evictions of one shard (see
+/// [`ScheduleCache::shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Entries currently stored in this shard.
+    pub entries: usize,
+    /// Entries this shard has evicted over its lifetime.
+    pub evictions: u64,
+}
+
 struct Entry<V> {
     value: V,
     /// Last-touched stamp from the owning shard's clock (bigger = more
@@ -75,6 +92,10 @@ struct Entry<V> {
 struct ShardState<V> {
     map: HashMap<CacheKey, Entry<V>, FxBuildHasher>,
     clock: u64,
+    /// Lifetime evictions from this shard (the shard slice of the
+    /// cache-wide `evictions` atomic; kept under the shard lock, so it
+    /// needs no atomic of its own).
+    evictions: u64,
 }
 
 impl<V> ShardState<V> {
@@ -125,6 +146,7 @@ impl<V> ScheduleCache<V> {
                     Mutex::new(ShardState {
                         map: HashMap::with_hasher(FxBuildHasher),
                         clock: 0,
+                        evictions: 0,
                     })
                 })
                 .collect(),
@@ -143,9 +165,9 @@ impl<V> ScheduleCache<V> {
         Self::with_capacity_and_shards(capacity, threads)
     }
 
-    fn shard(&self, key: &CacheKey) -> &Shard<V> {
+    fn shard_index(&self, key: &CacheKey) -> usize {
         // Shard count is a power of two; the key's low bits select.
-        &self.shards[(key.lo as usize) & (self.shards.len() - 1)]
+        (key.lo as usize) & (self.shards.len() - 1)
     }
 
     /// Looks `key` up, refreshing its recency on a hit. Counts one hit or
@@ -155,16 +177,21 @@ impl<V> ScheduleCache<V> {
     where
         V: Clone,
     {
-        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        let index = self.shard_index(key);
+        let mut shard = self.shards[index].lock().expect("cache shard lock");
         let stamp = shard.tick();
         match shard.map.get_mut(key) {
             Some(entry) => {
                 entry.stamp = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                mvp_trace::counter_handle!("schedcache.hits", Runtime).incr();
+                mvp_trace::instant!("schedcache.hit", shard = index);
                 Some(entry.value.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                mvp_trace::counter_handle!("schedcache.misses", Runtime).incr();
+                mvp_trace::instant!("schedcache.miss", shard = index);
                 None
             }
         }
@@ -173,7 +200,8 @@ impl<V> ScheduleCache<V> {
     /// Stores `value` under `key`, replacing any existing entry; evicts the
     /// shard's least-recently-touched entry when the shard is full.
     pub fn insert(&self, key: CacheKey, value: V) {
-        let mut shard = self.shard(&key).lock().expect("cache shard lock");
+        let index = self.shard_index(&key);
+        let mut shard = self.shards[index].lock().expect("cache shard lock");
         let stamp = shard.tick();
         if let Some(entry) = shard.map.get_mut(&key) {
             entry.value = value;
@@ -188,7 +216,10 @@ impl<V> ScheduleCache<V> {
                 .map(|(k, _)| *k)
             {
                 shard.map.remove(&victim);
+                shard.evictions += 1;
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                mvp_trace::counter_handle!("schedcache.evictions", Runtime).incr();
+                mvp_trace::instant!("schedcache.evict", shard = index);
             }
         }
         shard.map.insert(key, Entry { value, stamp });
@@ -214,6 +245,24 @@ impl<V> ScheduleCache<V> {
         for shard in self.shards.iter() {
             shard.lock().expect("cache shard lock").map.clear();
         }
+    }
+
+    /// Per-shard occupancy and lifetime evictions, in shard-index order.
+    /// The entry counts sum to [`len`](Self::len) and the evictions to
+    /// [`stats`](Self::stats)`().evictions` (each taken per shard, so a
+    /// concurrent writer can skew the totals slightly — like `len`).
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("cache shard lock");
+                ShardStats {
+                    entries: shard.map.len(),
+                    evictions: shard.evictions,
+                }
+            })
+            .collect()
     }
 
     /// Lifetime counters and occupancy.
@@ -368,6 +417,36 @@ mod tests {
         let inserted = 1 + 8 * KEYS_PER_THREAD; // hot + every thread's keys, all distinct
         assert_eq!(stats.evictions, inserted - stats.entries as u64);
         assert_eq!(stats.hits + stats.misses, 2 * 8 * KEYS_PER_THREAD);
+    }
+
+    #[test]
+    fn shard_stats_slice_the_cache_wide_ledger() {
+        // 1 thread -> 4 shards, 1 entry each; keys with lo & 3 == 0 all
+        // land in shard 0, so the second insert there evicts the first.
+        let cache: ScheduleCache<u32> = ScheduleCache::with_capacity_and_shards(4, 1);
+        cache.insert(CacheKey { lo: 0, hi: 1 }, 1);
+        cache.insert(CacheKey { lo: 4, hi: 2 }, 2);
+        cache.insert(CacheKey { lo: 1, hi: 3 }, 3);
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(
+            per_shard[0],
+            ShardStats {
+                entries: 1,
+                evictions: 1
+            }
+        );
+        assert_eq!(
+            per_shard[1],
+            ShardStats {
+                entries: 1,
+                evictions: 0
+            }
+        );
+        let total_entries: usize = per_shard.iter().map(|s| s.entries).sum();
+        let total_evictions: u64 = per_shard.iter().map(|s| s.evictions).sum();
+        assert_eq!(total_entries, cache.len());
+        assert_eq!(total_evictions, cache.stats().evictions);
     }
 
     #[test]

@@ -67,6 +67,6 @@ pub mod cache;
 pub mod canon;
 pub mod fx;
 
-pub use cache::{CacheStats, ScheduleCache};
+pub use cache::{CacheStats, ScheduleCache, ShardStats};
 pub use canon::{canonicalize, hash_machine, CanonicalLoop};
 pub use fx::{CacheKey, FxBuildHasher, FxHasher, KeyHasher};
