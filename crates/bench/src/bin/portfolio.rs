@@ -8,9 +8,21 @@
 //! With `MVP_PORTFOLIO_CSV=<path>` the per-row race results (winner,
 //! branch-and-bound nodes, SAT conflicts, inclusive portfolio steps) are
 //! written as the `portfolio-solvers.csv` artifact.
+//!
+//! The same run also drives the incremental-vs-scratch SAT differential:
+//! each point is solved twice by the SAT backend (persistent session vs
+//! per-probe re-encoding), pinned to identical verdicts, and the per-loop
+//! step/wallclock/retention comparison is written as the
+//! `sat-incremental.csv` artifact (`MVP_SAT_INCR_CSV=<path>`). The process
+//! exits non-zero when the incremental mode spends more total SAT steps on
+//! the corpus than the from-scratch mode — clause retention must pay for
+//! itself in aggregate.
 
 use mvp_bench::gap::GapParams;
-use mvp_bench::portfolio::{render, run, to_csv};
+use mvp_bench::portfolio::{
+    incremental_to_csv, incremental_totals, render, render_incremental, run, run_incremental,
+    to_csv,
+};
 use mvp_bench::report::write_env_artifact;
 
 fn arg<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
@@ -50,4 +62,22 @@ fn main() {
     write_env_artifact("MVP_PORTFOLIO_CSV", &format!("{} rows", rows.len()), || {
         to_csv(&rows)
     });
+
+    let incr_rows = run_incremental(&params);
+    print!("{}", render_incremental(&incr_rows));
+
+    write_env_artifact(
+        "MVP_SAT_INCR_CSV",
+        &format!("{} rows", incr_rows.len()),
+        || incremental_to_csv(&incr_rows),
+    );
+
+    let (incremental, scratch) = incremental_totals(&incr_rows);
+    if incremental > scratch {
+        eprintln!(
+            "incremental SAT spent {incremental} steps on the corpus, \
+             more than the {scratch} from-scratch steps"
+        );
+        std::process::exit(1);
+    }
 }

@@ -100,6 +100,12 @@ pub struct GapRow {
     pub schedule_ms: f64,
     /// Wall-clock of the exact solve pricing the row, in milliseconds.
     pub oracle_ms: f64,
+    /// Clauses the incremental SAT session reused across the row's probes
+    /// (summed over probes; 0 for pure branch-and-bound rows).
+    pub sat_reused_clauses: u64,
+    /// Learnt clauses the incremental SAT session retained across the
+    /// row's probes (summed over probes; 0 for pure branch-and-bound rows).
+    pub sat_kept_learned: u64,
 }
 
 impl GapRow {
@@ -224,6 +230,8 @@ pub fn run_on(params: &GapParams, executor: &Executor) -> Vec<GapRow> {
             rmca_ii: heuristics.1,
             schedule_ms: schedule_ns as f64 / 1e6,
             oracle_ms: oracle_ns as f64 / 1e6,
+            sat_reused_clauses: outcome.probes.iter().map(|p| p.reused_clauses).sum(),
+            sat_kept_learned: outcome.probes.iter().map(|p| p.kept_learned).sum(),
         };
         // A hard assert, not a debug_assert: the gap bin runs in release
         // mode in CI, and a heuristic beating a "certified" bound means
@@ -285,15 +293,16 @@ pub fn render(rows: &[GapRow]) -> String {
 /// Serialises the rows as CSV (header + one line per row).
 #[must_use]
 pub fn to_csv(rows: &[GapRow]) -> String {
-    // The new solver/conflicts columns sit at the end so positional
-    // consumers (the CI summary cuts fields 1-3 and 8) keep working.
+    // New columns only ever append at the end so positional consumers (the
+    // CI summary cuts fields 1-3 and 8) keep working: first the
+    // solver/conflicts pair, then the incremental-SAT provenance pair.
     let mut out = String::from(
-        "machine,loop,ops,min_ii,lower_bound,exact_ii,proved_optimal,nodes,baseline_ii,rmca_ii,baseline_gap,rmca_gap,solver,conflicts,schedule_ms,oracle_ms\n",
+        "machine,loop,ops,min_ii,lower_bound,exact_ii,proved_optimal,nodes,baseline_ii,rmca_ii,baseline_gap,rmca_gap,solver,conflicts,schedule_ms,oracle_ms,sat_reused_clauses,sat_kept_learned\n",
     );
     for r in rows {
         let gap_csv = |g: Option<f64>| g.map_or_else(String::new, |g| format!("{g:.4}"));
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{}\n",
             r.machine,
             r.loop_name,
             r.num_ops,
@@ -310,6 +319,8 @@ pub fn to_csv(rows: &[GapRow]) -> String {
             r.conflicts,
             r.schedule_ms,
             r.oracle_ms,
+            r.sat_reused_clauses,
+            r.sat_kept_learned,
         ));
     }
     out
@@ -349,6 +360,8 @@ pub fn to_json(rows: &[GapRow]) -> crate::json::Json {
                     ("proved_optimal", Json::from(r.proved_optimal)),
                     ("nodes", Json::from(r.nodes)),
                     ("conflicts", Json::from(r.conflicts)),
+                    ("sat_reused_clauses", Json::from(r.sat_reused_clauses)),
+                    ("sat_kept_learned", Json::from(r.sat_kept_learned)),
                     ("solver", Json::from(r.solver.label())),
                     ("baseline_ii", Json::option(r.baseline_ii)),
                     ("rmca_ii", Json::option(r.rmca_ii)),
@@ -418,12 +431,18 @@ mod tests {
         assert_eq!(fig3.nodes, 0, "the SAT engine charges conflicts, not nodes");
         assert!(fig3.conflicts > 0);
         let csv = to_csv(&rows);
-        assert!(csv
-            .lines()
-            .next()
-            .unwrap()
-            .ends_with("solver,conflicts,schedule_ms,oracle_ms"));
+        assert!(csv.lines().next().unwrap().ends_with(
+            "solver,conflicts,schedule_ms,oracle_ms,sat_reused_clauses,sat_kept_learned"
+        ));
         assert!(csv.contains(",sat,"));
+        // Fig3's MII already equals the optimum, so its search is a single
+        // probe with nothing to carry over; rows whose first probe is
+        // refuted by search must show the session reusing clauses.
+        assert_eq!(fig3.sat_reused_clauses, 0);
+        assert!(
+            rows.iter().any(|r| r.sat_reused_clauses > 0),
+            "some multi-probe row reuses clauses across II probes"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use crate::gap::{backend_of, corpus, machines, GapParams};
 use crate::report::Table;
-use mvp_exact::{solve_with, ExactOptions, ExactOutcome, SolverKind};
+use mvp_exact::{solve_with, ExactOptions, ExactOutcome, IiVerdict, SolverKind};
 use mvp_exec::Executor;
 use mvp_ir::Loop;
 use mvp_machine::MachineConfig;
@@ -48,6 +48,12 @@ pub struct PortfolioRow {
     pub sat_conflicts: u64,
     /// Inclusive step total of the portfolio race (both rivals' work).
     pub portfolio_steps: u64,
+    /// Clauses the standalone SAT run's incremental session reused across
+    /// its probes (summed).
+    pub sat_reused_clauses: u64,
+    /// Learnt clauses the standalone SAT run retained across its probes
+    /// (summed).
+    pub sat_kept_learned: u64,
 }
 
 /// Checks one pair of outcomes for certificate consistency; `label`
@@ -131,6 +137,8 @@ pub fn run_on(params: &GapParams, executor: &Executor) -> Vec<PortfolioRow> {
             bnb_nodes: bnb.nodes,
             sat_conflicts: sat.conflicts,
             portfolio_steps: portfolio.search_steps(),
+            sat_reused_clauses: sat.probes.iter().map(|p| p.reused_clauses).sum(),
+            sat_kept_learned: sat.probes.iter().map(|p| p.kept_learned).sum(),
         })
     });
     rows.into_iter().flatten().collect()
@@ -177,12 +185,14 @@ pub fn render(rows: &[PortfolioRow]) -> String {
 /// Serialises the rows as CSV (the `portfolio-solvers.csv` CI artifact).
 #[must_use]
 pub fn to_csv(rows: &[PortfolioRow]) -> String {
+    // The incremental-SAT provenance columns trail the original eight so
+    // positional consumers of the artifact keep working.
     let mut out = String::from(
-        "machine,loop,exact_ii,both_proved,winner,bnb_nodes,sat_conflicts,portfolio_steps\n",
+        "machine,loop,exact_ii,both_proved,winner,bnb_nodes,sat_conflicts,portfolio_steps,sat_reused_clauses,sat_kept_learned\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{}\n",
             r.machine,
             r.loop_name,
             r.exact_ii.map_or_else(String::new, |x| x.to_string()),
@@ -191,6 +201,8 @@ pub fn to_csv(rows: &[PortfolioRow]) -> String {
             r.bnb_nodes,
             r.sat_conflicts,
             r.portfolio_steps,
+            r.sat_reused_clauses,
+            r.sat_kept_learned,
         ));
     }
     out
@@ -204,6 +216,213 @@ pub fn to_csv(rows: &[PortfolioRow]) -> String {
 pub fn write_csv(rows: &[PortfolioRow], path: &Path) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     f.write_all(to_csv(rows).as_bytes())
+}
+
+/// One (loop, machine) row of the incremental-vs-scratch SAT differential
+/// (the `sat-incremental.csv` nightly artifact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalRow {
+    /// Machine preset name.
+    pub machine: String,
+    /// Loop name.
+    pub loop_name: String,
+    /// The agreed exact II (asserted identical between the two modes).
+    pub exact_ii: Option<u32>,
+    /// Whether both modes proved optimality (asserted identical).
+    pub proved_optimal: bool,
+    /// SAT steps (decisions + conflicts) of the incremental run.
+    pub incremental_steps: u64,
+    /// SAT steps of the from-scratch run.
+    pub scratch_steps: u64,
+    /// Clauses the incremental session reused across probes (summed).
+    pub reused_clauses: u64,
+    /// Learnt clauses the incremental session retained across probes
+    /// (summed).
+    pub kept_learned: u64,
+    /// Wall-clock of the incremental solve, in milliseconds.
+    pub incremental_ms: f64,
+    /// Wall-clock of the from-scratch solve, in milliseconds.
+    pub scratch_ms: f64,
+}
+
+/// Runs the incremental-vs-scratch SAT differential over the gap corpus on
+/// the process-wide executor (see [`run_incremental_on`]).
+#[must_use]
+pub fn run_incremental(params: &GapParams) -> Vec<IncrementalRow> {
+    run_incremental_on(params, &Executor::global())
+}
+
+/// Runs the incremental-vs-scratch SAT differential on an explicit
+/// executor: every (loop, machine) point of `corpus(params)` × `machines()`
+/// is solved twice by `ExactBackend::Sat` — once with the persistent
+/// incremental session (the default), once with the
+/// `sat_incremental = false` escape hatch that re-encodes per probe — and
+/// the two outcomes are pinned consistent. Where both searches fully
+/// decide (no probe ran out of budget) everything must be identical:
+/// certified bound, schedule II, optimality claim and the per-II verdict
+/// sequence. Where the finite step budget cut one search short the probe
+/// *sequences* may differ, but no contradiction is tolerated: the two
+/// modes must never certify opposite verdicts for the same II, and both
+/// schedules must pass the independent validator. Any violation panics (a
+/// red nightly build), because the incremental layering is only sound if
+/// it proves exactly what a fresh encoding proves.
+#[must_use]
+pub fn run_incremental_on(params: &GapParams, executor: &Executor) -> Vec<IncrementalRow> {
+    let options = ExactOptions::new().with_node_budget(params.node_budget);
+    let loops = corpus(params);
+    let machines = machines();
+    let grid: Vec<(&MachineConfig, &Loop)> = machines
+        .iter()
+        .flat_map(|machine| loops.iter().map(move |l| (machine, l)))
+        .collect();
+    let rows = executor.map(&grid, |&(machine, l)| {
+        let point = format!("{} / {}", l.name(), machine.name);
+        let backend = backend_of(SolverKind::Sat);
+        let (incremental, incr_ns) = mvp_trace::timed("sat_incr.incremental", || {
+            solve_with(l, machine, &options.with_sat_incremental(true), &backend).ok()
+        });
+        let (scratch, scr_ns) = mvp_trace::timed("sat_incr.scratch", || {
+            solve_with(l, machine, &options.with_sat_incremental(false), &backend).ok()
+        });
+        let (incremental, scratch) = match (incremental, scratch) {
+            (Some(i), Some(s)) => (i, s),
+            (None, None) => return None, // loop uses a unit kind the machine lacks
+            _ => panic!("incremental and scratch disagree on solvability for {point}"),
+        };
+        let verdicts = |o: &ExactOutcome| -> Vec<(u32, IiVerdict)> {
+            o.probes.iter().map(|p| (p.ii, p.verdict)).collect()
+        };
+        let decided = |o: &ExactOutcome| o.probes.iter().all(|p| p.verdict != IiVerdict::Unknown);
+        if decided(&incremental) && decided(&scratch) {
+            // Neither search hit the step budget: the incremental session
+            // must be observationally invisible, probe for probe.
+            assert_eq!(
+                incremental.lower_bound, scratch.lower_bound,
+                "certified bounds diverge on {point}"
+            );
+            assert_eq!(
+                incremental.schedule_ii(),
+                scratch.schedule_ii(),
+                "schedule IIs diverge on {point}"
+            );
+            assert_eq!(
+                incremental.proved_optimal, scratch.proved_optimal,
+                "optimality claims diverge on {point}"
+            );
+            assert_eq!(
+                verdicts(&incremental),
+                verdicts(&scratch),
+                "per-II verdict sequences diverge on {point}"
+            );
+        } else {
+            // The budget cut at least one search short, so the probe
+            // sequences may differ — but certificates must never clash.
+            for &(ii, vi) in &verdicts(&incremental) {
+                for &(sii, vs) in &verdicts(&scratch) {
+                    let contradiction = ii == sii
+                        && ((vi == IiVerdict::Feasible && vs == IiVerdict::Infeasible)
+                            || (vi == IiVerdict::Infeasible && vs == IiVerdict::Feasible));
+                    assert!(
+                        !contradiction,
+                        "opposite certificates at II={ii} on {point}: \
+                         incremental={vi}, scratch={vs}"
+                    );
+                }
+            }
+        }
+        for outcome in [&incremental, &scratch] {
+            if let Some(s) = &outcome.schedule {
+                let violations = mvp_core::validate_schedule(l, machine, s);
+                assert!(
+                    violations.is_empty(),
+                    "an illegal schedule on {point}: {violations:?}"
+                );
+            }
+        }
+        Some(IncrementalRow {
+            machine: machine.name.clone(),
+            loop_name: l.name().to_string(),
+            exact_ii: incremental.schedule_ii(),
+            proved_optimal: incremental.proved_optimal,
+            incremental_steps: incremental.conflicts,
+            scratch_steps: scratch.conflicts,
+            reused_clauses: incremental.probes.iter().map(|p| p.reused_clauses).sum(),
+            kept_learned: incremental.probes.iter().map(|p| p.kept_learned).sum(),
+            incremental_ms: incr_ns as f64 / 1e6,
+            scratch_ms: scr_ns as f64 / 1e6,
+        })
+    });
+    rows.into_iter().flatten().collect()
+}
+
+/// Corpus-aggregate SAT step totals, `(incremental, scratch)`. The nightly
+/// gate requires the first to stay at or below the second — clause and
+/// learnt-state retention must never make the whole corpus *more*
+/// expensive than re-encoding every probe from scratch.
+#[must_use]
+pub fn incremental_totals(rows: &[IncrementalRow]) -> (u64, u64) {
+    (
+        rows.iter().map(|r| r.incremental_steps).sum(),
+        rows.iter().map(|r| r.scratch_steps).sum(),
+    )
+}
+
+/// Renders the incremental differential as a text table plus the aggregate
+/// step comparison.
+#[must_use]
+pub fn render_incremental(rows: &[IncrementalRow]) -> String {
+    let mut t = Table::new(vec![
+        "machine",
+        "loop",
+        "exact",
+        "incr-steps",
+        "scratch-steps",
+        "reused",
+        "kept-learned",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.machine.clone(),
+            r.loop_name.clone(),
+            r.exact_ii.map_or_else(|| "-".into(), |x| x.to_string()),
+            r.incremental_steps.to_string(),
+            r.scratch_steps.to_string(),
+            r.reused_clauses.to_string(),
+            r.kept_learned.to_string(),
+        ]);
+    }
+    let (incr, scratch) = incremental_totals(rows);
+    format!(
+        "Incremental vs from-scratch SAT over the gap corpus\n{}\n\
+         corpus totals: incremental {incr} steps vs scratch {scratch} steps ({})\n",
+        t.render(),
+        crate::report::pct_faster(scratch, incr.max(1)),
+    )
+}
+
+/// Serialises the incremental rows as CSV (the `sat-incremental.csv` CI
+/// artifact).
+#[must_use]
+pub fn incremental_to_csv(rows: &[IncrementalRow]) -> String {
+    let mut out = String::from(
+        "machine,loop,exact_ii,proved_optimal,incremental_steps,scratch_steps,reused_clauses,kept_learned,incremental_ms,scratch_ms\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{:.3},{:.3}\n",
+            r.machine,
+            r.loop_name,
+            r.exact_ii.map_or_else(String::new, |x| x.to_string()),
+            r.proved_optimal,
+            r.incremental_steps,
+            r.scratch_steps,
+            r.reused_clauses,
+            r.kept_learned,
+            r.incremental_ms,
+            r.scratch_ms,
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -27,6 +27,13 @@ pub struct ExactOptions {
     /// relaxation whose II is still a valid lower bound for the constrained
     /// problem.
     pub enforce_register_pressure: bool,
+    /// Whether the SAT backend keeps one incremental solver alive across the
+    /// whole II search (assumption-guarded per-II layers, clause and
+    /// learnt-state retention) instead of re-encoding from scratch per
+    /// probe. On by default; the environment variable `MVP_SAT_INCREMENTAL`
+    /// set to `0` or `false` flips the default off — the escape hatch the
+    /// differential suites use to race the two modes.
+    pub sat_incremental: bool,
 }
 
 impl ExactOptions {
@@ -41,6 +48,7 @@ impl ExactOptions {
             node_budget: 1_000_000,
             horizon_stages: 8,
             enforce_register_pressure: true,
+            sat_incremental: sat_incremental_default(),
         }
     }
 
@@ -72,6 +80,13 @@ impl ExactOptions {
         self
     }
 
+    /// Returns a copy with incremental SAT solving switched on or off.
+    #[must_use]
+    pub fn with_sat_incremental(mut self, incremental: bool) -> Self {
+        self.sat_incremental = incremental;
+        self
+    }
+
     /// Derives exact-search options from the shared [`SchedulerOptions`]
     /// (used when the exact scheduler runs as a [`SchedulerChoice`] inside
     /// the pipeline): the II slack and register-pressure switch carry over,
@@ -93,6 +108,15 @@ impl Default for ExactOptions {
     }
 }
 
+/// The process-wide incremental-SAT default: on, unless
+/// `MVP_SAT_INCREMENTAL` disables it.
+fn sat_incremental_default() -> bool {
+    match std::env::var("MVP_SAT_INCREMENTAL") {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("false")),
+        Err(_) => true,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,11 +127,13 @@ mod tests {
             .with_max_ii_slack(4)
             .with_node_budget(0)
             .with_horizon_stages(0)
-            .with_register_pressure(false);
+            .with_register_pressure(false)
+            .with_sat_incremental(false);
         assert_eq!(o.max_ii_slack, 4);
         assert_eq!(o.node_budget, 1);
         assert_eq!(o.horizon_stages, 1);
         assert!(!o.enforce_register_pressure);
+        assert!(!o.sat_incremental);
     }
 
     #[test]

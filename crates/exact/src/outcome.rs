@@ -73,6 +73,15 @@ pub struct IiProbe {
     /// The engine whose certificate decided the probe. For an undecided
     /// probe (budget), the backend that was asked.
     pub solver: SolverKind,
+    /// Clauses already sitting in the incremental SAT solver when this
+    /// probe began — the re-encoding work the session avoided. Zero for the
+    /// first probe, for from-scratch sessions, and for pure
+    /// branch-and-bound probes.
+    pub reused_clauses: u64,
+    /// Learnt clauses the incremental SAT solver retained from earlier
+    /// probes of the same search (CEGAR blocking clauses included). Zero in
+    /// the same cases as [`reused_clauses`](Self::reused_clauses).
+    pub kept_learned: u64,
 }
 
 /// Outcome of the exact II search for one loop on one machine.
@@ -189,6 +198,8 @@ mod tests {
                 nodes: 10,
                 conflicts: 7,
                 solver: SolverKind::Sat,
+                reused_clauses: 0,
+                kept_learned: 0,
             }],
         };
         assert!((outcome.optimality_gap_of(4)).abs() < 1e-12);

@@ -44,6 +44,34 @@
 //! over as a single clause: some operation with `earliest == 0` starts at
 //! cycle 0 (any legal schedule shifts down to such a normalized one).
 //!
+//! # Incremental solving across II probes
+//!
+//! In the default *incremental* mode one [`SatProbeSession`] owns one
+//! [`Solver`] for the whole outer II search. The II-*independent* structure
+//! — cluster one-hots and the co-location biconditionals — is encoded once.
+//! Everything II-*specific* (start windows, dependence clauses, modulo FU
+//! rows, transfer variables, the anchor) forms a per-II **layer** whose
+//! clauses all carry the negation of a fresh *activation literal*
+//! `act_ii`; probing an II is [`Solver::solve_under_assumptions`] with
+//! `[act_ii]`. Because `act_ii` never occurs positively in any clause,
+//! first-UIP resolution can never drop `¬act_ii` from a learnt clause that
+//! mentions a layer variable positively — so when the search moves on, the
+//! layer is *retired* soundly by the unit `¬act_ii` plus freezing its
+//! still-free variables to false at the root. What carries over between
+//! probes is the *clausal* state the from-scratch path discards: the
+//! learnt-clause database, including the CEGAR MaxLive blocking clauses
+//! (which range over per-layer start variables and are auto-satisfied once
+//! the layer retires). The branching *heuristic* state — VSIDS activities
+//! and saved phases — is deliberately restarted cold at every layer
+//! boundary: it describes a placement shape the previous probe refuted,
+//! and carrying it over measurably traps the register-pressure CEGAR loop
+//! (see [`Encoder::begin_layer`]).
+//!
+//! The from-scratch path ([`ExactOptions::sat_incremental`] `= false`, env
+//! `MVP_SAT_INCREMENTAL=0`) builds a fresh unguarded encoder per probe —
+//! clause-for-clause the pre-incremental encoding — and is raced against
+//! the incremental path by the differential suites.
+//!
 //! # Decoding and trust
 //!
 //! A model is decoded back through the shared incremental constraint kernel
@@ -55,6 +83,8 @@
 //!
 //! Budget accounting mirrors the branch-and-bound: one *step* is one solver
 //! decision or conflict, drawn from the same shared pool as search nodes.
+//! With a persistent solver the session charges per-probe step *deltas*, so
+//! the contract is unchanged.
 
 use crate::model::Problem;
 use crate::options::ExactOptions;
@@ -98,21 +128,34 @@ impl Bound {
 
 struct Encoder<'a, 'l, 'm> {
     p: &'a Problem<'l, 'm>,
-    ii: i64,
-    win: &'a Windows,
+    /// Incremental mode: the II-independent section persists and per-II
+    /// layers are guarded by activation literals; `false` is the
+    /// from-scratch encoder (one probe, no guards).
+    incremental: bool,
     solver: Solver,
+    /// One-hot cluster choice per operation (empty on single-cluster
+    /// machines, where the choice is void). II-independent.
+    clusters: Vec<Vec<Var>>,
+    /// Co-location variable per unordered operation pair. II-independent;
+    /// pre-materialized in incremental mode so layers allocate no global
+    /// variables. A `BTreeMap` keeps clause emission deterministic — clause
+    /// order feeds VSIDS, which picks the model.
+    same: BTreeMap<(OpId, OpId), Lit>,
+    // ---- the current II layer ----
+    ii: i64,
+    win: Windows,
+    /// The layer's activation literal (`None` in from-scratch mode): every
+    /// layer clause carries its negation and a probe solves under the
+    /// assumption that it holds.
+    act: Option<Lit>,
+    /// First variable of the current layer: retirement freezes the range
+    /// `[layer_base, num_vars)`.
+    layer_base: Var,
     /// One-hot start variables: `starts[op][k]` ⇔ start = `earliest[op] + k`.
     starts: Vec<Vec<Var>>,
     /// Monotone prefix variables: `prefix[op][k]` ⇔ start ≤ `earliest + k`,
     /// for `k` in `0..w−1` (the `≤ latest` query is constant true).
     prefix: Vec<Vec<Var>>,
-    /// One-hot cluster choice per operation (empty on single-cluster
-    /// machines, where the choice is void).
-    clusters: Vec<Vec<Var>>,
-    /// Co-location variable per unordered operation pair, created on demand.
-    /// A `BTreeMap` keeps clause emission deterministic — clause order feeds
-    /// VSIDS, which picks the model.
-    same: BTreeMap<(OpId, OpId), Lit>,
     /// Transfer variables per ordered cross-capable Data pair:
     /// `y[bus][row]` ⇔ the pair's transfer runs on `bus` starting at a cycle
     /// congruent to `row`. Only populated on finite bus sets with
@@ -121,18 +164,11 @@ struct Encoder<'a, 'l, 'm> {
 }
 
 impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
-    fn new(p: &'a Problem<'l, 'm>, ii: u32, win: &'a Windows) -> Self {
-        let mut enc = Self {
-            p,
-            ii: i64::from(ii),
-            win,
-            solver: Solver::new(),
-            starts: Vec::new(),
-            prefix: Vec::new(),
-            clusters: Vec::new(),
-            same: BTreeMap::new(),
-            transfers: BTreeMap::new(),
-        };
+    /// The from-scratch encoder: one probe, no guards — clause-for-clause
+    /// the pre-incremental encoding (and the escape-hatch reference the
+    /// differential suites compare against).
+    fn scratch(p: &'a Problem<'l, 'm>, ii: u32, win: Windows) -> Self {
+        let mut enc = Self::empty(p, false, ii, win);
         enc.encode_starts();
         enc.encode_clusters();
         enc.encode_dependences();
@@ -140,6 +176,126 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
         enc.encode_transfers();
         enc.encode_anchor();
         enc
+    }
+
+    /// The persistent incremental encoder: encodes the II-independent
+    /// section (cluster one-hots, co-location biconditionals) and the first
+    /// II's guarded layer. Later IIs enter via [`Encoder::begin_layer`].
+    fn incremental(p: &'a Problem<'l, 'm>, ii: u32, win: Windows) -> Self {
+        let mut enc = Self::empty(p, true, ii, win);
+        enc.encode_clusters();
+        // Pre-materialize every co-location pair a layer could ask for
+        // (all cross-capable Data pairs), so layers allocate no global
+        // variables and the retirement freeze range stays layer-pure.
+        if p.machine.num_clusters() > 1 && p.bus_latency > 0 {
+            let pairs: Vec<(OpId, OpId)> =
+                p.l.edges()
+                    .iter()
+                    .filter(|e| e.kind == EdgeKind::Data && e.src != e.dst)
+                    .map(|e| (e.src, e.dst))
+                    .collect();
+            for (a, b) in pairs {
+                let _ = enc.same_lit(a, b);
+            }
+        }
+        let win = enc.win.clone();
+        enc.begin_layer(ii, win);
+        enc
+    }
+
+    fn empty(p: &'a Problem<'l, 'm>, incremental: bool, ii: u32, win: Windows) -> Self {
+        Self {
+            p,
+            incremental,
+            solver: Solver::new(),
+            clusters: Vec::new(),
+            same: BTreeMap::new(),
+            ii: i64::from(ii),
+            win,
+            act: None,
+            layer_base: 0,
+            starts: Vec::new(),
+            prefix: Vec::new(),
+            transfers: BTreeMap::new(),
+        }
+    }
+
+    /// Retires the current layer (if any) and encodes a fresh guarded layer
+    /// for `ii`. Incremental mode only.
+    fn begin_layer(&mut self, ii: u32, win: Windows) {
+        debug_assert!(self.incremental);
+        // Retire the previous layer: force its activation literal false
+        // forever and freeze its still-free variables. Soundness: `act` only
+        // ever occurs negatively, so every clause — original or learnt —
+        // with a positive occurrence of a layer variable still carries
+        // `¬act` and is satisfied at the root from here on.
+        if let Some(act) = self.act.take() {
+            self.solver.add_clause(&[!act]);
+            for v in self.layer_base..self.solver.num_vars() as Var {
+                if self.solver.fixed_value(v).is_none() {
+                    self.solver.add_clause(&[Lit::negative(v)]);
+                }
+            }
+            debug_assert!(self.solver.is_ok(), "retiring a layer cannot conflict");
+        }
+        // Restart the branching heuristic cold at every layer boundary:
+        // clauses carry over, activities and phases do not. Both kinds of
+        // heuristic state earned while refuting the previous II describe a
+        // placement shape that *cannot work* — measured on the gap corpus,
+        // letting them steer the next probe parks the solver inside a
+        // register-pressure-violating family and the CEGAR loop burns
+        // hundreds of thousands of steps enumerating it (e.g. 325k steps
+        // where a cold heuristic with the same retained clauses takes 223).
+        self.solver.reset_activities();
+        self.solver.reset_phases();
+        self.ii = i64::from(ii);
+        self.win = win;
+        self.starts.clear();
+        self.prefix.clear();
+        self.transfers.clear();
+        let act = Lit::positive(self.solver.new_var());
+        self.act = Some(act);
+        self.layer_base = act.var();
+        self.encode_starts();
+        self.encode_dependences();
+        self.encode_fu_occupancy();
+        self.encode_transfers();
+        self.encode_anchor();
+        // Branch on this layer's start selectors before the session-global
+        // cluster and co-location variables. A from-scratch encoding gets
+        // this order for free (starts are the lowest-numbered variables);
+        // here the globals were allocated first, and without the boost the
+        // conflict-free branch order would fix a clustering first and then
+        // enumerate start permutations inside it — which sends the
+        // register-pressure CEGAR loop through an enormous family of
+        // equivalent counterexamples.
+        for i in 0..self.starts.len() {
+            for k in 0..self.starts[i].len() {
+                let v = self.starts[i][k];
+                self.solver.boost(v, 1.0);
+            }
+        }
+    }
+
+    /// Adds a layer clause: in incremental mode the negated activation
+    /// literal rides along, so the clause only binds while this II's layer
+    /// is assumed (and is permanently satisfied once the layer retires).
+    fn clause(&mut self, lits: &[Lit]) {
+        match self.act {
+            None => self.solver.add_clause(lits),
+            Some(act) => {
+                let mut c = Vec::with_capacity(lits.len() + 1);
+                c.extend_from_slice(lits);
+                c.push(!act);
+                self.solver.add_clause(&c);
+            }
+        }
+    }
+
+    /// The escape literal layer cardinality constraints carry (see
+    /// [`Solver::at_most_k_unless`]).
+    fn escape(&self) -> Option<Lit> {
+        self.act.map(|act| !act)
     }
 
     fn width(&self, op: OpId) -> usize {
@@ -172,35 +328,28 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
             let w = self.width(op);
             let s: Vec<Var> = (0..w).map(|_| self.solver.new_var()).collect();
             if w == 1 {
-                self.solver.add_clause(&[Lit::positive(s[0])]);
+                self.clause(&[Lit::positive(s[0])]);
                 self.starts.push(s);
                 self.prefix.push(Vec::new());
                 continue;
             }
             let pf: Vec<Var> = (0..w - 1).map(|_| self.solver.new_var()).collect();
             for k in 0..w - 2 {
-                self.solver
-                    .add_clause(&[Lit::negative(pf[k]), Lit::positive(pf[k + 1])]);
+                self.clause(&[Lit::negative(pf[k]), Lit::positive(pf[k + 1])]);
             }
-            self.solver
-                .add_clause(&[Lit::negative(s[0]), Lit::positive(pf[0])]);
-            self.solver
-                .add_clause(&[Lit::negative(pf[0]), Lit::positive(s[0])]);
+            self.clause(&[Lit::negative(s[0]), Lit::positive(pf[0])]);
+            self.clause(&[Lit::negative(pf[0]), Lit::positive(s[0])]);
             for k in 1..w - 1 {
-                self.solver
-                    .add_clause(&[Lit::negative(s[k]), Lit::positive(pf[k])]);
-                self.solver
-                    .add_clause(&[Lit::negative(s[k]), Lit::negative(pf[k - 1])]);
-                self.solver.add_clause(&[
+                self.clause(&[Lit::negative(s[k]), Lit::positive(pf[k])]);
+                self.clause(&[Lit::negative(s[k]), Lit::negative(pf[k - 1])]);
+                self.clause(&[
                     Lit::negative(pf[k]),
                     Lit::positive(pf[k - 1]),
                     Lit::positive(s[k]),
                 ]);
             }
-            self.solver
-                .add_clause(&[Lit::negative(s[w - 1]), Lit::negative(pf[w - 2])]);
-            self.solver
-                .add_clause(&[Lit::positive(pf[w - 2]), Lit::positive(s[w - 1])]);
+            self.clause(&[Lit::negative(s[w - 1]), Lit::negative(pf[w - 2])]);
+            self.clause(&[Lit::positive(pf[w - 2]), Lit::positive(s[w - 1])]);
             self.starts.push(s);
             self.prefix.push(pf);
         }
@@ -208,6 +357,7 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
 
     /// One-hot cluster choice over the clusters owning a unit of the
     /// operation's kind ([`Problem::new`] guarantees at least one exists).
+    /// II-independent: encoded once per solver, never guarded.
     fn encode_clusters(&mut self) {
         let nc = self.p.machine.num_clusters();
         if nc <= 1 {
@@ -231,12 +381,17 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
     }
 
     /// The co-location variable of an unordered pair, biconditionally tied
-    /// to the cluster choices on first use.
+    /// to the cluster choices on first use. II-independent (and therefore
+    /// unguarded); incremental mode pre-materializes every pair up front.
     fn same_lit(&mut self, a: OpId, b: OpId) -> Lit {
         let key = if a <= b { (a, b) } else { (b, a) };
         if let Some(&l) = self.same.get(&key) {
             return l;
         }
+        debug_assert!(
+            self.act.is_none(),
+            "incremental layers must not allocate global co-location vars"
+        );
         let sm = Lit::positive(self.solver.new_var());
         for k in 0..self.p.machine.num_clusters() {
             let ca = Lit::positive(self.clusters[key.0.index()][k]);
@@ -273,7 +428,7 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
                 // Same-cluster bound (the weaker one; valid unconditionally).
                 let mut clause = vec![not_here];
                 if self.leq(e.src, t - w_same).push_onto(&mut clause, true) {
-                    self.solver.add_clause(&clause);
+                    self.clause(&clause);
                 }
                 // Cross-cluster bound, guarded by the co-location variable.
                 if let Some(sm) = sm {
@@ -282,7 +437,7 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
                         .leq(e.src, t - w_same - bus_lat)
                         .push_onto(&mut clause, true)
                     {
-                        self.solver.add_clause(&clause);
+                        self.clause(&clause);
                     }
                 }
             }
@@ -316,8 +471,7 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
                 let hi = self.win.latest[op.index()];
                 for t in lo..=hi {
                     let rho = t.rem_euclid(self.ii) as usize;
-                    self.solver
-                        .add_clause(&[!self.start_lit(op, t), Lit::positive(r[rho])]);
+                    self.clause(&[!self.start_lit(op, t), Lit::positive(r[rho])]);
                 }
                 for (rho, &rv) in r.iter().enumerate() {
                     let mut clause = vec![Lit::negative(rv)];
@@ -326,7 +480,7 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
                             .filter(|t| t.rem_euclid(self.ii) as usize == rho)
                             .map(|t| self.start_lit(op, t)),
                     );
-                    self.solver.add_clause(&clause);
+                    self.clause(&clause);
                 }
                 row_vars.insert(op, r);
             }
@@ -348,14 +502,14 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
                             let r = Lit::positive(row_vars[&op][rho]);
                             if nc > 1 {
                                 let c = Lit::positive(self.clusters[op.index()][k]);
-                                self.solver.add_clause(&[!c, !r, z]);
+                                self.clause(&[!c, !r, z]);
                             } else {
-                                self.solver.add_clause(&[!r, z]);
+                                self.clause(&[!r, z]);
                             }
                             z
                         })
                         .collect();
-                    self.solver.at_most_k(&zs, cap);
+                    self.solver.at_most_k_unless(&zs, cap, self.escape());
                 }
             }
         }
@@ -391,10 +545,10 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
         if bus_lat > self.ii {
             // A transfer overlaps its own next-iteration instance: every
             // Data pair must co-locate (the kernel's `reserve_transfer_*`
-            // reject such transfers outright).
+            // reject such transfers outright). II-dependent, so guarded.
             for &(a, b) in pair_edges.keys().collect::<Vec<_>>() {
                 let sm = self.same_lit(a, b);
-                self.solver.add_clause(&[sm]);
+                self.clause(&[sm]);
             }
             return;
         }
@@ -411,10 +565,10 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
             // A cross pair books exactly one transfer; a co-located pair none.
             let mut coverage = vec![sm];
             coverage.extend(&all);
-            self.solver.add_clause(&coverage);
-            self.solver.at_most_one(&all);
+            self.clause(&coverage);
+            self.solver.at_most_one_unless(&all, self.escape());
             for &l in &all {
-                self.solver.add_clause(&[!l, !sm]);
+                self.clause(&[!l, !sm]);
             }
             for (bus, per_row) in y.iter().enumerate() {
                 for (rho, &v) in per_row.iter().enumerate() {
@@ -429,7 +583,7 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
                 .collect();
             for per_row in &y {
                 for (rho, &v) in per_row.iter().enumerate() {
-                    self.solver.add_clause(&[Lit::negative(v), yr[rho]]);
+                    self.clause(&[Lit::negative(v), yr[rho]]);
                 }
             }
             // Window clauses: with the producer at `t1`, the decoded start of
@@ -446,7 +600,7 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
                         let deadline = sigma + bus_lat - self.ii * i64::from(d) - 1;
                         let mut clause = vec![!yr_l, !self.start_lit(a, t1)];
                         if self.leq(b, deadline).push_onto(&mut clause, false) {
-                            self.solver.add_clause(&clause);
+                            self.clause(&clause);
                         }
                     }
                 }
@@ -456,7 +610,7 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
 
         for per_bus in &covering {
             for group in per_bus {
-                self.solver.at_most_one(group);
+                self.solver.at_most_one_unless(group, self.escape());
             }
         }
     }
@@ -474,7 +628,7 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
             .filter(|op| self.win.earliest[op.index()] == 0)
             .map(|op| self.start_lit(op, 0))
             .collect();
-        self.solver.add_clause(&clause);
+        self.clause(&clause);
     }
 
     /// Decodes the current model through the shared constraint kernel,
@@ -543,7 +697,11 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
     }
 
     /// Excludes the current model's (start, cluster) combination — the
-    /// counterexample-guided refinement step for register pressure.
+    /// counterexample-guided refinement step for register pressure. The
+    /// blocking clause is deliberately unguarded: it ranges over this
+    /// layer's start variables (auto-satisfied once the layer retires) and
+    /// the shared cluster variables, so it keeps pruning CEGAR-refuted
+    /// shapes for the rest of the session.
     fn block_current_model(&mut self) {
         let mut clause: Vec<Lit> = self
             .p
@@ -563,12 +721,148 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
     }
 }
 
-/// Runs one fixed-II probe on the SAT backend: certificates first (resource
-/// counts, positive dependence cycles — shared with the branch-and-bound),
-/// then CNF encoding, CDCL search and kernel-checked decoding.
-/// `steps_used` is incremented by the solver steps (decisions + conflicts)
-/// the probe consumed; the budget and cancellation contracts match
-/// [`crate::search::solve_fixed_ii`].
+/// Per-probe clause-retention provenance, surfaced through
+/// [`crate::outcome::IiProbe`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SatProbeStats {
+    /// Clauses already in the solver when the probe began (0 for the first
+    /// probe of a session and for every from-scratch probe).
+    pub reused_clauses: u64,
+    /// Learnt clauses retained from earlier probes of the same session.
+    pub kept_learned: u64,
+}
+
+/// One SAT backend session spanning a whole outer II search: in incremental
+/// mode (the default) a single [`Solver`] persists across probes (see the
+/// [module docs](self)); in from-scratch mode each probe builds a fresh
+/// encoder, reproducing the pre-incremental behaviour exactly.
+pub(crate) struct SatProbeSession<'a, 'l, 'm> {
+    p: &'a Problem<'l, 'm>,
+    incremental: bool,
+    enc: Option<Encoder<'a, 'l, 'm>>,
+}
+
+impl<'a, 'l, 'm> SatProbeSession<'a, 'l, 'm> {
+    pub(crate) fn new(p: &'a Problem<'l, 'm>, incremental: bool) -> Self {
+        Self {
+            p,
+            incremental,
+            enc: None,
+        }
+    }
+
+    /// Runs one fixed-II probe: certificates first (resource counts,
+    /// positive dependence cycles — shared with the branch-and-bound), then
+    /// CNF encoding, CDCL search and kernel-checked decoding. `steps_used`
+    /// is incremented by the solver steps (decisions + conflicts) the probe
+    /// consumed; the budget and cancellation contracts match
+    /// [`crate::search::solve_fixed_ii`].
+    pub(crate) fn probe(
+        &mut self,
+        ii: u32,
+        options: &ExactOptions,
+        steps_used: &mut u64,
+        cancel: Option<&AtomicBool>,
+    ) -> (FixedIiOutcome, SatProbeStats) {
+        let p = self.p;
+        if ii == 0 || p.resource_infeasible(ii) {
+            return (FixedIiOutcome::Infeasible, SatProbeStats::default());
+        }
+        let Some(win) = windows(p, ii, |asap| p.horizon(asap, ii, options)) else {
+            return (FixedIiOutcome::Infeasible, SatProbeStats::default());
+        };
+        let mut stats = SatProbeStats::default();
+        if self.incremental {
+            let enc = match self.enc.as_mut() {
+                Some(enc) => {
+                    stats.reused_clauses = enc.solver.num_clauses() as u64;
+                    stats.kept_learned = enc.solver.learned_clauses();
+                    enc.begin_layer(ii, win);
+                    enc
+                }
+                None => {
+                    self.enc = Some(Encoder::incremental(p, ii, win));
+                    self.enc.as_mut().expect("just inserted")
+                }
+            };
+            mvp_trace::counter_handle!("sat.assumption_probes", Stable).incr();
+            mvp_trace::counter_handle!("sat.kept_learned", Stable).add(stats.kept_learned);
+            mvp_trace::counter_handle!("sat.reencoded_clauses", Stable)
+                .add(enc.solver.num_clauses() as u64 - stats.reused_clauses);
+        } else {
+            let enc = Encoder::scratch(p, ii, win);
+            mvp_trace::counter_handle!("sat.reencoded_clauses", Stable)
+                .add(enc.solver.num_clauses() as u64);
+            self.enc = Some(enc);
+        }
+        let enc = self.enc.as_mut().expect("encoder initialised above");
+        let _span = mvp_trace::span!("exact.sat.probe", ii = ii, vars = enc.solver.num_vars());
+        mvp_trace::counter_handle!("exact.sat.encoded_vars", Stable)
+            .add(enc.solver.num_vars() as u64);
+        mvp_trace::counter_handle!("exact.sat.encoded_clauses", Stable)
+            .add(enc.solver.num_clauses() as u64);
+        let steps0 = enc.solver.steps();
+        let assumptions: Vec<Lit> = enc.act.into_iter().collect();
+        let outcome = loop {
+            let spent = enc.solver.steps() - steps0;
+            let remaining = options.node_budget.saturating_sub(spent);
+            if remaining == 0 {
+                break FixedIiOutcome::Budget;
+            }
+            match enc
+                .solver
+                .solve_under_assumptions(&assumptions, Some(remaining), cancel)
+            {
+                SolveResult::Unsat => break FixedIiOutcome::Infeasible,
+                SolveResult::Budget => break FixedIiOutcome::Budget,
+                SolveResult::Cancelled => break FixedIiOutcome::Cancelled,
+                SolveResult::Sat => {}
+            }
+            let ps = enc.decode();
+            let ops = ps.placed_ops();
+            if options.enforce_register_pressure {
+                let pressure = lifetime::register_pressure(p.l, &ops, ii, p.machine.num_clusters());
+                if pressure
+                    .iter()
+                    .zip(&p.register_file)
+                    .any(|(&used, &cap)| used > cap)
+                {
+                    enc.block_current_model();
+                    mvp_trace::counter_handle!("exact.sat.cegar_rounds", Stable).incr();
+                    mvp_trace::instant!("exact.sat.cegar_round", ii = ii);
+                    continue;
+                }
+            }
+            let comms = ps.communications();
+            // A SAT certificate is only as good as the schedule it decodes
+            // to: re-validate with the independent oracle in every build.
+            let pressure = lifetime::register_pressure(p.l, &ops, ii, p.machine.num_clusters());
+            let schedule = mvp_core::Schedule::new(
+                p.machine.name.clone(),
+                "exact-sat",
+                ii,
+                ops.clone(),
+                comms.clone(),
+                pressure,
+            );
+            let violations = mvp_core::validate_schedule(p.l, p.machine, &schedule);
+            assert!(
+                violations.is_empty(),
+                "the SAT backend decoded an illegal schedule for {}: {violations:?}",
+                p.l.name(),
+            );
+            break FixedIiOutcome::Feasible { ops, comms };
+        };
+        *steps_used += enc.solver.steps() - steps0;
+        (outcome, stats)
+    }
+}
+
+/// One-shot convenience wrapper: a single probe on a fresh
+/// [`SatProbeSession`] honouring [`ExactOptions::sat_incremental`]. The
+/// scheduler probes through a persistent session instead; this wrapper
+/// backs the unit tests below.
+#[cfg(test)]
 pub(crate) fn solve_fixed_ii_sat(
     p: &Problem<'_, '_>,
     ii: u32,
@@ -576,65 +870,9 @@ pub(crate) fn solve_fixed_ii_sat(
     steps_used: &mut u64,
     cancel: Option<&AtomicBool>,
 ) -> FixedIiOutcome {
-    if ii == 0 || p.resource_infeasible(ii) {
-        return FixedIiOutcome::Infeasible;
-    }
-    let Some(win) = windows(p, ii, |asap| p.horizon(asap, ii, options)) else {
-        return FixedIiOutcome::Infeasible;
-    };
-    let mut enc = Encoder::new(p, ii, &win);
-    let _span = mvp_trace::span!("exact.sat.probe", ii = ii, vars = enc.solver.num_vars());
-    mvp_trace::counter_handle!("exact.sat.encoded_vars", Stable).add(enc.solver.num_vars() as u64);
-    mvp_trace::counter_handle!("exact.sat.encoded_clauses", Stable)
-        .add(enc.solver.num_clauses() as u64);
-    let outcome = loop {
-        let remaining = options.node_budget.saturating_sub(enc.solver.steps());
-        if remaining == 0 {
-            break FixedIiOutcome::Budget;
-        }
-        match enc.solver.solve(Some(remaining), cancel) {
-            SolveResult::Unsat => break FixedIiOutcome::Infeasible,
-            SolveResult::Budget => break FixedIiOutcome::Budget,
-            SolveResult::Cancelled => break FixedIiOutcome::Cancelled,
-            SolveResult::Sat => {}
-        }
-        let ps = enc.decode();
-        let ops = ps.placed_ops();
-        if options.enforce_register_pressure {
-            let pressure = lifetime::register_pressure(p.l, &ops, ii, p.machine.num_clusters());
-            if pressure
-                .iter()
-                .zip(&p.register_file)
-                .any(|(&used, &cap)| used > cap)
-            {
-                enc.block_current_model();
-                mvp_trace::counter_handle!("exact.sat.cegar_rounds", Stable).incr();
-                mvp_trace::instant!("exact.sat.cegar_round", ii = ii);
-                continue;
-            }
-        }
-        let comms = ps.communications();
-        // A SAT certificate is only as good as the schedule it decodes to:
-        // re-validate with the independent oracle in every build.
-        let pressure = lifetime::register_pressure(p.l, &ops, ii, p.machine.num_clusters());
-        let schedule = mvp_core::Schedule::new(
-            p.machine.name.clone(),
-            "exact-sat",
-            ii,
-            ops.clone(),
-            comms.clone(),
-            pressure,
-        );
-        let violations = mvp_core::validate_schedule(p.l, p.machine, &schedule);
-        assert!(
-            violations.is_empty(),
-            "the SAT backend decoded an illegal schedule for {}: {violations:?}",
-            p.l.name(),
-        );
-        break FixedIiOutcome::Feasible { ops, comms };
-    };
-    *steps_used += enc.solver.steps();
-    outcome
+    SatProbeSession::new(p, options.sat_incremental)
+        .probe(ii, options, steps_used, cancel)
+        .0
 }
 
 #[cfg(test)]
@@ -647,6 +885,14 @@ mod tests {
         let p = Problem::new(l, machine).unwrap();
         let mut steps = 0;
         solve_fixed_ii_sat(&p, ii, &ExactOptions::new(), &mut steps, None)
+    }
+
+    /// The same probe through a from-scratch (unguarded) session.
+    fn probe_scratch(l: &Loop, machine: &mvp_machine::MachineConfig, ii: u32) -> FixedIiOutcome {
+        let p = Problem::new(l, machine).unwrap();
+        let mut steps = 0;
+        let options = ExactOptions::new().with_sat_incremental(false);
+        solve_fixed_ii_sat(&p, ii, &options, &mut steps, None)
     }
 
     fn chain() -> Loop {
@@ -665,13 +911,15 @@ mod tests {
     fn feasible_probes_return_placements_for_every_op() {
         let l = chain();
         let machine = presets::two_cluster();
-        match probe(&l, &machine, 1) {
-            FixedIiOutcome::Feasible { ops, .. } => {
-                assert_eq!(ops.len(), 3);
-                assert!(ops.iter().all(|p| p.cluster < 2));
-                assert!(ops.iter().all(|p| !p.miss_scheduled));
+        for outcome in [probe(&l, &machine, 1), probe_scratch(&l, &machine, 1)] {
+            match outcome {
+                FixedIiOutcome::Feasible { ops, .. } => {
+                    assert_eq!(ops.len(), 3);
+                    assert!(ops.iter().all(|p| p.cluster < 2));
+                    assert!(ops.iter().all(|p| !p.miss_scheduled));
+                }
+                other => panic!("expected feasible at II=1, got {other:?}"),
             }
-            other => panic!("expected feasible at II=1, got {other:?}"),
         }
     }
 
@@ -795,5 +1043,67 @@ mod tests {
             probe(&l, &machine, 2),
             FixedIiOutcome::Feasible { .. }
         ));
+    }
+
+    #[test]
+    fn sessions_reuse_clauses_and_learnt_state_across_probes() {
+        // X→Y (d0), Y→X (d2): RecMII = 2, but the II=2 refutation needs
+        // actual CNF search (windows and resource counts both pass), so the
+        // session builds a layer there; the II=3 probe must retire it,
+        // reuse the solver, and report the retention provenance.
+        let mut b = Loop::builder("slack-rec");
+        let x = b.fp_op("X");
+        let y = b.fp_op("Y");
+        b.data_edge(x, y, 0);
+        b.data_edge(y, x, 2);
+        let l = b.build().unwrap();
+        let machine = presets::motivating_example_machine();
+        let p = Problem::new(&l, &machine).unwrap();
+        let mut session = SatProbeSession::new(&p, true);
+        let mut steps = 0;
+        let (first, first_stats) = session.probe(2, &ExactOptions::new(), &mut steps, None);
+        assert!(matches!(first, FixedIiOutcome::Infeasible), "{first:?}");
+        assert_eq!(first_stats.reused_clauses, 0, "first probe starts fresh");
+        let (second, second_stats) = session.probe(3, &ExactOptions::new(), &mut steps, None);
+        assert!(matches!(second, FixedIiOutcome::Feasible { .. }));
+        assert!(
+            second_stats.reused_clauses > 0,
+            "the II=3 probe must reuse the II=2 instance's clauses"
+        );
+    }
+
+    #[test]
+    fn incremental_and_scratch_sessions_agree_probe_by_probe() {
+        let loops = [chain()];
+        for l in &loops {
+            for machine in [
+                presets::unified(),
+                presets::two_cluster(),
+                presets::motivating_example_machine(),
+            ] {
+                let p = Problem::new(l, &machine).unwrap();
+                let mut inc = SatProbeSession::new(&p, true);
+                let mut scr = SatProbeSession::new(&p, false);
+                for ii in 1..=4u32 {
+                    let (mut si, mut ss) = (0, 0);
+                    let (a, _) = inc.probe(ii, &ExactOptions::new(), &mut si, None);
+                    let (b, _) = scr.probe(ii, &ExactOptions::new(), &mut ss, None);
+                    assert_eq!(
+                        matches!(a, FixedIiOutcome::Feasible { .. }),
+                        matches!(b, FixedIiOutcome::Feasible { .. }),
+                        "II={ii} on {} for {}",
+                        machine.name,
+                        l.name(),
+                    );
+                    assert_eq!(
+                        matches!(a, FixedIiOutcome::Infeasible),
+                        matches!(b, FixedIiOutcome::Infeasible),
+                        "II={ii} on {} for {}",
+                        machine.name,
+                        l.name(),
+                    );
+                }
+            }
+        }
     }
 }

@@ -25,7 +25,7 @@
 use crate::model::Problem;
 use crate::options::ExactOptions;
 use crate::outcome::{ExactOutcome, IiProbe, IiVerdict, SolverKind};
-use crate::sat_backend::solve_fixed_ii_sat;
+use crate::sat_backend::{SatProbeSession, SatProbeStats};
 use crate::search::{solve_fixed_ii, FixedIiOutcome};
 use mvp_core::error::ScheduleError;
 use mvp_core::{lifetime, Communication, ModuloScheduler, Schedule, SchedulerOptions};
@@ -34,7 +34,7 @@ use mvp_ir::{mii, Loop};
 use mvp_machine::MachineConfig;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The engine (or engine combination) driving the fixed-II probes.
 #[derive(Clone, Default)]
@@ -130,6 +130,18 @@ pub fn solve_with(
     }
     let max_ii = min_ii.saturating_add(options.max_ii_slack);
 
+    // One SAT session spans the whole II search: in incremental mode (the
+    // default) its solver carries clauses, learnt state and phases from
+    // probe to probe. The mutex makes it reachable from the portfolio's
+    // racing closure; with SAT first on the executor there is no contention.
+    let sat_session = match backend {
+        ExactBackend::Sat | ExactBackend::Portfolio(_) => Some(Mutex::new(SatProbeSession::new(
+            &p,
+            options.sat_incremental,
+        ))),
+        ExactBackend::BranchAndBound => None,
+    };
+
     let mut nodes = 0u64;
     let mut conflicts = 0u64;
     let mut probes = Vec::new();
@@ -147,8 +159,15 @@ pub fn solve_with(
         let probe_options = options.with_node_budget(remaining);
         let before = (nodes, conflicts);
         let _probe = mvp_trace::span!("exact.probe", ii = ii);
-        let (outcome, solver) =
-            run_probe(&p, ii, &probe_options, backend, &mut nodes, &mut conflicts);
+        let (outcome, solver, sat_stats) = run_probe(
+            &p,
+            ii,
+            &probe_options,
+            backend,
+            sat_session.as_ref(),
+            &mut nodes,
+            &mut conflicts,
+        );
         let verdict = match outcome {
             FixedIiOutcome::Feasible { ops, comms } => {
                 schedule = Some(assemble(&p, ii, ops, comms, backend.scheduler_name()));
@@ -163,6 +182,8 @@ pub fn solve_with(
             nodes: nodes - before.0,
             conflicts: conflicts - before.1,
             solver,
+            reused_clauses: sat_stats.reused_clauses,
+            kept_learned: sat_stats.kept_learned,
         });
         match verdict {
             IiVerdict::Feasible => break,
@@ -196,25 +217,35 @@ pub fn solve_with(
 }
 
 /// Runs one probe on the chosen backend, charging branch-and-bound nodes to
-/// `nodes` and SAT steps to `conflicts`.
+/// `nodes` and SAT steps to `conflicts`. SAT-capable backends probe through
+/// the search-wide `sat` session (clause retention across IIs).
 fn run_probe(
     p: &Problem<'_, '_>,
     ii: u32,
     options: &ExactOptions,
     backend: &ExactBackend,
+    sat: Option<&Mutex<SatProbeSession<'_, '_, '_>>>,
     nodes: &mut u64,
     conflicts: &mut u64,
-) -> (FixedIiOutcome, SolverKind) {
+) -> (FixedIiOutcome, SolverKind, SatProbeStats) {
     match backend {
         ExactBackend::BranchAndBound => (
             solve_fixed_ii(p, ii, options, nodes, None),
             SolverKind::BranchAndBound,
+            SatProbeStats::default(),
         ),
-        ExactBackend::Sat => (
-            solve_fixed_ii_sat(p, ii, options, conflicts, None),
-            SolverKind::Sat,
-        ),
-        ExactBackend::Portfolio(executor) => race_probe(p, ii, options, executor, nodes, conflicts),
+        ExactBackend::Sat => {
+            let session = sat.expect("the Sat backend carries a session");
+            let (outcome, stats) = session
+                .lock()
+                .expect("no SAT rival panicked")
+                .probe(ii, options, conflicts, None);
+            (outcome, SolverKind::Sat, stats)
+        }
+        ExactBackend::Portfolio(executor) => {
+            let session = sat.expect("the portfolio carries a SAT session");
+            race_probe(p, ii, options, executor, session, nodes, conflicts)
+        }
     }
 }
 
@@ -238,16 +269,25 @@ fn race_probe(
     ii: u32,
     options: &ExactOptions,
     executor: &Executor,
+    session: &Mutex<SatProbeSession<'_, '_, '_>>,
     nodes: &mut u64,
     conflicts: &mut u64,
-) -> (FixedIiOutcome, SolverKind) {
+) -> (FixedIiOutcome, SolverKind, SatProbeStats) {
     let poison = AtomicBool::new(false);
     let rivals = [SolverKind::Sat, SolverKind::BranchAndBound];
     let mut results = executor.map(&rivals, |&kind| {
         let mut steps = 0u64;
-        let outcome = match kind {
-            SolverKind::Sat => solve_fixed_ii_sat(p, ii, options, &mut steps, Some(&poison)),
-            _ => solve_fixed_ii(p, ii, options, &mut steps, Some(&poison)),
+        let (outcome, stats) = match kind {
+            SolverKind::Sat => session.lock().expect("no SAT rival panicked").probe(
+                ii,
+                options,
+                &mut steps,
+                Some(&poison),
+            ),
+            _ => (
+                solve_fixed_ii(p, ii, options, &mut steps, Some(&poison)),
+                SatProbeStats::default(),
+            ),
         };
         if decided(&outcome) {
             poison.store(true, Ordering::Relaxed);
@@ -257,10 +297,10 @@ fn race_probe(
         } else {
             0
         };
-        (outcome, steps, done_ns)
+        (outcome, steps, done_ns, stats)
     });
-    let (bnb_outcome, bnb_steps, bnb_done_ns) = results.pop().expect("two rivals ran");
-    let (sat_outcome, sat_steps, sat_done_ns) = results.pop().expect("two rivals ran");
+    let (bnb_outcome, bnb_steps, bnb_done_ns, _) = results.pop().expect("two rivals ran");
+    let (sat_outcome, sat_steps, sat_done_ns, sat_stats) = results.pop().expect("two rivals ran");
     *conflicts += sat_steps;
     *nodes += bnb_steps;
 
@@ -314,7 +354,7 @@ fn race_probe(
             .add(bnb_done_ns.abs_diff(sat_done_ns));
     }
     mvp_trace::instant!("portfolio.winner", ii = ii, solver = winner);
-    (outcome, winner)
+    (outcome, winner, sat_stats)
 }
 
 /// Assembles the search solution into a public [`Schedule`], computing the

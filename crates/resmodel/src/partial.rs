@@ -229,7 +229,9 @@ pub struct PartialSchedule<'r, 'l, 'm> {
 
 /// Registers a value of the given maximum lifetime occupies: one per II the
 /// value stays alive, with same-cycle consumption still pinning one
-/// register (the MaxLive approximation of `lifetime::register_pressure`).
+/// register. `None` (no placed consumer yet) alone contributes nothing —
+/// the *final-pressure floor* for such producers is layered on top by
+/// [`PartialSchedule::producer_regs`].
 fn regs(life: Option<i64>, ii: i64) -> u32 {
     match life {
         None => 0,
@@ -918,11 +920,14 @@ impl<'r, 'l, 'm> PartialSchedule<'r, 'l, 'm> {
 
     /// Incremental per-cluster MaxLive lower bound over the placed prefix:
     /// every placed value's maximum lifetime over its placed consumers,
-    /// `ceil(lifetime / II)` registers in the producing cluster, plus one
-    /// copy register per cluster receiving the value over a bus. Placing
-    /// more operations can only lengthen lifetimes and add copies, so the
-    /// bound is monotone — exceeding a register file here is final for the
-    /// whole subtree of a search.
+    /// `ceil(lifetime / II)` registers in the producing cluster — with a
+    /// floor of one register per placed producer that has any successor,
+    /// matching the final `lifetime::register_pressure` semantics, which
+    /// charge a register even for same-cycle consumption — plus one copy
+    /// register per cluster receiving the value over a bus. Placing more
+    /// operations can only lengthen lifetimes and add copies, so the bound
+    /// is monotone — exceeding a register file here is final for the whole
+    /// subtree of a search.
     #[must_use]
     pub fn pressure_lower_bound(&self) -> &[u32] {
         &self.pressure
@@ -970,9 +975,28 @@ impl<'r, 'l, 'm> PartialSchedule<'r, 'l, 'm> {
                     pressure[u.cluster] += 1;
                 }
             }
-            pressure[p.cluster] += regs(lifetime, ii);
+            pressure[p.cluster] += self.producer_regs(op, lifetime);
         }
         pressure
+    }
+
+    /// Registers a *placed* producer pins in its cluster under the final
+    /// MaxLive semantics: `ceil(lifetime / II)` over its placed consumers,
+    /// with a floor of one whole register the moment the producer is
+    /// placed. `lifetime::register_pressure` charges every value-producing
+    /// operation with at least one successor a register even when its
+    /// longest lifetime is zero, so any completion of a prefix that places
+    /// such a producer pays at least one register in its cluster — the
+    /// floor keeps the incremental bound monotone *and* final-consistent
+    /// before any consumer lands.
+    fn producer_regs(&self, op: OpId, life: Option<i64>) -> u32 {
+        let base = regs(life, i64::from(self.ii));
+        let l = self.model.l;
+        if l.op(op).kind.produces_value() && l.succs(op).next().is_some() {
+            base.max(1)
+        } else {
+            base
+        }
     }
 
     #[cfg(debug_assertions)]
@@ -1008,12 +1032,13 @@ impl<'r, 'l, 'm> PartialSchedule<'r, 'l, 'm> {
                     self.bump_copy(&mut frame, op, u.cluster);
                 }
             }
-            if life.is_some() {
-                debug_assert!(self.max_life[op.index()].is_none());
-                self.pressure[p.cluster] += regs(life, ii);
-                self.max_life[op.index()] = life;
-                frame.producer_old_life.push((op, None));
-            }
+            debug_assert!(self.max_life[op.index()].is_none());
+            // Even with no placed consumer yet (`life == None`) the
+            // producer pays its final-pressure floor; the contribution is
+            // undone by `remove_pressure` directly, not via the frame.
+            let inc = self.producer_regs(op, life);
+            self.pressure[p.cluster] += inc;
+            self.max_life[op.index()] = life;
         }
 
         // The placed operation as consumer: it may extend the lifetime of
@@ -1031,8 +1056,10 @@ impl<'r, 'l, 'm> PartialSchedule<'r, 'l, 'm> {
             let this = (p.cycle + ii * i64::from(e.distance) - d.cycle).max(0);
             let old = self.max_life[e.src.index()];
             if old.is_none_or(|x| this > x) {
-                self.pressure[d.cluster] -= regs(old, ii);
-                self.pressure[d.cluster] += regs(Some(this), ii);
+                let dec = self.producer_regs(e.src, old);
+                let inc = self.producer_regs(e.src, Some(this));
+                self.pressure[d.cluster] -= dec;
+                self.pressure[d.cluster] += inc;
                 self.max_life[e.src.index()] = Some(this);
                 frame.producer_old_life.push((e.src, old));
             }
@@ -1057,7 +1084,6 @@ impl<'r, 'l, 'm> PartialSchedule<'r, 'l, 'm> {
     /// Inverse of [`add_pressure`](Self::add_pressure); the placement of
     /// `op` must still be committed while this runs.
     fn remove_pressure(&mut self, op: OpId) {
-        let ii = i64::from(self.ii);
         let frame = self.frames[op.index()]
             .take()
             .expect("placed operations carry a pressure frame");
@@ -1066,8 +1092,10 @@ impl<'r, 'l, 'm> PartialSchedule<'r, 'l, 'm> {
                 .expect("producers outlive their consumers under LIFO release")
                 .cluster;
             let current = self.max_life[producer.index()];
-            self.pressure[cluster] -= regs(current, ii);
-            self.pressure[cluster] += regs(old, ii);
+            let dec = self.producer_regs(producer, current);
+            let inc = self.producer_regs(producer, old);
+            self.pressure[cluster] -= dec;
+            self.pressure[cluster] += inc;
             self.max_life[producer.index()] = old;
         }
         for &(producer, cluster) in frame.copy_increments.iter().rev() {
@@ -1081,6 +1109,15 @@ impl<'r, 'l, 'm> PartialSchedule<'r, 'l, 'm> {
                 counts.swap_remove(idx);
                 self.pressure[cluster] -= 1;
             }
+        }
+        // The operation's own producer contribution (floor included): its
+        // consumer edges were recorded in *their* frames, so what is left
+        // in `max_life[op]` is exactly what `add_pressure` charged.
+        if self.model.l.op(op).kind.produces_value() {
+            let p = self.placements[op.index()].expect("op still committed");
+            let life = self.max_life[op.index()].take();
+            let dec = self.producer_regs(op, life);
+            self.pressure[p.cluster] -= dec;
         }
     }
 
@@ -1424,7 +1461,9 @@ mod tests {
         let model = ResModel::new(&l, &machine).unwrap();
         let mut ps = PartialSchedule::new(&model, 2);
         ps.try_reserve_op(x, 0, 0, 2, false, 0).unwrap();
-        assert_eq!(ps.pressure_lower_bound(), &[0, 0]);
+        // No consumer placed yet, but X's value will pin at least one
+        // register in any completion: the final-pressure floor.
+        assert_eq!(ps.pressure_lower_bound(), &[1, 0]);
         ps.try_reserve_op(y, 0, 5, 2, false, 1).unwrap();
         // X alive 5 cycles at II=2 -> 3 registers.
         assert_eq!(ps.pressure_lower_bound(), &[3, 0]);
@@ -1439,8 +1478,41 @@ mod tests {
         ps.release_op(z);
         assert_eq!(ps.pressure_lower_bound(), &[3, 0]);
         ps.release_op(y);
-        assert_eq!(ps.pressure_lower_bound(), &[0, 0]);
+        assert_eq!(ps.pressure_lower_bound(), &[1, 0]);
         ps.release_op(x);
+        assert_eq!(ps.pressure_lower_bound(), &[0, 0]);
+    }
+
+    #[test]
+    fn placed_producers_pay_the_final_pressure_floor() {
+        // LD -> F -> ST: every value-producing op with a successor pins one
+        // register the moment it is placed — `lifetime::register_pressure`
+        // charges even same-cycle consumption a register, so the floor is a
+        // sound (and tighter) prefix bound. The store produces no value and
+        // stays free.
+        let l = chain();
+        let machine = presets::two_cluster();
+        let model = ResModel::new(&l, &machine).unwrap();
+        let mut ps = PartialSchedule::new(&model, 1);
+        ps.try_reserve_op(op(1), 0, 2, 2, false, 0).unwrap();
+        assert_eq!(ps.pressure_lower_bound(), &[1, 0]);
+        ps.try_reserve_op(op(0), 0, 0, 2, false, 1).unwrap();
+        // LD's value: consumed at cycle 2, lifetime 2 at II=1 -> 2 regs,
+        // plus F's floor.
+        assert_eq!(ps.pressure_lower_bound(), &[3, 0]);
+        ps.try_reserve_op(op(2), 0, 4, 1, false, 2).unwrap();
+        // F -> ST lifetime 2 replaces F's floor; ST itself adds nothing.
+        assert_eq!(ps.pressure_lower_bound(), &[4, 0]);
+        assert_eq!(
+            ps.pressure_lower_bound(),
+            ps.recomputed_pressure_lower_bound().as_slice()
+        );
+        ps.release_op(op(2));
+        assert_eq!(ps.pressure_lower_bound(), &[3, 0]);
+        ps.release_op(op(0));
+        assert_eq!(ps.pressure_lower_bound(), &[1, 0]);
+        ps.release_op(op(1));
+        assert_eq!(ps.pressure_lower_bound(), &[0, 0]);
     }
 
     #[test]

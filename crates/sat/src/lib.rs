@@ -19,10 +19,17 @@
 //! * **Luby restarts + phase saving.** Restarts follow the Luby sequence
 //!   (unit 128 conflicts); saved phases default to `false` so the modulo
 //!   encoder's one-hot selector variables start from the sparse side.
-//! * **Incremental use.** Clauses may be added between [`Solver::solve`]
-//!   calls (the trail is rewound to level 0 first); learnt clauses are
-//!   kept, which is what makes the scheduler's lazy register-pressure
-//!   refinement (CEGAR) loop cheap.
+//! * **Incremental use.** Clauses and variables may be added between
+//!   [`Solver::solve`] calls (the trail is rewound to level 0 first);
+//!   learnt clauses, VSIDS activities and saved phases are kept, which is
+//!   what makes the scheduler's lazy register-pressure refinement (CEGAR)
+//!   loop and the exact backend's incremental II search cheap.
+//! * **Assumptions.** [`Solver::solve_under_assumptions`] enqueues a list
+//!   of literals as pseudo-decisions at levels `1..=n` before any branch
+//!   decision (MiniSat style). An [`SolveResult::Unsat`] under assumptions
+//!   does *not* latch the solver; final-conflict analysis leaves the
+//!   subset of assumptions responsible in [`Solver::unsat_core`] (an empty
+//!   core means the formula is unconditionally unsatisfiable).
 //! * **Budgets and cancellation.** [`Solver::solve`] counts *steps*
 //!   (decisions + conflicts), aborts with [`SolveResult::Budget`] past a
 //!   step budget, and polls an optional [`AtomicBool`] poison flag so a
@@ -172,6 +179,9 @@ pub struct Solver {
     restarts: u64,
     learned: u64,
     seen: Vec<bool>,
+    /// After an assumption-relative [`SolveResult::Unsat`]: the subset of
+    /// the assumptions responsible (empty = unconditionally unsat).
+    conflict_core: Vec<Lit>,
 }
 
 impl Default for Solver {
@@ -204,6 +214,7 @@ impl Solver {
             restarts: 0,
             learned: 0,
             seen: Vec::new(),
+            conflict_core: Vec::new(),
         }
     }
 
@@ -298,6 +309,87 @@ impl Solver {
     #[must_use]
     pub fn lit_value(&self, lit: Lit) -> bool {
         self.model[lit.var() as usize] == lit.is_positive()
+    }
+
+    /// After an assumption-relative [`SolveResult::Unsat`]: the subset of
+    /// the assumptions whose conjunction with the formula is contradictory
+    /// (the failed assumption first). Empty after an *unconditional*
+    /// unsatisfiability proof — the formula itself is unsat and the solver
+    /// is latched.
+    #[must_use]
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    /// Overrides the saved phase of `var`: the polarity the solver tries
+    /// first when branching on it. Used to warm-start a solve from a
+    /// related earlier model.
+    pub fn set_phase(&mut self, var: Var, value: bool) {
+        self.phase[var as usize] = value;
+    }
+
+    /// Adds `amount` (scaled by the current activity increment) to the
+    /// variable's VSIDS activity and reschedules it for branching.
+    ///
+    /// Encoders use this to bias the *first* decisions toward structurally
+    /// important variables — e.g. start-time selectors before auxiliary
+    /// counter variables — after which conflict-driven bumping takes over.
+    /// Without any conflicts yet, every activity is zero and the branch
+    /// order degenerates to variable-index order, which an incremental
+    /// encoding (globals allocated first) would otherwise invert.
+    pub fn boost(&mut self, var: Var, amount: f64) {
+        let a = &mut self.activity[var as usize];
+        *a += amount * self.var_inc;
+        if *a > ACTIVITY_RESCALE {
+            for act in &mut self.activity {
+                *act /= ACTIVITY_RESCALE;
+            }
+            self.var_inc /= ACTIVITY_RESCALE;
+        }
+        self.heap.push(HeapEntry {
+            activity: self.activity[var as usize],
+            var,
+        });
+    }
+
+    /// Clears all VSIDS activity back to the fresh-solver state (zero
+    /// activity, unit increment, empty branch heap). Incremental sessions
+    /// call this between solves over different encodings of the *same*
+    /// problem family: activity earned refuting one encoding mostly names
+    /// variables that no longer matter, and letting it steer the next
+    /// solve's first decisions is reliably worse than starting the
+    /// heuristic cold. Learnt clauses, saved phases and fixed values are
+    /// untouched.
+    pub fn reset_activities(&mut self) {
+        self.activity.fill(0.0);
+        self.var_inc = 1.0;
+        self.heap.clear();
+    }
+
+    /// Resets every saved phase to the fresh-solver default (`false`), the
+    /// companion to [`Solver::reset_activities`] for incremental sessions
+    /// that want the next solve to branch exactly like a cold solver.
+    pub fn reset_phases(&mut self) {
+        self.phase.fill(false);
+    }
+
+    /// The saved phase of `var` (last assigned polarity, or the polarity
+    /// set via [`Solver::set_phase`]; initially `false`).
+    #[must_use]
+    pub fn saved_phase(&self, var: Var) -> bool {
+        self.phase[var as usize]
+    }
+
+    /// The value `var` is fixed to at decision level 0, if any. Between
+    /// solves the trail is rewound to the root, so this reports exactly
+    /// the permanently-implied literals (units, learnt units, retired
+    /// activation guards).
+    #[must_use]
+    pub fn fixed_value(&self, var: Var) -> Option<bool> {
+        match self.assign[var as usize] {
+            LBool::Undef => None,
+            v => (self.level[var as usize] == 0).then(|| v == LBool::True),
+        }
     }
 
     fn decision_level(&self) -> u32 {
@@ -512,6 +604,46 @@ impl Solver {
         (learnt, bt_level)
     }
 
+    /// Final-conflict analysis (MiniSat's `analyzeFinal`): called when the
+    /// pending assumption `failed` is already false under the earlier
+    /// assumptions. Walks the implication trail backwards from the top and
+    /// collects the assumption decisions that (transitively) imply
+    /// `!failed`, leaving `{failed} ∪ culprits` in `conflict_core`.
+    fn analyze_final(&mut self, failed: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(failed);
+        // Falsified at the root: no assumption is implicated, but the
+        // formula is not unconditionally unsat either (the core names the
+        // single root-contradicted assumption).
+        if self.level[failed.var() as usize] == 0 || self.trail_lim.is_empty() {
+            return;
+        }
+        self.seen[failed.var() as usize] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var() as usize;
+            if !self.seen[v] {
+                continue;
+            }
+            self.seen[v] = false;
+            match self.reason[v] {
+                // Every decision below the assumption levels *is* an
+                // assumption (analyze_final only runs while enqueuing them).
+                None => self.conflict_core.push(l),
+                Some(cref) => {
+                    // lits[0] is the propagated literal itself; implicate
+                    // the antecedents assigned above the root.
+                    for qi in 1..self.clauses[cref as usize].lits.len() {
+                        let q = self.clauses[cref as usize].lits[qi];
+                        if self.level[q.var() as usize] > 0 {
+                            self.seen[q.var() as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     fn backtrack(&mut self, target: u32) {
         while self.decision_level() > target {
             let lim = self.trail_lim.pop().expect("level > 0 has a limit");
@@ -577,10 +709,29 @@ impl Solver {
     /// stored (read via [`Solver::value`]) and the trail is rewound, so
     /// more clauses can be added and the solver re-run.
     pub fn solve(&mut self, budget: Option<u64>, cancel: Option<&AtomicBool>) -> SolveResult {
+        self.solve_under_assumptions(&[], budget, cancel)
+    }
+
+    /// [`Solver::solve`] under `assumptions`: each literal is enqueued as a
+    /// pseudo-decision at levels `1..=assumptions.len()` before any branch
+    /// decision (and re-enqueued after every restart), so a model, if one
+    /// is found, satisfies all of them. Assumption enqueues are free — they
+    /// are not charged against the step budget.
+    ///
+    /// [`SolveResult::Unsat`] here means *unsat under these assumptions*;
+    /// the solver is **not** latched (unless the formula itself was proved
+    /// unsat, observable via [`Solver::is_ok`]) and [`Solver::unsat_core`]
+    /// holds the responsible subset of the assumptions.
+    pub fn solve_under_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        budget: Option<u64>,
+        cancel: Option<&AtomicBool>,
+    ) -> SolveResult {
         let _span = mvp_trace::span!("sat.solve", vars = self.num_vars());
         let (steps0, conflicts0) = (self.steps, self.conflicts);
         let (restarts0, learned0) = (self.restarts, self.learned);
-        let result = self.solve_inner(budget, cancel);
+        let result = self.solve_inner(assumptions, budget, cancel);
         // Flush this solve's deltas into the metrics registry in one shot —
         // the CDCL loop itself never touches an atomic. The counters are
         // stable: a solver run on a fixed formula with a fixed budget does
@@ -595,10 +746,22 @@ impl Solver {
         result
     }
 
-    fn solve_inner(&mut self, budget: Option<u64>, cancel: Option<&AtomicBool>) -> SolveResult {
+    fn solve_inner(
+        &mut self,
+        assumptions: &[Lit],
+        budget: Option<u64>,
+        cancel: Option<&AtomicBool>,
+    ) -> SolveResult {
+        self.conflict_core.clear();
         if !self.ok {
             return SolveResult::Unsat;
         }
+        debug_assert!(
+            assumptions
+                .iter()
+                .all(|a| (a.var() as usize) < self.num_vars()),
+            "assumption over an unallocated variable"
+        );
         self.backtrack(0);
         if self.propagate().is_some() {
             self.ok = false;
@@ -655,6 +818,29 @@ impl Solver {
                 restart_limit = Self::luby(restart_idx) * RESTART_UNIT;
                 self.restarts += 1;
                 self.backtrack(0);
+            } else if (self.decision_level() as usize) < assumptions.len() {
+                // Re-establish the pending assumptions (after backjumps and
+                // restarts too) before any branch decision, one pseudo-
+                // decision level per assumption. Not charged as steps.
+                let a = assumptions[self.decision_level() as usize];
+                match self.lbool(a) {
+                    LBool::True => {
+                        // Already implied: open a dummy level so the
+                        // level <-> assumption-index alignment holds.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    LBool::False => {
+                        self.analyze_final(a);
+                        self.backtrack(0);
+                        // Unsat *under the assumptions* only: not latched.
+                        return SolveResult::Unsat;
+                    }
+                    LBool::Undef => {
+                        self.trail_lim.push(self.trail.len());
+                        let enqueued = self.enqueue(a, None);
+                        debug_assert!(enqueued);
+                    }
+                }
             } else {
                 match self.pick_branch() {
                     None => {
@@ -686,15 +872,32 @@ impl Solver {
 
     /// Adds clauses enforcing "at most `k` of `lits` are true" using the
     /// Sinz sequential-counter encoding (arc-consistent under unit
-    /// propagation). A no-op when `k >= lits.len()`.
+    /// propagation). A no-op when `k >= lits.len()` — no auxiliary
+    /// variables or clauses are emitted for a vacuous constraint.
     pub fn at_most_k(&mut self, lits: &[Lit], k: usize) {
+        self.at_most_k_unless(lits, k, None);
+    }
+
+    /// [`Solver::at_most_k`] with an optional `escape` literal appended to
+    /// every emitted clause: when `escape` is true the whole constraint is
+    /// void (its auxiliary counter variables are left unconstrained). The
+    /// incremental encoder guards II-specific cardinality constraints this
+    /// way, with `escape = !active_ii`.
+    pub fn at_most_k_unless(&mut self, lits: &[Lit], k: usize, escape: Option<Lit>) {
         let n = lits.len();
         if k >= n {
             return;
         }
+        let clause = |solver: &mut Self, lits: &[Lit]| {
+            let mut c: Vec<Lit> = lits.to_vec();
+            if let Some(e) = escape {
+                c.push(e);
+            }
+            solver.add_clause(&c);
+        };
         if k == 0 {
             for &l in lits {
-                self.add_clause(&[!l]);
+                clause(self, &[!l]);
             }
             return;
         }
@@ -703,33 +906,43 @@ impl Solver {
         let s: Vec<Vec<Lit>> = (0..n - 1)
             .map(|_| (0..k).map(|_| Lit::positive(self.new_var())).collect())
             .collect();
-        self.add_clause(&[!lits[0], s[0][0]]);
+        clause(self, &[!lits[0], s[0][0]]);
         for &l in &s[0][1..] {
-            self.add_clause(&[!l]);
+            clause(self, &[!l]);
         }
         for i in 1..n - 1 {
-            self.add_clause(&[!lits[i], s[i][0]]);
-            self.add_clause(&[!s[i - 1][0], s[i][0]]);
+            clause(self, &[!lits[i], s[i][0]]);
+            clause(self, &[!s[i - 1][0], s[i][0]]);
             for j in 1..k {
-                self.add_clause(&[!lits[i], !s[i - 1][j - 1], s[i][j]]);
-                self.add_clause(&[!s[i - 1][j], s[i][j]]);
+                clause(self, &[!lits[i], !s[i - 1][j - 1], s[i][j]]);
+                clause(self, &[!s[i - 1][j], s[i][j]]);
             }
-            self.add_clause(&[!lits[i], !s[i - 1][k - 1]]);
+            clause(self, &[!lits[i], !s[i - 1][k - 1]]);
         }
-        self.add_clause(&[!lits[n - 1], !s[n - 2][k - 1]]);
+        clause(self, &[!lits[n - 1], !s[n - 2][k - 1]]);
     }
 
     /// Adds clauses enforcing "at most one of `lits` is true" (pairwise for
     /// short lists, sequential counter beyond that).
     pub fn at_most_one(&mut self, lits: &[Lit]) {
+        self.at_most_one_unless(lits, None);
+    }
+
+    /// [`Solver::at_most_one`] with an optional `escape` literal appended
+    /// to every emitted clause (see [`Solver::at_most_k_unless`]).
+    pub fn at_most_one_unless(&mut self, lits: &[Lit], escape: Option<Lit>) {
         if lits.len() <= 6 {
             for i in 0..lits.len() {
                 for j in i + 1..lits.len() {
-                    self.add_clause(&[!lits[i], !lits[j]]);
+                    let mut c = vec![!lits[i], !lits[j]];
+                    if let Some(e) = escape {
+                        c.push(e);
+                    }
+                    self.add_clause(&c);
                 }
             }
         } else {
-            self.at_most_k(lits, 1);
+            self.at_most_k_unless(lits, 1, escape);
         }
     }
 
@@ -971,6 +1184,157 @@ mod tests {
         for (i, &e) in expect.iter().enumerate() {
             assert_eq!(Solver::luby(i as u64 + 1), e, "luby({})", i + 1);
         }
+    }
+
+    #[test]
+    fn assumptions_do_not_latch_unsat() {
+        let mut s = Solver::new();
+        let x = vars(&mut s, 2);
+        s.add_clause(&[x[0], x[1]]);
+        // Unsat under {!x0, !x1}, yet the formula itself stays satisfiable.
+        assert_eq!(
+            s.solve_under_assumptions(&[!x[0], !x[1]], None, None),
+            SolveResult::Unsat
+        );
+        assert!(s.is_ok(), "assumption-relative unsat must not latch");
+        assert!(!s.unsat_core().is_empty());
+        assert_eq!(s.solve(None, None), SolveResult::Sat);
+        // And satisfiable again under either assumption alone.
+        assert_eq!(
+            s.solve_under_assumptions(&[!x[0]], None, None),
+            SolveResult::Sat
+        );
+        assert!(s.lit_value(x[1]));
+    }
+
+    #[test]
+    fn models_respect_the_assumptions() {
+        let mut s = Solver::new();
+        let x = vars(&mut s, 4);
+        s.exactly_one(&x);
+        for &a in &x {
+            assert_eq!(
+                s.solve_under_assumptions(&[a], None, None),
+                SolveResult::Sat
+            );
+            assert!(s.lit_value(a));
+            assert_eq!(x.iter().filter(|&&l| s.lit_value(l)).count(), 1);
+        }
+    }
+
+    #[test]
+    fn unsat_cores_name_only_implicated_assumptions() {
+        let mut s = Solver::new();
+        let x = vars(&mut s, 4);
+        // x0 -> x1, x1 -> x2: assuming {x0, !x2} is contradictory; x3 is
+        // an innocent bystander that must stay out of the core.
+        s.add_clause(&[!x[0], x[1]]);
+        s.add_clause(&[!x[1], x[2]]);
+        assert_eq!(
+            s.solve_under_assumptions(&[x[3], x[0], !x[2]], None, None),
+            SolveResult::Unsat
+        );
+        let core = s.unsat_core();
+        assert!(core.contains(&x[0]), "{core:?}");
+        assert!(core.contains(&!x[2]), "{core:?}");
+        assert!(!core.contains(&x[3]), "bystander in core: {core:?}");
+
+        // Directly contradictory assumptions: both land in the core.
+        assert_eq!(
+            s.solve_under_assumptions(&[x[0], !x[0]], None, None),
+            SolveResult::Unsat
+        );
+        let core = s.unsat_core();
+        assert!(core.contains(&x[0]) && core.contains(&!x[0]), "{core:?}");
+    }
+
+    #[test]
+    fn unconditional_unsat_has_an_empty_core() {
+        let mut s = Solver::new();
+        let x = vars(&mut s, 1);
+        s.add_clause(&[x[0]]);
+        s.add_clause(&[!x[0]]);
+        assert_eq!(
+            s.solve_under_assumptions(&[x[0]], None, None),
+            SolveResult::Unsat
+        );
+        assert!(s.unsat_core().is_empty());
+        assert!(!s.is_ok());
+    }
+
+    #[test]
+    fn clauses_and_vars_can_be_added_after_an_assumption_unsat() {
+        let mut s = Solver::new();
+        let x = vars(&mut s, 2);
+        s.add_clause(&[x[0], x[1]]);
+        assert_eq!(
+            s.solve_under_assumptions(&[!x[0], !x[1]], None, None),
+            SolveResult::Unsat
+        );
+        // Growing the instance after a solve keeps working.
+        let y = Lit::positive(s.new_var());
+        s.add_clause(&[!y, x[0]]);
+        assert_eq!(
+            s.solve_under_assumptions(&[y], None, None),
+            SolveResult::Sat
+        );
+        assert!(s.lit_value(x[0]));
+    }
+
+    #[test]
+    fn activation_guards_void_and_restore_constraints() {
+        // The incremental-encoder pattern: an at-most-1 over 8 literals
+        // guarded by an activation var. Under `act` the constraint binds;
+        // with `!act` fixed the same clauses are inert.
+        let mut s = Solver::new();
+        let act = Lit::positive(s.new_var());
+        let x = vars(&mut s, 8);
+        s.at_most_k_unless(&x, 1, Some(!act));
+        for &l in &x {
+            s.add_clause(&[l]); // force all 8 true
+        }
+        assert_eq!(
+            s.solve_under_assumptions(&[act], None, None),
+            SolveResult::Unsat
+        );
+        assert!(s.is_ok(), "guarded unsat is assumption-relative");
+        assert_eq!(s.unsat_core(), &[act]);
+        // Retire the guard: the constraint dissolves for good.
+        s.add_clause(&[!act]);
+        assert_eq!(s.solve(None, None), SolveResult::Sat);
+        assert_eq!(s.fixed_value(act.var()), Some(false));
+    }
+
+    #[test]
+    fn vacuous_at_most_k_emits_nothing() {
+        // k >= lits.len() is a tautology: no aux vars, no clauses — pinned
+        // so the modulo-row encoder never pays for unconstrained rows.
+        let mut s = Solver::new();
+        let x = vars(&mut s, 5);
+        let (v0, c0) = (s.num_vars(), s.num_clauses());
+        s.at_most_k(&x, 5);
+        s.at_most_k(&x, 17);
+        s.at_most_k_unless(&x, 5, Some(!x[0]));
+        assert_eq!(s.num_vars(), v0, "vacuous at-most-k allocated aux vars");
+        assert_eq!(s.num_clauses(), c0, "vacuous at-most-k emitted clauses");
+        // And it is indeed vacuous: all 5 true remains satisfiable.
+        for &l in &x {
+            s.add_clause(&[l]);
+        }
+        assert_eq!(s.solve(None, None), SolveResult::Sat);
+    }
+
+    #[test]
+    fn saved_phases_can_be_overridden() {
+        let mut s = Solver::new();
+        let x = vars(&mut s, 2);
+        s.add_clause(&[x[0], x[1]]);
+        assert!(!s.saved_phase(0), "phases default to false");
+        s.set_phase(0, true);
+        assert!(s.saved_phase(0));
+        assert_eq!(s.solve(None, None), SolveResult::Sat);
+        // The warm-started phase steers the first decision.
+        assert!(s.value(0));
     }
 
     #[test]

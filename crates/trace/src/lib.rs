@@ -40,7 +40,8 @@
 //!   `exec.worker.batch`, `exec.job`, `schedcache.hit`, `schedcache.miss`,
 //!   `schedcache.evict`, `exact.probe`, `portfolio.winner`.
 //! * stable counters: `sat.decisions`, `sat.conflicts`, `sat.restarts`,
-//!   `sat.learned_clauses`, `sat.atmostk.aux_vars`, `exact.sat.cegar_rounds`,
+//!   `sat.learned_clauses`, `sat.atmostk.aux_vars`, `sat.assumption_probes`,
+//!   `sat.kept_learned`, `sat.reencoded_clauses`, `exact.sat.cegar_rounds`,
 //!   `exact.bnb.nodes`, `exact.bnb.backjumps`, `exact.bnb.dominance_cuts`,
 //!   `pipeline.runs`, `pipeline.gap_oracle.runs`.
 //! * runtime counters: `exec.steals`, `exec.parks`, `exec.wakes`,
