@@ -1,0 +1,108 @@
+//! Exact-search ladder bracket: sequential vs speculative-parallel II
+//! search over the gap corpus.
+//!
+//! Usage: `exact_ladder [--quick] [--threads N] [--width W] [--budget NODES]
+//! [--min-speedup X]`
+//!
+//! Defaults run the full gap corpus with the ladder on the environment's
+//! executor width (`MVP_THREADS` or the available parallelism) at auto
+//! ladder width. With `MVP_LADDER_CSV=<path>` the rows are written as CSV
+//! (the CI jobs upload this as the `exact-ladder` artifact); with
+//! `MVP_REPORT_JSON=<path>` a JSON report is written alongside.
+//!
+//! The binary exits non-zero when the ladder commits a different outcome
+//! than the strictly sequential search on any corpus point — a break of
+//! the ladder's verdict contract — or, with `--min-speedup`, when the
+//! corpus-total wall-clock speedup falls below the given floor (the
+//! nightly job uses `--min-speedup 1.0` at 4 threads: the ladder must
+//! never make the corpus slower on multi-core hardware).
+
+use mvp_bench::json::REPORT_JSON_ENV_VAR;
+use mvp_bench::ladder::{
+    render, run, speedup, to_csv, to_json, verdict_mismatches, LadderParams, LADDER_CSV_ENV_VAR,
+};
+use mvp_bench::report::write_env_artifact;
+
+/// The value following `name`, when the flag is present. A flag with no
+/// value aborts instead of being silently ignored.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    let pos = args.iter().position(|a| a == name)?;
+    match args.get(pos + 1) {
+        Some(value) => Some(value),
+        None => {
+            eprintln!("missing value for {name}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let value = flag_value(args, name)?;
+    match value.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("invalid value for {name}: {value}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut params = LadderParams::default();
+    if args.iter().any(|a| a == "--quick") {
+        params.gap.generated_loops = 2;
+        params.gap.max_ops = 6;
+    }
+    if let Some(threads) = parsed_flag(&args, "--threads") {
+        if threads == 0 {
+            eprintln!("invalid value for --threads: 0 (must be positive)");
+            std::process::exit(2);
+        }
+        params.threads = threads;
+    }
+    if let Some(width) = parsed_flag(&args, "--width") {
+        params.width = width;
+    }
+    if let Some(budget) = parsed_flag(&args, "--budget") {
+        params.gap.node_budget = budget;
+    }
+    let min_speedup: Option<f64> = parsed_flag(&args, "--min-speedup");
+
+    let rows = run(&params);
+    print!("{}", render(&rows));
+
+    write_env_artifact(LADDER_CSV_ENV_VAR, &format!("{} rows", rows.len()), || {
+        to_csv(&rows)
+    });
+    write_env_artifact(REPORT_JSON_ENV_VAR, "JSON report", || {
+        format!("{}\n", to_json(&rows))
+    });
+
+    let mismatches = verdict_mismatches(&rows);
+    if !mismatches.is_empty() {
+        eprintln!(
+            "verdict contract violated on {} point(s): {}",
+            mismatches.len(),
+            mismatches.join(", ")
+        );
+        std::process::exit(1);
+    }
+    if let (Some(floor), Some(measured)) = (min_speedup, speedup(&rows)) {
+        if measured < floor {
+            // A slowdown below the floor is only a hard failure on hardware
+            // that can actually run the speculative rungs in parallel; a
+            // single-core container time-slices them and legitimately
+            // measures overhead.
+            let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+            if cores > 1 {
+                eprintln!("speedup {measured:.2}x below the --min-speedup floor {floor:.2}x");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "note: single hardware thread available; ignoring speedup \
+                 {measured:.2}x below the floor {floor:.2}x"
+            );
+        }
+    }
+}

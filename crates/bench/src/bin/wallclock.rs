@@ -71,9 +71,22 @@ fn main() {
     print!("{}", render(&rows));
     if let Some(speedup) = overall_speedup(&rows) {
         if speedup < 1.0 {
-            // Informational, not fatal: CI machines can be noisy, and the
-            // artifact records the raw numbers either way.
-            eprintln!("warning: multi-threaded pass was not faster ({speedup:.2}x)");
+            // Only meaningful on hardware that can actually run the
+            // multi-threaded pass in parallel: a single-core container
+            // time-slices the "parallel" pass and legitimately measures a
+            // slowdown, so it reports instead of failing. On real
+            // multi-core hardware the regression is still a warning, not
+            // an exit code — CI machines are noisy and the artifact
+            // records the raw numbers either way.
+            let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+            if cores > 1 {
+                eprintln!("warning: multi-threaded pass was not faster ({speedup:.2}x)");
+            } else {
+                eprintln!(
+                    "note: single hardware thread available; \
+                     multi-threaded pass not expected to win ({speedup:.2}x)"
+                );
+            }
         }
     }
     if let Some(violation) = determinism_violation(&rows) {

@@ -34,6 +34,18 @@ pub struct ExactOptions {
     /// set to `0` or `false` flips the default off — the escape hatch the
     /// differential suites use to race the two modes.
     pub sat_incremental: bool,
+    /// Width of the speculative parallel II ladder: how many consecutive
+    /// candidate IIs the outer search probes concurrently per round. `0`
+    /// (the default) means *auto* — the portfolio backend uses its
+    /// executor's thread count, the single-engine backends stay sequential.
+    /// `1` forces the classic sequential search on any backend (the escape
+    /// hatch). The environment variable `MVP_EXACT_LADDER` overrides the
+    /// default when set to an integer (`MVP_EXACT_LADDER=1` disables
+    /// speculation process-wide); [`ExactOptions::with_ladder_width`] beats
+    /// both. The ladder's verdict contract: the committed
+    /// `ExactOutcome` is identical to the sequential search's whenever the
+    /// step budget does not bind — only step/wallclock provenance may vary.
+    pub ladder_width: u32,
 }
 
 impl ExactOptions {
@@ -49,6 +61,7 @@ impl ExactOptions {
             horizon_stages: 8,
             enforce_register_pressure: true,
             sat_incremental: sat_incremental_default(),
+            ladder_width: ladder_width_default(),
         }
     }
 
@@ -87,6 +100,14 @@ impl ExactOptions {
         self
     }
 
+    /// Returns a copy with the given speculative ladder width (`0` = auto,
+    /// `1` = sequential; see [`ExactOptions::ladder_width`]).
+    #[must_use]
+    pub fn with_ladder_width(mut self, width: u32) -> Self {
+        self.ladder_width = width;
+        self
+    }
+
     /// Derives exact-search options from the shared [`SchedulerOptions`]
     /// (used when the exact scheduler runs as a [`SchedulerChoice`] inside
     /// the pipeline): the II slack and register-pressure switch carry over,
@@ -117,6 +138,17 @@ fn sat_incremental_default() -> bool {
     }
 }
 
+/// The process-wide ladder-width default: auto (`0`), unless
+/// `MVP_EXACT_LADDER` names an explicit width (`1` = force sequential).
+/// A value that does not parse as an integer behaves like an unset
+/// variable.
+fn ladder_width_default() -> u32 {
+    std::env::var("MVP_EXACT_LADDER")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,12 +160,14 @@ mod tests {
             .with_node_budget(0)
             .with_horizon_stages(0)
             .with_register_pressure(false)
-            .with_sat_incremental(false);
+            .with_sat_incremental(false)
+            .with_ladder_width(4);
         assert_eq!(o.max_ii_slack, 4);
         assert_eq!(o.node_budget, 1);
         assert_eq!(o.horizon_stages, 1);
         assert!(!o.enforce_register_pressure);
         assert!(!o.sat_incremental);
+        assert_eq!(o.ladder_width, 4);
     }
 
     #[test]

@@ -95,7 +95,7 @@ use mvp_ir::{EdgeKind, OpId};
 use mvp_resmodel::PartialSchedule;
 use mvp_sat::{Lit, SolveResult, Solver, Var};
 use std::collections::BTreeMap;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The order-encoding query "start(op) ≤ t": a literal inside the window, a
 /// constant outside it.
@@ -151,6 +151,13 @@ struct Encoder<'a, 'l, 'm> {
     /// First variable of the current layer: retirement freezes the range
     /// `[layer_base, num_vars)`.
     layer_base: Var,
+    /// First variable past the II-independent section (0 in from-scratch
+    /// mode): the global prefix `[0, global_base)` is encoded identically
+    /// for *any* II, which is what makes cross-solver clause sharing over
+    /// it sound (see [`SatProbeSession::export_shared`]).
+    global_base: Var,
+    /// How many layers this encoder has opened (via [`Encoder::begin_layer`]).
+    layers: u32,
     /// One-hot start variables: `starts[op][k]` ⇔ start = `earliest[op] + k`.
     starts: Vec<Vec<Var>>,
     /// Monotone prefix variables: `prefix[op][k]` ⇔ start ≤ `earliest + k`,
@@ -198,6 +205,7 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
                 let _ = enc.same_lit(a, b);
             }
         }
+        enc.global_base = enc.solver.num_vars() as Var;
         let win = enc.win.clone();
         enc.begin_layer(ii, win);
         enc
@@ -214,6 +222,8 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
             win,
             act: None,
             layer_base: 0,
+            global_base: 0,
+            layers: 0,
             starts: Vec::new(),
             prefix: Vec::new(),
             transfers: BTreeMap::new(),
@@ -248,6 +258,7 @@ impl<'a, 'l, 'm> Encoder<'a, 'l, 'm> {
         // where a cold heuristic with the same retained clauses takes 223).
         self.solver.reset_activities();
         self.solver.reset_phases();
+        self.layers += 1;
         self.ii = i64::from(ii);
         self.win = win;
         self.starts.clear();
@@ -764,14 +775,38 @@ impl<'a, 'l, 'm> SatProbeSession<'a, 'l, 'm> {
         steps_used: &mut u64,
         cancel: Option<&AtomicBool>,
     ) -> (FixedIiOutcome, SatProbeStats) {
+        let (outcome, stats, _) = self.probe_seeded(ii, options, steps_used, cancel, &[]);
+        (outcome, stats)
+    }
+
+    /// [`SatProbeSession::probe`] with a shared clause pool: a *fresh*
+    /// incremental session additionally seeds its solver with the
+    /// global-prefix clauses of `pool` before solving (clauses mentioning
+    /// any per-layer variable are filtered out — only the II-independent
+    /// prefix is numbered identically across sessions). The third return
+    /// value is the number of clauses imported.
+    ///
+    /// The speculative II ladder probes through this entry point: every
+    /// rung gets a private single-layer session, and the pool carries the
+    /// short learnt clauses retired rungs exported via
+    /// [`SatProbeSession::export_shared`].
+    pub(crate) fn probe_seeded(
+        &mut self,
+        ii: u32,
+        options: &ExactOptions,
+        steps_used: &mut u64,
+        cancel: Option<&AtomicBool>,
+        pool: &[Vec<Lit>],
+    ) -> (FixedIiOutcome, SatProbeStats, u64) {
         let p = self.p;
         if ii == 0 || p.resource_infeasible(ii) {
-            return (FixedIiOutcome::Infeasible, SatProbeStats::default());
+            return (FixedIiOutcome::Infeasible, SatProbeStats::default(), 0);
         }
         let Some(win) = windows(p, ii, |asap| p.horizon(asap, ii, options)) else {
-            return (FixedIiOutcome::Infeasible, SatProbeStats::default());
+            return (FixedIiOutcome::Infeasible, SatProbeStats::default(), 0);
         };
         let mut stats = SatProbeStats::default();
+        let mut imported = 0u64;
         if self.incremental {
             let enc = match self.enc.as_mut() {
                 Some(enc) => {
@@ -781,7 +816,17 @@ impl<'a, 'l, 'm> SatProbeSession<'a, 'l, 'm> {
                     enc
                 }
                 None => {
-                    self.enc = Some(Encoder::incremental(p, ii, win));
+                    let mut enc = Encoder::incremental(p, ii, win);
+                    if !pool.is_empty() {
+                        let global = enc.global_base;
+                        let shared: Vec<Vec<Lit>> = pool
+                            .iter()
+                            .filter(|c| !c.is_empty() && c.iter().all(|l| l.var() < global))
+                            .cloned()
+                            .collect();
+                        imported = enc.solver.import_clauses(&shared);
+                    }
+                    self.enc = Some(enc);
                     self.enc.as_mut().expect("just inserted")
                 }
             };
@@ -795,12 +840,53 @@ impl<'a, 'l, 'm> SatProbeSession<'a, 'l, 'm> {
                 .add(enc.solver.num_clauses() as u64);
             self.enc = Some(enc);
         }
-        let enc = self.enc.as_mut().expect("encoder initialised above");
+        {
+            let enc = self.enc.as_ref().expect("encoder initialised above");
+            mvp_trace::counter_handle!("exact.sat.encoded_vars", Stable)
+                .add(enc.solver.num_vars() as u64);
+            mvp_trace::counter_handle!("exact.sat.encoded_clauses", Stable)
+                .add(enc.solver.num_clauses() as u64);
+        }
+        let outcome = self.solve_layer(ii, options, steps_used, cancel);
+        (outcome, stats, imported)
+    }
+
+    /// Re-enters the budget/CEGAR loop of the current layer with a fresh
+    /// step budget, without re-encoding anything: the solver keeps every
+    /// clause it has learnt so far, so an interleaving caller (the
+    /// ladder's dovetailed portfolio rung) can hand the engine its budget
+    /// in instalments and still pay the total cost of one continuous
+    /// solve. `ii` must be the II of the layer the last
+    /// [`SatProbeSession::probe_seeded`] call encoded.
+    pub(crate) fn resume(
+        &mut self,
+        ii: u32,
+        options: &ExactOptions,
+        steps_used: &mut u64,
+        cancel: Option<&AtomicBool>,
+    ) -> FixedIiOutcome {
+        if self.enc.is_none() {
+            // The first probe decided before encoding (structurally
+            // infeasible II); there is nothing to resume.
+            return FixedIiOutcome::Infeasible;
+        }
+        self.solve_layer(ii, options, steps_used, cancel)
+    }
+
+    /// The budget/CEGAR loop of the current layer: repeated
+    /// assumption-solves under the layer's activation literals, with
+    /// MaxLive refinement between models, until a verdict, the step
+    /// budget, or cancellation.
+    fn solve_layer(
+        &mut self,
+        ii: u32,
+        options: &ExactOptions,
+        steps_used: &mut u64,
+        cancel: Option<&AtomicBool>,
+    ) -> FixedIiOutcome {
+        let p = self.p;
+        let enc = self.enc.as_mut().expect("encoder initialised by probe");
         let _span = mvp_trace::span!("exact.sat.probe", ii = ii, vars = enc.solver.num_vars());
-        mvp_trace::counter_handle!("exact.sat.encoded_vars", Stable)
-            .add(enc.solver.num_vars() as u64);
-        mvp_trace::counter_handle!("exact.sat.encoded_clauses", Stable)
-            .add(enc.solver.num_clauses() as u64);
         let steps0 = enc.solver.steps();
         let assumptions: Vec<Lit> = enc.act.into_iter().collect();
         let outcome = loop {
@@ -830,6 +916,13 @@ impl<'a, 'l, 'm> SatProbeSession<'a, 'l, 'm> {
                     enc.block_current_model();
                     mvp_trace::counter_handle!("exact.sat.cegar_rounds", Stable).incr();
                     mvp_trace::instant!("exact.sat.cegar_round", ii = ii);
+                    // A cancelled probe (a poisoned portfolio rival, a
+                    // superseded ladder rung) aborts between refinement
+                    // rounds instead of paying for another full
+                    // re-price/block cycle.
+                    if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                        break FixedIiOutcome::Cancelled;
+                    }
                     continue;
                 }
             }
@@ -854,7 +947,44 @@ impl<'a, 'l, 'm> SatProbeSession<'a, 'l, 'm> {
             break FixedIiOutcome::Feasible { ops, comms };
         };
         *steps_used += enc.solver.steps() - steps0;
-        (outcome, stats)
+        outcome
+    }
+
+    /// Exports this session's short global-prefix learnt clauses (at most
+    /// `cap` clauses of at most `max_len` literals each), for seeding a
+    /// *different* session's solver via [`SatProbeSession::probe_seeded`].
+    ///
+    /// # Soundness
+    ///
+    /// Only **single-layer incremental** sessions export; everything else
+    /// returns an empty set. In such a session every clause mentioning a
+    /// layer variable positively carries the layer's negated activation
+    /// literal (originals by construction; learnt clauses by induction —
+    /// resolving a positive layer literal away must pass through a clause
+    /// that carries `¬act`, and `¬act` itself can never be resolved away
+    /// because no clause contains `act` positively). A learnt clause over
+    /// global variables only is therefore derived from the global section
+    /// alone — plus root-level facts, which in a single-layer session are
+    /// themselves global consequences — so it is implied by the global
+    /// clauses and sound in any solver sharing that prefix. A *multi*-layer
+    /// session breaks the argument: retiring a layer freezes its variables
+    /// with unguarded root units, and first-UIP learning silently drops
+    /// root-false literals, leaving global-only clauses conditional on
+    /// those arbitrary freezes.
+    pub(crate) fn export_shared(&self, max_len: usize, cap: usize) -> Vec<Vec<Lit>> {
+        let Some(enc) = self.enc.as_ref() else {
+            return Vec::new();
+        };
+        if !self.incremental || enc.layers != 1 {
+            return Vec::new();
+        }
+        let global = enc.global_base;
+        enc.solver
+            .export_learned(max_len)
+            .into_iter()
+            .filter(|c| c.iter().all(|l| l.var() < global))
+            .take(cap)
+            .collect()
     }
 }
 
@@ -1070,6 +1200,56 @@ mod tests {
             second_stats.reused_clauses > 0,
             "the II=3 probe must reuse the II=2 instance's clauses"
         );
+    }
+
+    #[test]
+    fn shared_clauses_flow_between_single_layer_sessions_without_changing_verdicts() {
+        // The ladder pattern: one single-layer session per II, the earlier
+        // rung's exports seeding the later rung's solver. Verdicts must be
+        // unaffected, and only global-prefix clauses may travel.
+        let mut b = Loop::builder("slack-rec");
+        let x = b.fp_op("X");
+        let y = b.fp_op("Y");
+        b.data_edge(x, y, 0);
+        b.data_edge(y, x, 2);
+        let l = b.build().unwrap();
+        let machine = presets::motivating_example_machine();
+        let p = Problem::new(&l, &machine).unwrap();
+
+        let mut first = SatProbeSession::new(&p, true);
+        let mut steps = 0;
+        let (v2, _) = first.probe(2, &ExactOptions::new(), &mut steps, None);
+        assert!(matches!(v2, FixedIiOutcome::Infeasible), "{v2:?}");
+        let pool = first.export_shared(4, 256);
+        assert!(
+            pool.iter().all(|c| (2..=4).contains(&c.len())),
+            "exports are short attached clauses: {pool:?}"
+        );
+
+        let mut second = SatProbeSession::new(&p, true);
+        let mut steps = 0;
+        let (v3, _, imported) =
+            second.probe_seeded(3, &ExactOptions::new(), &mut steps, None, &pool);
+        assert!(matches!(v3, FixedIiOutcome::Feasible { .. }), "{v3:?}");
+        assert_eq!(
+            imported,
+            pool.len() as u64,
+            "prefix-only pools import whole"
+        );
+
+        // A multi-layer session refuses to export (soundness guard).
+        let mut multi = SatProbeSession::new(&p, true);
+        let mut steps = 0;
+        let _ = multi.probe(2, &ExactOptions::new(), &mut steps, None);
+        let _ = multi.probe(3, &ExactOptions::new(), &mut steps, None);
+        assert!(multi.export_shared(4, 256).is_empty());
+
+        // From-scratch sessions never export either (their variable
+        // numbering puts starts first, so no shared prefix exists).
+        let mut scratch = SatProbeSession::new(&p, false);
+        let mut steps = 0;
+        let _ = scratch.probe(2, &ExactOptions::new(), &mut steps, None);
+        assert!(scratch.export_shared(4, 256).is_empty());
     }
 
     #[test]

@@ -32,6 +32,7 @@ use mvp_core::{lifetime, Communication, ModuloScheduler, Schedule, SchedulerOpti
 use mvp_exec::Executor;
 use mvp_ir::{mii, Loop};
 use mvp_machine::MachineConfig;
+use mvp_sat::Lit;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -130,6 +131,12 @@ pub fn solve_with(
     }
     let max_ii = min_ii.saturating_add(options.max_ii_slack);
 
+    if let Some((executor, width)) = ladder_plan(options, backend) {
+        return Ok(ladder_search(
+            &p, min_ii, max_ii, options, backend, &executor, width,
+        ));
+    }
+
     // One SAT session spans the whole II search: in incremental mode (the
     // default) its solver carries clauses, learnt state and phases from
     // probe to probe. The mutex makes it reachable from the portfolio's
@@ -216,6 +223,386 @@ pub fn solve_with(
     })
 }
 
+/// Longest learnt clause worth exporting from a retired ladder rung: short
+/// clauses propagate the most per byte, and the global prefix filter makes
+/// long ones mostly layer-local anyway.
+const LADDER_EXPORT_MAX_LEN: usize = 4;
+/// At most this many clauses travel out of one rung, keeping the shared
+/// pool (and every later rung's import cost) bounded.
+const LADDER_EXPORT_CAP: usize = 256;
+
+/// Resolves the speculative-ladder plan for this search: `Some((executor,
+/// width))` to run rounds of `width` concurrent fixed-II rungs, `None` for
+/// the classic sequential loop. An explicit [`ExactOptions::ladder_width`]
+/// (or the `MVP_EXACT_LADDER` environment default behind it) wins; *auto*
+/// (`0`) enables the ladder only for the portfolio backend, sized by its
+/// executor — the single-engine backends stay sequential unless asked,
+/// because they are what the differential suites treat as the reference.
+/// Explicitly widened single-engine searches round on the process-global
+/// executor.
+fn ladder_plan(options: &ExactOptions, backend: &ExactBackend) -> Option<(Arc<Executor>, u32)> {
+    match (options.ladder_width, backend) {
+        (0, ExactBackend::Portfolio(e)) => {
+            let width = u32::try_from(e.threads()).unwrap_or(u32::MAX);
+            (width > 1).then(|| (Arc::clone(e), width))
+        }
+        (0 | 1, _) => None,
+        (w, ExactBackend::Portfolio(e)) => Some((Arc::clone(e), w)),
+        (w, _) => Some((Executor::global(), w)),
+    }
+}
+
+/// What one speculative rung brings back to the commit loop.
+struct RungResult {
+    outcome: FixedIiOutcome,
+    solver: SolverKind,
+    stats: SatProbeStats,
+    /// Branch-and-bound steps this rung consumed.
+    nodes: u64,
+    /// SAT steps this rung consumed.
+    conflicts: u64,
+    /// Global-prefix learnt clauses exported for later rounds (only from a
+    /// deciding SAT engine).
+    exports: Vec<Vec<Lit>>,
+    /// Clauses this rung imported from the shared pool.
+    imported: u64,
+}
+
+impl RungResult {
+    /// A rung that observed its cancellation flag before starting.
+    fn skipped(backend: &ExactBackend) -> Self {
+        Self {
+            outcome: FixedIiOutcome::Cancelled,
+            solver: backend.kind(),
+            stats: SatProbeStats::default(),
+            nodes: 0,
+            conflicts: 0,
+            exports: Vec::new(),
+            imported: 0,
+        }
+    }
+}
+
+/// One SAT-engine rung: a private single-layer session seeded from the
+/// shared pool, with exports harvested when the engine decides (an
+/// undecided or cancelled run may hold clauses learnt from a search
+/// prefix another thread aborted nondeterministically, so only decided —
+/// and therefore deterministic — runs feed the pool).
+fn sat_rung(
+    p: &Problem<'_, '_>,
+    ii: u32,
+    options: &ExactOptions,
+    pool: &[Vec<Lit>],
+    cancel: &AtomicBool,
+) -> RungResult {
+    let mut session = SatProbeSession::new(p, options.sat_incremental);
+    let mut steps = 0u64;
+    let (outcome, stats, imported) =
+        session.probe_seeded(ii, options, &mut steps, Some(cancel), pool);
+    let exports = if decided(&outcome) {
+        session.export_shared(LADDER_EXPORT_MAX_LEN, LADDER_EXPORT_CAP)
+    } else {
+        Vec::new()
+    };
+    RungResult {
+        outcome,
+        solver: SolverKind::Sat,
+        stats,
+        nodes: 0,
+        conflicts: steps,
+        exports,
+        imported,
+    }
+}
+
+/// First instalment of a dovetailed portfolio rung, in steps. Small
+/// enough that easy rungs (the common case) decide in their first SAT
+/// call exactly as a plain SAT rung would.
+const DOVETAIL_QUANTUM: u64 = 1 << 12;
+
+/// Quantum multiplier between dovetail cycles. Geometric escalation
+/// bounds the stateless branch-and-bound restarts (and the losing
+/// engine's spend) by a constant factor of the deciding attempt.
+const DOVETAIL_ESCALATION: u64 = 4;
+
+/// One portfolio rung, dovetailed: SAT and branch-and-bound alternate in
+/// geometrically escalating step quanta until one of them decides. The
+/// SAT session persists across instalments (its learnt clauses carry
+/// over, so split budgets cost what one continuous solve would), while
+/// the stateless branch-and-bound restarts from scratch each cycle. The
+/// quantum schedule is fixed, so the rung's verdict *and* its step counts
+/// are a pure function of the problem, the II and the budget — unlike the
+/// racing portfolio — and the rung's total cost is bounded by a constant
+/// factor of the *cheaper* engine's solo cost, so one engine's
+/// pathological II (say, a refutation SAT grinds on but branch-and-bound
+/// dispatches) cannot sink the round's wall-clock.
+fn dovetail_rung(
+    p: &Problem<'_, '_>,
+    ii: u32,
+    options: &ExactOptions,
+    pool: &[Vec<Lit>],
+    cancel: &AtomicBool,
+) -> RungResult {
+    let mut session = SatProbeSession::new(p, options.sat_incremental);
+    let mut conflicts = 0u64;
+    let mut nodes = 0u64;
+    let mut stats = SatProbeStats::default();
+    let mut imported = 0u64;
+    let mut quantum = DOVETAIL_QUANTUM;
+    let mut first = true;
+    let (outcome, solver) = loop {
+        let remaining = options.node_budget.saturating_sub(conflicts + nodes);
+        if remaining == 0 {
+            break (FixedIiOutcome::Budget, SolverKind::Portfolio);
+        }
+        let sat_options = options.with_node_budget(quantum.min(remaining));
+        let outcome = if first {
+            first = false;
+            let (outcome, first_stats, first_imported) =
+                session.probe_seeded(ii, &sat_options, &mut conflicts, Some(cancel), pool);
+            stats = first_stats;
+            imported = first_imported;
+            outcome
+        } else {
+            session.resume(ii, &sat_options, &mut conflicts, Some(cancel))
+        };
+        if !matches!(outcome, FixedIiOutcome::Budget) {
+            break (outcome, SolverKind::Sat);
+        }
+        let remaining = options.node_budget.saturating_sub(conflicts + nodes);
+        if remaining == 0 {
+            break (FixedIiOutcome::Budget, SolverKind::Portfolio);
+        }
+        let bnb_options = options.with_node_budget(quantum.min(remaining));
+        let mut bnb_steps = 0u64;
+        let outcome = solve_fixed_ii(p, ii, &bnb_options, &mut bnb_steps, Some(cancel));
+        nodes += bnb_steps;
+        if !matches!(outcome, FixedIiOutcome::Budget) {
+            break (outcome, SolverKind::BranchAndBound);
+        }
+        quantum = quantum.saturating_mul(DOVETAIL_ESCALATION);
+    };
+    // A decided dovetail cut the SAT engine at deterministic quantum
+    // boundaries, so the session's learnt set is deterministic and safe to
+    // share even when branch-and-bound was the engine that decided; a
+    // cancelled rung aborted wherever the flag caught it and exports
+    // nothing.
+    let exports = if decided(&outcome) {
+        session.export_shared(LADDER_EXPORT_MAX_LEN, LADDER_EXPORT_CAP)
+    } else {
+        Vec::new()
+    };
+    RungResult {
+        outcome,
+        solver,
+        stats,
+        nodes,
+        conflicts,
+        exports,
+        imported,
+    }
+}
+
+/// Runs one speculative rung of the ladder on `backend`. The portfolio
+/// dovetails its two engines (see [`dovetail_rung`]) rather than racing
+/// them: the ladder's parallelism is across rungs, and a dovetailed
+/// rung's committed step counts are deterministic.
+fn run_rung(
+    p: &Problem<'_, '_>,
+    ii: u32,
+    options: &ExactOptions,
+    backend: &ExactBackend,
+    pool: &[Vec<Lit>],
+    cancel: &AtomicBool,
+) -> RungResult {
+    let _span = mvp_trace::span!("exact.ladder.rung", ii = ii);
+    match backend {
+        ExactBackend::BranchAndBound => {
+            let mut nodes = 0u64;
+            let outcome = solve_fixed_ii(p, ii, options, &mut nodes, Some(cancel));
+            RungResult {
+                outcome,
+                solver: SolverKind::BranchAndBound,
+                stats: SatProbeStats::default(),
+                nodes,
+                conflicts: 0,
+                exports: Vec::new(),
+                imported: 0,
+            }
+        }
+        ExactBackend::Sat => sat_rung(p, ii, options, pool, cancel),
+        ExactBackend::Portfolio(_) => dovetail_rung(p, ii, options, pool, cancel),
+    }
+}
+
+/// The speculative parallel II ladder: rounds of `width` consecutive
+/// candidate IIs probed concurrently on `executor`, committed strictly in
+/// II order so the classic invariant — a contiguous certified-infeasible
+/// prefix, then the first feasible II — terminates the search exactly as
+/// the sequential loop would.
+///
+/// Determinism: the committed outcome is a pure function of the problem,
+/// the options and the ladder width. Rungs are cancelled *logically* (a
+/// terminal verdict at one rung flags every higher rung of its round), but
+/// a committed rung is never one of the flagged ones — every rung below
+/// the round's first terminal verdict ran to its own verdict with a
+/// deterministic budget — so thread count and scheduling only affect how
+/// much speculative work was wasted, never what is committed.
+///
+/// Budget semantics: every rung of a round gets the round-start remainder
+/// of the shared step budget. A *decided* rung always commits its verdict
+/// — a certificate is sound regardless of what it cost, so speculation
+/// never loses an answer (under a binding budget it may even decide an II
+/// the sequential search had to give up on, since per-rung sessions pay
+/// fresh-encoding costs the sequential search's retained clauses avoid,
+/// and vice versa; that is the one place ladder widths may differ, and the
+/// verdict contract is scoped to non-binding budgets accordingly). An
+/// exhausted rung commits [`IiVerdict::Unknown`] and ends the search, and
+/// a rung the budget ran dry before is not logged at all — both exactly as
+/// the sequential loop. Charged steps are clamped so `nodes + conflicts`
+/// never exceeds the budget; the speculative excess is reported through
+/// the `exact.ladder.wasted_steps` counter instead of silently vanishing.
+#[allow(clippy::too_many_lines)]
+fn ladder_search(
+    p: &Problem<'_, '_>,
+    min_ii: u32,
+    max_ii: u32,
+    options: &ExactOptions,
+    backend: &ExactBackend,
+    executor: &Executor,
+    width: u32,
+) -> ExactOutcome {
+    let _span = mvp_trace::span!("exact.ladder.search", min_ii = min_ii, width = width);
+    let mut nodes = 0u64;
+    let mut conflicts = 0u64;
+    let mut probes: Vec<IiProbe> = Vec::new();
+    let mut lower_bound = min_ii;
+    let mut chain_unbroken = true;
+    let mut schedule = None;
+    // Global-prefix learnt clauses exported by committed rungs, seeding
+    // every rung of the following rounds.
+    let mut pool: Vec<Vec<Lit>> = Vec::new();
+    let mut launched = 0u64;
+    let mut wasted = 0u64;
+    let mut next_ii = min_ii;
+    let mut ended = false;
+
+    while !ended && next_ii <= max_ii {
+        let round_budget = options.node_budget.saturating_sub(nodes + conflicts);
+        if round_budget == 0 {
+            break;
+        }
+        let round_hi = next_ii.saturating_add(width - 1).min(max_ii);
+        let iis: Vec<u32> = (next_ii..=round_hi).collect();
+        launched += iis.len() as u64;
+        mvp_trace::counter_handle!("exact.ladder.speculative_probes", Stable)
+            .add(iis.len() as u64 - 1);
+        // Every rung gets the round-start remainder (not its own
+        // sequential remainder, which depends on the still-unknown lower
+        // rungs): deterministic, and reconciled at commit time below.
+        let probe_options = options.with_node_budget(round_budget);
+        let cancels: Vec<AtomicBool> = iis.iter().map(|_| AtomicBool::new(false)).collect();
+        let _round = mvp_trace::span!("exact.ladder.round", ii = next_ii, rungs = iis.len());
+        let results = executor.map_indexed(&iis, |idx, &ii| {
+            if cancels[idx].load(Ordering::Relaxed) {
+                return RungResult::skipped(backend);
+            }
+            let result = run_rung(p, ii, &probe_options, backend, &pool, &cancels[idx]);
+            // A terminal verdict here means no higher rung of the round
+            // can commit (the commit loop stops at this II): fold the
+            // speculation above it.
+            if matches!(
+                result.outcome,
+                FixedIiOutcome::Feasible { .. } | FixedIiOutcome::Budget
+            ) {
+                for flag in &cancels[idx + 1..] {
+                    flag.store(true, Ordering::Relaxed);
+                }
+            }
+            result
+        });
+
+        for (idx, r) in results.into_iter().enumerate() {
+            if ended {
+                wasted += r.nodes + r.conflicts;
+                continue;
+            }
+            let ii = iis[idx];
+            let remaining = options.node_budget.saturating_sub(nodes + conflicts);
+            if remaining == 0 {
+                // Sequential mirror: the budget ran dry before this II was
+                // probed, so the search breaks without logging it.
+                ended = true;
+                wasted += r.nodes + r.conflicts;
+                continue;
+            }
+            debug_assert!(
+                !matches!(r.outcome, FixedIiOutcome::Cancelled),
+                "a committed rung is below every cancellation source"
+            );
+            let spent = r.nodes + r.conflicts;
+            // Charge at most the budget remainder; the excess is
+            // speculative waste, reported but never silently dropped.
+            let conflicts_charged = r.conflicts.min(remaining);
+            let nodes_charged = r.nodes.min(remaining - conflicts_charged);
+            wasted += spent - conflicts_charged - nodes_charged;
+            nodes += nodes_charged;
+            conflicts += conflicts_charged;
+            mvp_trace::counter_handle!("exact.ladder.imported_clauses", Stable).add(r.imported);
+            let verdict = match r.outcome {
+                FixedIiOutcome::Feasible { ops, comms } => {
+                    schedule = Some(assemble(p, ii, ops, comms, backend.scheduler_name()));
+                    IiVerdict::Feasible
+                }
+                FixedIiOutcome::Infeasible => IiVerdict::Infeasible,
+                FixedIiOutcome::Budget | FixedIiOutcome::Cancelled => IiVerdict::Unknown,
+            };
+            probes.push(IiProbe {
+                ii,
+                verdict,
+                nodes: nodes_charged,
+                conflicts: conflicts_charged,
+                solver: r.solver,
+                reused_clauses: r.stats.reused_clauses,
+                kept_learned: r.stats.kept_learned,
+            });
+            match verdict {
+                IiVerdict::Feasible => ended = true,
+                IiVerdict::Infeasible => {
+                    if chain_unbroken {
+                        lower_bound = ii + 1;
+                    }
+                    pool.extend(r.exports);
+                }
+                IiVerdict::Unknown => {
+                    chain_unbroken = false;
+                    ended = true;
+                }
+            }
+        }
+        next_ii = round_hi + 1;
+    }
+
+    mvp_trace::counter_handle!("exact.ladder.cancelled_probes", Stable)
+        .add(launched - probes.len() as u64);
+    mvp_trace::counter_handle!("exact.ladder.wasted_steps", Runtime).add(wasted);
+    mvp_trace::instant!("exact.ladder.done", ii = next_ii, width = width);
+
+    let proved_optimal = schedule
+        .as_ref()
+        .is_some_and(|s: &Schedule| s.ii() == lower_bound && chain_unbroken);
+    ExactOutcome {
+        min_ii,
+        schedule,
+        lower_bound,
+        proved_optimal,
+        nodes,
+        conflicts,
+        backend: backend.kind(),
+        probes,
+    }
+}
+
 /// Runs one probe on the chosen backend, charging branch-and-bound nodes to
 /// `nodes` and SAT steps to `conflicts`. SAT-capable backends probe through
 /// the search-wide `sat` session (clause retention across IIs).
@@ -258,12 +645,14 @@ fn decided(outcome: &FixedIiOutcome) -> bool {
     )
 }
 
-/// Races the SAT and branch-and-bound engines on one probe. The first
-/// engine to reach a certificate raises the poison flag; the rival aborts
-/// at its next step and charges only the steps it actually took. Both
-/// engines' steps count against the shared pool — the portfolio pays for
-/// its parallelism in steps, and its headline claim (fewer *total* steps
-/// than branch-and-bound alone) is measured on that inclusive sum.
+/// Races the SAT and branch-and-bound engines on one probe via
+/// [`Executor::race`]. The first engine to reach a certificate poisons the
+/// rival, which aborts at its next step and charges only the steps it
+/// actually took. Both engines' steps count against the shared pool — the
+/// portfolio pays for its parallelism in steps, and its headline claim
+/// (fewer *total* steps than branch-and-bound alone) is measured on that
+/// inclusive sum. SAT sits at index 0, so the race's lowest-index tie-break
+/// keeps the historical "SAT wins a double decide" rule.
 fn race_probe(
     p: &Problem<'_, '_>,
     ii: u32,
@@ -273,32 +662,32 @@ fn race_probe(
     nodes: &mut u64,
     conflicts: &mut u64,
 ) -> (FixedIiOutcome, SolverKind, SatProbeStats) {
-    let poison = AtomicBool::new(false);
     let rivals = [SolverKind::Sat, SolverKind::BranchAndBound];
-    let mut results = executor.map(&rivals, |&kind| {
-        let mut steps = 0u64;
-        let (outcome, stats) = match kind {
-            SolverKind::Sat => session.lock().expect("no SAT rival panicked").probe(
-                ii,
-                options,
-                &mut steps,
-                Some(&poison),
-            ),
-            _ => (
-                solve_fixed_ii(p, ii, options, &mut steps, Some(&poison)),
-                SatProbeStats::default(),
-            ),
-        };
-        if decided(&outcome) {
-            poison.store(true, Ordering::Relaxed);
-        }
-        let done_ns = if mvp_trace::timing_enabled() {
-            mvp_trace::now_ns()
-        } else {
-            0
-        };
-        (outcome, steps, done_ns, stats)
-    });
+    let (_winner_idx, mut results) = executor.race(
+        &rivals,
+        |&kind, poison| {
+            let mut steps = 0u64;
+            let (outcome, stats) = match kind {
+                SolverKind::Sat => session.lock().expect("no SAT rival panicked").probe(
+                    ii,
+                    options,
+                    &mut steps,
+                    Some(poison),
+                ),
+                _ => (
+                    solve_fixed_ii(p, ii, options, &mut steps, Some(poison)),
+                    SatProbeStats::default(),
+                ),
+            };
+            let done_ns = if mvp_trace::timing_enabled() {
+                mvp_trace::now_ns()
+            } else {
+                0
+            };
+            (outcome, steps, done_ns, stats)
+        },
+        |(outcome, ..)| decided(outcome),
+    );
     let (bnb_outcome, bnb_steps, bnb_done_ns, _) = results.pop().expect("two rivals ran");
     let (sat_outcome, sat_steps, sat_done_ns, sat_stats) = results.pop().expect("two rivals ran");
     *conflicts += sat_steps;
@@ -703,6 +1092,156 @@ mod tests {
             // The certified bound prices heuristics even without an optimum.
             assert!((starved.optimality_gap_of(3)).abs() < 1e-12);
             assert!((starved.optimality_gap_of(6) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// The committed outcome fields the ladder's verdict contract pins:
+    /// everything except step/wallclock provenance.
+    fn fingerprint(o: &ExactOutcome) -> (u32, u32, Option<u32>, bool, Vec<(u32, IiVerdict)>) {
+        (
+            o.min_ii,
+            o.lower_bound,
+            o.schedule_ii(),
+            o.proved_optimal,
+            o.probes.iter().map(|p| (p.ii, p.verdict)).collect(),
+        )
+    }
+
+    #[test]
+    fn ladder_plans_follow_the_width_and_backend_rules() {
+        let opts = |w| ExactOptions::new().with_ladder_width(w);
+        let pool = Arc::new(Executor::new(4));
+        let portfolio = ExactBackend::portfolio(Arc::clone(&pool));
+        // Auto engages only on a multi-thread portfolio, sized by its pool.
+        assert!(ladder_plan(&opts(0), &ExactBackend::BranchAndBound).is_none());
+        assert!(ladder_plan(&opts(0), &ExactBackend::Sat).is_none());
+        let (e, w) = ladder_plan(&opts(0), &portfolio).expect("auto ladder");
+        assert!(Arc::ptr_eq(&e, &pool));
+        assert_eq!(w, 4);
+        let solo = ExactBackend::portfolio(Arc::new(Executor::new(1)));
+        assert!(ladder_plan(&opts(0), &solo).is_none());
+        // Width 1 is the sequential escape hatch on every backend.
+        assert!(ladder_plan(&opts(1), &portfolio).is_none());
+        assert!(ladder_plan(&opts(1), &ExactBackend::Sat).is_none());
+        // An explicit width wins: the portfolio rounds on its own pool, the
+        // single-engine backends on the process-global executor.
+        let (e, w) = ladder_plan(&opts(3), &portfolio).expect("explicit ladder");
+        assert!(Arc::ptr_eq(&e, &pool));
+        assert_eq!(w, 3);
+        let (_, w) = ladder_plan(&opts(3), &ExactBackend::Sat).expect("explicit ladder");
+        assert_eq!(w, 3);
+    }
+
+    #[test]
+    fn the_ladder_commits_the_sequential_outcome_on_every_backend() {
+        let loops = [chain(), search_refuted_recurrence()];
+        let machine = presets::motivating_example_machine();
+        for l in &loops {
+            for backend in [
+                ExactBackend::BranchAndBound,
+                ExactBackend::Sat,
+                ExactBackend::portfolio(Arc::new(Executor::new(2))),
+            ] {
+                let sequential = solve_with(
+                    l,
+                    &machine,
+                    &ExactOptions::new().with_ladder_width(1),
+                    &backend,
+                )
+                .unwrap();
+                for width in [2, 4] {
+                    let ladder = solve_with(
+                        l,
+                        &machine,
+                        &ExactOptions::new().with_ladder_width(width),
+                        &backend,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        fingerprint(&ladder),
+                        fingerprint(&sequential),
+                        "{} width {width} on {backend:?}",
+                        l.name()
+                    );
+                    let s = ladder.schedule.as_ref().expect("both fixtures schedule");
+                    assert!(validate_schedule(l, &machine, s).is_empty());
+                    assert_eq!(s.scheduler_name, backend.scheduler_name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn the_ladder_is_deterministic_across_thread_counts_at_a_fixed_width() {
+        let l = search_refuted_recurrence();
+        let machine = presets::motivating_example_machine();
+        let narrow = ExactBackend::portfolio(Arc::new(Executor::new(1)));
+        let wide = ExactBackend::portfolio(Arc::new(Executor::new(4)));
+        for width in [2, 4] {
+            let options = ExactOptions::new().with_ladder_width(width);
+            let a = solve_with(&l, &machine, &options, &narrow).unwrap();
+            let b = solve_with(&l, &machine, &options, &wide).unwrap();
+            assert_eq!(fingerprint(&a), fingerprint(&b), "width {width}");
+            // Inline rungs charge deterministic step counts, so even the
+            // provenance matches across thread counts at a fixed width.
+            assert_eq!(a.nodes, b.nodes, "width {width}");
+            assert_eq!(a.conflicts, b.conflicts, "width {width}");
+        }
+    }
+
+    #[test]
+    fn ladder_budget_exhaustion_stays_sound_and_within_the_budget() {
+        let l = search_refuted_recurrence();
+        let machine = presets::motivating_example_machine();
+        for backend in [ExactBackend::BranchAndBound, ExactBackend::Sat] {
+            // A one-step budget exhausts the first rung: the ladder ends at
+            // II=2 with an Unknown, exactly like the sequential search.
+            let starved_options = ExactOptions::new().with_node_budget(1).with_ladder_width(4);
+            let starved = solve_with(&l, &machine, &starved_options, &backend).unwrap();
+            assert_eq!(starved.lower_bound, 2, "{backend:?}");
+            assert!(starved.schedule.is_none(), "{backend:?}");
+            let last = starved.probes.last().unwrap();
+            assert_eq!(last.verdict, IiVerdict::Unknown, "{backend:?}");
+            assert_eq!(last.ii, 2, "{backend:?}");
+
+            // Enough budget to refute II=2 but (sequentially) not to finish
+            // II=3: the speculative II=3 rung ran with the round budget and
+            // may commit a *real* certificate the sequential search had to
+            // give up on — never an unsound one — while the charged steps
+            // stay clamped to the shared budget either way.
+            let full = solve_with(
+                &l,
+                &machine,
+                &ExactOptions::new().with_ladder_width(1),
+                &backend,
+            )
+            .unwrap();
+            let refute_cost = full.probes[0].nodes + full.probes[0].conflicts;
+            let tight_options = ExactOptions::new()
+                .with_node_budget(refute_cost + 1)
+                .with_ladder_width(4);
+            let tight = solve_with(&l, &machine, &tight_options, &backend).unwrap();
+            assert_eq!(tight.lower_bound, 3, "{backend:?}");
+            assert_eq!(tight.probes[0].verdict, IiVerdict::Infeasible);
+            let last = tight.probes.last().unwrap();
+            assert_eq!(last.ii, 3, "{backend:?}");
+            match last.verdict {
+                IiVerdict::Feasible => {
+                    let s = tight.schedule.as_ref().expect("feasible probes schedule");
+                    assert_eq!(s.ii(), 3);
+                    assert!(validate_schedule(&l, &machine, s).is_empty());
+                    assert!(tight.proved_optimal, "{backend:?}");
+                }
+                IiVerdict::Unknown => {
+                    assert!(tight.schedule.is_none(), "{backend:?}");
+                    assert!(!tight.proved_optimal, "{backend:?}");
+                }
+                IiVerdict::Infeasible => panic!("II=3 is feasible on {backend:?}"),
+            }
+            assert!(
+                tight.nodes + tight.conflicts <= refute_cost + 1,
+                "{backend:?} charged past the shared budget"
+            );
         }
     }
 }

@@ -178,6 +178,9 @@ pub struct Solver {
     conflicts: u64,
     restarts: u64,
     learned: u64,
+    /// Clause indices of the attached learnt clauses, in learn order —
+    /// the export set of [`Solver::export_learned`].
+    learnt_refs: Vec<u32>,
     seen: Vec<bool>,
     /// After an assumption-relative [`SolveResult::Unsat`]: the subset of
     /// the assumptions responsible (empty = unconditionally unsat).
@@ -213,6 +216,7 @@ impl Solver {
             conflicts: 0,
             restarts: 0,
             learned: 0,
+            learnt_refs: Vec::new(),
             seen: Vec::new(),
             conflict_core: Vec::new(),
         }
@@ -799,6 +803,7 @@ impl Solver {
                 } else {
                     let cref = self.attach_clause(learnt);
                     self.learned += 1;
+                    self.learnt_refs.push(cref);
                     let assert_lit = self.clauses[cref as usize].lits[0];
                     let enqueued = self.enqueue(assert_lit, Some(cref));
                     debug_assert!(enqueued, "asserting literal must be free after backjump");
@@ -950,6 +955,48 @@ impl Solver {
     pub fn exactly_one(&mut self, lits: &[Lit]) {
         self.add_clause(lits);
         self.at_most_one(lits);
+    }
+
+    /// The learnt clauses currently attached to the database with at most
+    /// `max_len` literals, in learn order, each with its literals sorted
+    /// into canonical order (watch maintenance permutes literals in place,
+    /// so the stored order carries no meaning).
+    ///
+    /// This is the export half of cross-solver clause sharing: a caller
+    /// running several solvers over encodings that share a common variable
+    /// prefix can harvest one solver's short learnt clauses and feed the
+    /// prefix-only subset to another via [`Solver::import_clauses`]. The
+    /// *soundness* of such a transfer is entirely the caller's obligation —
+    /// a learnt clause is implied by the clauses it was derived from, so it
+    /// may only be imported into a solver whose clause set implies the
+    /// exporter's relevant clauses (e.g. an identical shared prefix whose
+    /// non-shared clauses are all guarded by activation literals; see the
+    /// exact scheduler's incremental encoder).
+    #[must_use]
+    pub fn export_learned(&self, max_len: usize) -> Vec<Vec<Lit>> {
+        self.learnt_refs
+            .iter()
+            .map(|&cref| &self.clauses[cref as usize].lits)
+            .filter(|lits| lits.len() <= max_len)
+            .map(|lits| {
+                let mut c = lits.clone();
+                c.sort_unstable();
+                c
+            })
+            .collect()
+    }
+
+    /// Adds every clause of `clauses` to the database (the import half of
+    /// cross-solver clause sharing; see [`Solver::export_learned`]). Each
+    /// clause goes through [`Solver::add_clause`], so level-0 simplification
+    /// and unit propagation apply as usual. Every variable mentioned must
+    /// already be allocated in this solver. Returns the number of clauses
+    /// imported.
+    pub fn import_clauses(&mut self, clauses: &[Vec<Lit>]) -> u64 {
+        for c in clauses {
+            self.add_clause(c);
+        }
+        clauses.len() as u64
     }
 }
 
@@ -1335,6 +1382,86 @@ mod tests {
         assert_eq!(s.solve(None, None), SolveResult::Sat);
         // The warm-started phase steers the first decision.
         assert!(s.value(0));
+    }
+
+    #[test]
+    fn exported_learnt_clauses_are_implied_and_import_cleanly() {
+        // Pigeonhole (4 pigeons, 3 holes) forces real clause learning.
+        let build = |s: &mut Solver| -> Vec<Vec<Lit>> {
+            let p: Vec<Vec<Lit>> = (0..4).map(|_| vars(s, 3)).collect();
+            let mut originals = Vec::new();
+            for row in &p {
+                originals.push(row.clone());
+            }
+            for hole in 0..3 {
+                let col: Vec<Lit> = p.iter().map(|row| row[hole]).collect();
+                for i in 0..col.len() {
+                    for j in i + 1..col.len() {
+                        originals.push(vec![!col[i], !col[j]]);
+                    }
+                }
+            }
+            for c in &originals {
+                s.add_clause(c);
+            }
+            originals
+        };
+        let mut exporter = Solver::new();
+        let originals = build(&mut exporter);
+        assert_eq!(exporter.solve(None, None), SolveResult::Unsat);
+        assert!(exporter.learned_clauses() > 0);
+        let exported = exporter.export_learned(usize::MAX);
+        assert!(!exported.is_empty());
+        // Every exported clause is implied by the original formula: the
+        // originals plus the clause's negation must be unsatisfiable.
+        for clause in &exported {
+            let mut check = Solver::new();
+            let _ = vars(&mut check, 12);
+            for c in &originals {
+                check.add_clause(c);
+            }
+            for &l in clause {
+                check.add_clause(&[!l]);
+            }
+            assert_eq!(
+                check.solve(None, None),
+                SolveResult::Unsat,
+                "exported clause {clause:?} is not implied by the formula"
+            );
+        }
+        // Importing into a fresh copy of the instance is accepted and the
+        // verdict is unchanged (just cheaper).
+        let mut importer = Solver::new();
+        let _ = build(&mut importer);
+        assert_eq!(importer.import_clauses(&exported), exported.len() as u64);
+        assert_eq!(importer.solve(None, None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn export_honours_the_length_cap_and_learnt_units_are_excluded() {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..5).map(|_| vars(&mut s, 4)).collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for hole in 0..4 {
+            let col: Vec<Lit> = p.iter().map(|row| row[hole]).collect();
+            s.at_most_one(&col);
+        }
+        assert_eq!(s.solve(None, None), SolveResult::Unsat);
+        let all = s.export_learned(usize::MAX);
+        assert_eq!(all.len() as u64, s.learned_clauses());
+        // Attached learnt clauses are binary or longer (units backjump to
+        // level 0 instead of attaching), and the cap filters by length.
+        assert!(all.iter().all(|c| c.len() >= 2));
+        let short = s.export_learned(3);
+        assert!(short.iter().all(|c| c.len() <= 3));
+        assert!(short.len() <= all.len());
+        assert!(s.export_learned(0).is_empty());
+        // Exported literal order is canonical (sorted).
+        for c in &short {
+            assert!(c.windows(2).all(|w| w[0] <= w[1]), "{c:?}");
+        }
     }
 
     #[test]

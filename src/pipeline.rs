@@ -176,6 +176,7 @@ pub struct PipelineBuilder {
     sim_options: SimOptions,
     gap_oracle: Option<ExactOptions>,
     exact_node_budget: Option<u64>,
+    exact_ladder_width: Option<u32>,
     executor: Option<Arc<Executor>>,
     schedule_cache: Option<Arc<PipelineScheduleCache>>,
     trace: bool,
@@ -190,6 +191,7 @@ impl Default for PipelineBuilder {
             sim_options: SimOptions::new(),
             gap_oracle: None,
             exact_node_budget: None,
+            exact_ladder_width: None,
             executor: None,
             schedule_cache: None,
             trace: true,
@@ -287,6 +289,20 @@ impl PipelineBuilder {
         self
     }
 
+    /// Pins the speculative II-ladder width of the exact-family
+    /// configurations (see [`ExactOptions::ladder_width`]: `0` = auto, `1`
+    /// = sequential). Like [`exact_node_budget`](Self::exact_node_budget)
+    /// this is only consulted by the exact-family choices; unset, the
+    /// [`ExactOptions`] default (auto, overridable via `MVP_EXACT_LADDER`)
+    /// applies. Benchmark harnesses that measure *batch* scaling pin width
+    /// `1` so the executor's parallelism is spent across loops rather than
+    /// inside each exact search.
+    #[must_use]
+    pub fn exact_ladder_width(mut self, width: u32) -> Self {
+        self.exact_ladder_width = Some(width);
+        self
+    }
+
     /// Picks the executor batch runs ([`Pipeline::run_batch`],
     /// [`Pipeline::run_workloads`]) are parallelised on. Defaults to the
     /// process-wide [`Executor::global`] (sized by `MVP_THREADS` or the
@@ -363,6 +379,9 @@ impl PipelineBuilder {
             if let Some(budget) = self.exact_node_budget {
                 options = options.with_node_budget(budget);
             }
+            if let Some(width) = self.exact_ladder_width {
+                options = options.with_ladder_width(width);
+            }
             Box::new(ExactScheduler::with_options(options).with_backend(backend))
                 as Box<dyn ModuloScheduler + Send + Sync>
         } else {
@@ -376,6 +395,7 @@ impl PipelineBuilder {
             sim_options: self.sim_options,
             gap_oracle: self.gap_oracle,
             exact_node_budget: self.exact_node_budget,
+            exact_ladder_width: self.exact_ladder_width,
             executor,
             schedule_cache: self.schedule_cache,
             trace: self.trace,
@@ -400,6 +420,7 @@ pub struct Pipeline {
     sim_options: SimOptions,
     gap_oracle: Option<ExactOptions>,
     exact_node_budget: Option<u64>,
+    exact_ladder_width: Option<u32>,
     executor: Arc<Executor>,
     schedule_cache: Option<Arc<PipelineScheduleCache>>,
     trace: bool,
@@ -483,6 +504,13 @@ impl Pipeline {
         if let Some(budget) = self.exact_node_budget {
             k.u64(budget);
         }
+        // The ladder's verdict contract pins the committed II and bound but
+        // not the concrete SAT model behind a feasible schedule, so reports
+        // solved at different widths must not alias in the cache.
+        k.bool(self.exact_ladder_width.is_some());
+        if let Some(width) = self.exact_ladder_width {
+            k.u32(width);
+        }
         k.finish()
     }
 
@@ -563,6 +591,9 @@ impl Pipeline {
             let mut options = ExactOptions::from_scheduler_options(&self.scheduler_options);
             if let Some(budget) = self.exact_node_budget {
                 options = options.with_node_budget(budget);
+            }
+            if let Some(width) = self.exact_ladder_width {
+                options = options.with_ladder_width(width);
             }
             // The fused exact solve is both the scheduler and the oracle:
             // its whole cost is charged to the schedule phase, and the
@@ -1177,6 +1208,27 @@ mod tests {
             .build()
             .unwrap();
         assert!(rmca.run(&l).is_ok());
+    }
+
+    #[test]
+    fn exact_ladder_width_is_keyed_and_keeps_the_verdict_contract() {
+        let (l, _) = motivating_loop(&MotivatingParams::default());
+        let machine = Arc::new(presets::motivating_example_machine());
+        let build = |width| {
+            Pipeline::builder()
+                .scheduler(SchedulerChoice::Portfolio)
+                .machine(Arc::clone(&machine))
+                .executor(Arc::new(Executor::new(2)))
+                .exact_ladder_width(width)
+                .build()
+                .unwrap()
+        };
+        let sequential = build(1);
+        let laddered = build(4);
+        // Different widths must not alias in the schedule cache...
+        assert_ne!(sequential.cache_key(&l), laddered.cache_key(&l));
+        // ...while the committed II is pinned by the verdict contract.
+        assert_eq!(sequential.run(&l).unwrap().ii, laddered.run(&l).unwrap().ii);
     }
 
     #[test]
